@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures and result reporting.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the reproduced rows next to the published values and writes the same
+text to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+checked against committed output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Callable writing a rendered report for the current benchmark."""
+
+    def _write(text: str) -> None:
+        name = request.node.name.replace("/", "_")
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()  # visible under pytest -s
+        print(text)
+
+    return _write

@@ -1,0 +1,190 @@
+"""Ablations of the Sec.-5.3 optimizations.
+
+The paper highlights three optimizations without isolating their impact;
+these benches quantify each on the simulator:
+
+* **buffer reuse** (Sec. 5.3.1) — PE memory footprint and the largest
+  Nz that fits a 48 KB PE, with and without the hand-crafted reuse;
+* **vectorization** (Sec. 5.3.3) — modelled datapath cycles with the
+  DSD/SIMD path vs a scalar loop;
+* **diagonal communication** (Sec. 5.2.2) — extra fabric traffic and
+  cycles paid for the 4 two-hop diagonal flows (they are optional for
+  the TPFA scheme itself, Sec. 3);
+* **mapping choice** (Fig. 3) — cell-based vs face-based resource needs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D, FluidProperties, Transmissibility, random_pressure
+from repro.core.constants import PAPER_MESH
+from repro.dataflow import (
+    WseFluxComputation,
+    compare_mappings,
+    layout_words_per_cell,
+    max_nz_for_memory,
+)
+from repro.util.reporting import Table
+from repro.wse.memory import WSE2_PE_MEMORY_BYTES
+
+FLUID = FluidProperties()
+
+
+def test_ablation_buffer_reuse(report, benchmark):
+    """Memory footprint with/without the Sec.-5.3.1 reuse."""
+    mesh = CartesianMesh3D(4, 4, 24)
+    lean = WseFluxComputation(mesh, FLUID, dtype=np.float32, reuse_buffers=True)
+    fat = WseFluxComputation(mesh, FLUID, dtype=np.float32, reuse_buffers=False)
+    p = random_pressure(mesh, seed=0)
+    benchmark(lambda: lean.run_single(p))
+    fat.run_single(p)
+
+    max_lean = max_nz_for_memory(WSE2_PE_MEMORY_BYTES, reuse_buffers=True)
+    max_fat = max_nz_for_memory(WSE2_PE_MEMORY_BYTES, reuse_buffers=False)
+    table = Table(
+        "Ablation — buffer reuse (Sec. 5.3.1)",
+        ["Quantity", "with reuse", "without reuse"],
+    )
+    table.add_row(
+        [
+            "words per cell of Z column",
+            layout_words_per_cell(reuse_buffers=True),
+            layout_words_per_cell(reuse_buffers=False),
+        ]
+    )
+    table.add_row(
+        ["PE memory high water [B] (nz=24)", lean.memory_high_water(), fat.memory_high_water()]
+    )
+    table.add_row(["max Nz on a 48 KB PE", max_lean, max_fat])
+    table.add_note("paper ran Nz = 246; both layouts fit, reuse fits 1.8x deeper columns")
+    report(table.render())
+
+    assert max_lean > 1.5 * max_fat
+    assert max_lean >= 246 and max_fat >= 246
+
+
+def test_ablation_vectorization(report, benchmark):
+    """Modelled datapath cycles: DSD/SIMD vs scalar loop (Sec. 5.3.3)."""
+    mesh = CartesianMesh3D(4, 4, 12)
+    trans = Transmissibility(mesh, dtype=np.float32)
+    p = random_pressure(mesh, seed=1)
+    vec = WseFluxComputation(mesh, FLUID, trans, dtype=np.float32, vectorized=True)
+    sca = WseFluxComputation(mesh, FLUID, trans, dtype=np.float32, vectorized=False)
+    r_vec = benchmark(lambda: vec.run_single(p))
+    r_sca = sca.run_single(p)
+
+    table = Table(
+        "Ablation — DSD vectorization (Sec. 5.3.3)",
+        ["Variant", "Compute cycles", "Device cycles"],
+    )
+    table.add_row(["vectorized", f"{r_vec.compute_cycles:.0f}", f"{r_vec.device_cycles:.0f}"])
+    table.add_row(["scalar", f"{r_sca.compute_cycles:.0f}", f"{r_sca.device_cycles:.0f}"])
+    speed = r_sca.device_cycles / r_vec.device_cycles
+    table.add_note(f"end-to-end modelled speedup from vectorization: {speed:.2f}x")
+    report(table.render())
+
+    np.testing.assert_array_equal(r_vec.residual, r_sca.residual)
+    assert speed > 1.5
+
+
+def test_ablation_diagonal_traffic(report, benchmark):
+    """Cost of the diagonal exchange: 10- vs 6-neighbour traffic.
+
+    Diagonal transmissibilities are zeroed so the physics matches the
+    classical 7-point TPFA, while the communication pattern still runs —
+    isolating the pure traffic/compute cost of the diagonal flows.
+    """
+    mesh = CartesianMesh3D(5, 5, 10)
+    p = random_pressure(mesh, seed=2)
+    with_diag = WseFluxComputation(mesh, FLUID, dtype=np.float32)
+    r_with = benchmark(lambda: with_diag.run_single(p))
+
+    nz = mesh.nz
+    words = 2 * nz
+    card_hops = ((mesh.nx - 1) * mesh.ny + mesh.nx * (mesh.ny - 1)) * 2 * words
+    diag_hops = r_with.fabric_word_hops - card_hops  # data + ctrl beyond cardinal
+    table = Table(
+        "Ablation — diagonal exchange cost (Sec. 5.2.2)",
+        ["Quantity", "Value"],
+    )
+    table.add_row(["total fabric word-hops", r_with.fabric_word_hops])
+    table.add_row(["cardinal data word-hops", card_hops])
+    table.add_row(["diagonal + control word-hops", diag_hops])
+    table.add_row(
+        ["diagonal share of traffic", f"{100 * diag_hops / r_with.fabric_word_hops:.1f} %"]
+    )
+    table.add_row(["max hops on any message", r_with.stats.max_hops_seen])
+    table.add_note(
+        "the 4 diagonal flows roughly double fabric traffic (each train "
+        "crosses two links) — the price of preparing higher-order stencils"
+    )
+    report(table.render())
+
+    assert diag_hops > 0.8 * card_hops  # two-hop flows dominate the delta
+    assert r_with.stats.max_hops_seen == 2
+
+
+def test_ablation_async_overlap(report, benchmark):
+    """Cost of losing the Sec.-5.3.2 overlap of transfers and compute.
+
+    With overlap, each neighbour's partial flux executes while the
+    remaining trains are still in flight; without, all eight partials
+    queue after the final arrival, exposing their full latency.
+    """
+    mesh = CartesianMesh3D(5, 5, 16)
+    trans = Transmissibility(mesh, dtype=np.float32)
+    p = random_pressure(mesh, seed=5)
+    lap = WseFluxComputation(mesh, FLUID, trans, dtype=np.float32)
+    nolap = WseFluxComputation(
+        mesh, FLUID, trans, dtype=np.float32,
+        overlap_compute=False, reuse_buffers=False,
+    )
+    r_lap = benchmark(lambda: lap.run_single(p))
+    r_nolap = nolap.run_single(p)
+
+    table = Table(
+        "Ablation — asynchronous overlap (Sec. 5.3.2)",
+        ["Variant", "Device cycles", "Compute cycles"],
+    )
+    table.add_row(
+        ["overlapped (paper)", f"{r_lap.device_cycles:.0f}", f"{r_lap.compute_cycles:.0f}"]
+    )
+    table.add_row(
+        ["deferred (no overlap)", f"{r_nolap.device_cycles:.0f}", f"{r_nolap.compute_cycles:.0f}"]
+    )
+    gain = r_nolap.device_cycles / r_lap.device_cycles
+    table.add_note(
+        f"overlap hides {100 * (1 - 1 / gain):.0f}% of the exposed time "
+        f"({gain:.2f}x end-to-end on this fabric)"
+    )
+    report(table.render())
+
+    scale = np.abs(r_lap.residual).max()
+    np.testing.assert_allclose(r_nolap.residual, r_lap.residual, atol=1e-5 * scale)
+    assert gain > 1.2
+
+
+def test_ablation_mapping_choice(report, benchmark):
+    """Cell- vs face-based mapping resource comparison (Fig. 3)."""
+    mesh = CartesianMesh3D(100, 100, 50)
+    cmp = benchmark(lambda: compare_mappings(mesh))
+    table = Table(
+        "Ablation — mapping technique (Fig. 3)",
+        ["Quantity", "cell-based", "face-based"],
+    )
+    table.add_row(["PEs for a 100x100 X-Y plane", cmp.cell_num_pes, cmp.face_num_pes])
+    table.add_row(
+        ["total fabric words / application", f"{cmp.cell_total_words:,}", f"{cmp.face_total_words:,}"]
+    )
+    cw, ch = cmp.cell_max_mesh_on_fabric
+    fw, fh = cmp.face_max_mesh_on_fabric
+    table.add_row(["max X-Y mesh on the CS-2 fabric", f"{cw} x {ch}", f"{fw} x {fh}"])
+    table.add_note(
+        f"face-based needs {cmp.pe_overhead_factor:.1f}x the PEs and "
+        f"{cmp.traffic_overhead_factor:.1f}x the traffic — why the paper "
+        "picks cell-based"
+    )
+    report(table.render())
+
+    assert cmp.pe_overhead_factor > 3.5
+    assert cmp.traffic_overhead_factor > 1.0

@@ -1,0 +1,38 @@
+"""Sec. 7.2 — energy efficiency comparison.
+
+Paper: the CS-2 draws 23 kW at steady state (13.67 GFLOP/W on this
+kernel); the A100 peaks at 250 W; the dataflow implementation is 2.2x
+more energy efficient *in aggregate* (energy per completed job).
+"""
+
+import pytest
+
+from repro.perf import compare_energy
+from repro.util.reporting import Table, format_si
+
+
+def test_reproduce_energy_comparison(report, benchmark):
+    cmp = benchmark(compare_energy)
+    table = Table(
+        "Sec. 7.2 — energy for 1000 applications, 750x994x246 mesh",
+        ["Quantity", "Reproduced", "Paper"],
+    )
+    table.add_row(["CS-2 power", format_si(cmp.cs2_power_w, "W"), "23 kW"])
+    table.add_row(["A100 power", format_si(cmp.a100_power_w, "W"), "250 W"])
+    table.add_row(["CS-2 energy", format_si(cmp.cs2_joules, "J"), "--"])
+    table.add_row(["A100 energy", format_si(cmp.a100_joules, "J"), "--"])
+    table.add_row(
+        ["CS-2 GFLOP/W", f"{cmp.cs2_gflops_per_watt:.2f}", "13.67"]
+    )
+    table.add_row(
+        ["efficiency ratio", f"{cmp.energy_efficiency_ratio:.2f}x", "2.2x"]
+    )
+    report(table.render())
+
+    assert cmp.energy_efficiency_ratio == pytest.approx(2.2, rel=0.10)
+    assert cmp.cs2_gflops_per_watt == pytest.approx(13.67, rel=0.02)
+    assert cmp.a100_joules > cmp.cs2_joules
+
+
+def test_energy_model_speed(benchmark):
+    benchmark(compare_energy)

@@ -1,0 +1,161 @@
+"""Extension benches beyond the paper's tables.
+
+* **Communication per cell across architectures** — the Sec. 4 argument
+  quantified: the GPU reads neighbours from shared device memory (zero
+  explicit traffic), the MPI-style cluster moves only halo surfaces, and
+  the dataflow fabric moves every neighbour column every application —
+  trading raw volume for single-hop locality and overlap.
+* **Arbitrary-topology embedding** — the Sec. 9 future-work analysis:
+  hop statistics of unstructured meshes embedded on the fabric under
+  three placement strategies.
+* **Implicit solver end-to-end** — the Sec. 8 extension timed: one
+  backward-Euler step (Newton + matrix-free BiCGSTAB) per bench round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BlockDecomposition, ClusterFluxComputation, ClusterPerfModel
+from repro.core import CartesianMesh3D, FluidProperties, Transmissibility, random_pressure
+from repro.core.unstructured import delaunay_mesh_2d
+from repro.dataflow import WseFluxComputation
+from repro.dataflow.unstructured_map import GridEmbedding, analyze_embedding
+from repro.solver import SinglePhaseFlowSimulator, Well
+from repro.util.reporting import Table
+from repro.workloads import make_geomodel
+
+FLUID = FluidProperties()
+
+
+def test_extension_comm_per_cell(report, benchmark):
+    """Explicit communication per cell per application, by architecture."""
+    mesh = CartesianMesh3D(12, 12, 8)
+    trans = Transmissibility(mesh, dtype=np.float32)
+    p = random_pressure(mesh, seed=0)
+
+    wse = WseFluxComputation(mesh, FLUID, trans, dtype=np.float32)
+    r_wse = benchmark(lambda: wse.run_single(p))
+    cluster = ClusterFluxComputation(mesh, FLUID, px=3, py=3, dtype=np.float32)
+    r_cl = cluster.run_single(p)
+
+    cells = mesh.num_cells
+    wse_bytes = r_wse.stats.fabric_bytes_moved / cells
+    cl_bytes = r_cl.halo_bytes_per_application / cells
+    table = Table(
+        "Extension — explicit data movement per cell per application",
+        ["Architecture", "Bytes/cell", "Messages", "Mechanism"],
+    )
+    table.add_row(
+        ["GPU (shared device memory)", "0.00", 0, "index arithmetic (Sec. 6)"]
+    )
+    table.add_row(
+        [
+            "Cluster, 3x3 ranks (halo)",
+            f"{cl_bytes:.2f}",
+            r_cl.messages_per_application,
+            "surface exchange + corners",
+        ]
+    )
+    table.add_row(
+        [
+            "WSE fabric (every column)",
+            f"{wse_bytes:.2f}",
+            r_wse.stats.messages_delivered,
+            "single-hop neighbours, overlapped",
+        ]
+    )
+    table.add_note(
+        "the fabric moves far more bytes but each travels at most two "
+        "single-cycle hops with zero interference from a memory hierarchy "
+        "- the paper's core architectural trade (Sec. 4)"
+    )
+    report(table.render())
+
+    assert wse_bytes > cl_bytes  # volume trade is real
+    assert r_wse.stats.max_hops_seen <= 2  # locality trade is real
+
+
+def test_extension_unstructured_embedding(report, benchmark):
+    """Sec. 9 future work: hop statistics for arbitrary topologies."""
+    mesh = delaunay_mesh_2d(400, seed=11)
+    rows = {}
+    for strategy in ("spatial", "bfs", "random"):
+        emb = GridEmbedding.build(mesh, strategy=strategy)
+        rows[strategy] = analyze_embedding(mesh, emb)
+    benchmark(
+        lambda: analyze_embedding(mesh, GridEmbedding.build(mesh, strategy="spatial"))
+    )
+
+    table = Table(
+        "Extension — unstructured mesh on the fabric (400-cell Delaunay)",
+        ["Placement", "Mean hops", "Max", "<=2 hops", "Traffic vs structured"],
+    )
+    for strategy, a in rows.items():
+        table.add_row(
+            [
+                strategy,
+                f"{a.mean_hops:.2f}",
+                a.max_hops,
+                f"{100 * a.within_two_hops_fraction:.0f} %",
+                f"{a.structured_overhead:.1f}x",
+            ]
+        )
+    table.add_note(
+        "the structured pattern needs at most 2 hops per exchange; "
+        "arbitrary topologies need multi-hop routing and placement-aware "
+        "mapping - exactly the future work the paper names (Sec. 9)"
+    )
+    report(table.render())
+
+    assert rows["spatial"].mean_hops < rows["random"].mean_hops
+    assert rows["spatial"].max_hops > 2  # the structured bound breaks
+
+
+def test_extension_implicit_step(report, benchmark):
+    """Sec. 8 extension: a full implicit pressure step, timed."""
+    mesh = make_geomodel(10, 10, 4, kind="layered", seed=2)
+    sim = SinglePhaseFlowSimulator(
+        mesh, FLUID, wells=[Well(5, 5, 1, rate=2.0)], gravity=0.0
+    )
+
+    def one_step():
+        sim.pressure = mesh.full(1.5e7)
+        return sim.step(dt=3600.0, rtol=1e-8)
+
+    rep = benchmark(one_step)
+    table = Table(
+        "Extension — implicit backward-Euler step (Newton + BiCGSTAB)",
+        ["Quantity", "Value"],
+    )
+    table.add_row(["mesh", "10 x 10 x 4 layered"])
+    table.add_row(["Newton iterations", rep.newton.iterations])
+    table.add_row(["linear iterations", rep.newton.linear_iterations])
+    table.add_row(["final |R|", f"{rep.newton.residual_norm:.3e}"])
+    report(table.render())
+
+    assert rep.newton.converged
+
+
+def test_extension_cluster_scaling(report, benchmark):
+    """Alpha-beta projection of the cluster baseline's strong scaling."""
+    mesh = CartesianMesh3D(256, 256, 32)
+    model = ClusterPerfModel()
+    benchmark(lambda: model.application_seconds(BlockDecomposition(mesh, 4, 4)))
+    table = Table(
+        "Extension — cluster strong scaling (alpha-beta model, 256x256x32)",
+        ["Ranks", "t/application [ms]", "Parallel efficiency"],
+    )
+    prev = None
+    for px, py in [(1, 1), (2, 2), (4, 4), (8, 8), (16, 16)]:
+        decomp = BlockDecomposition(mesh, px, py)
+        t = model.application_seconds(decomp)
+        eff = model.parallel_efficiency(decomp)
+        table.add_row([px * py, f"{t * 1e3:.3f}", f"{eff:.3f}"])
+        if prev is not None:
+            assert t < prev  # still in the scaling regime at these sizes
+        prev = t
+    table.add_note(
+        "efficiency decays with surface-to-volume - the contrast with the "
+        "fabric's flat weak scaling (Table 2), where the halo is one hop"
+    )
+    report(table.render())

@@ -1,0 +1,123 @@
+"""Figure 8 — roofline models for CS-2 and A100.
+
+Paper: the CS-2 kernel achieves 311.85 TFLOPS; it is bandwidth-bound for
+memory accesses (AI 0.0862, machine balance 0.0892) and compute-bound for
+fabric accesses (AI 2.1875).  The A100 kernel is memory-bound at 76% of
+its attainable with AI 2.11 and 6012 GFLOPS.
+
+The benchmark regenerates both charts' data (ceilings, ridge points,
+kernel dots, boundedness verdicts) from the instruction-count machinery
+and the calibrated machine models, and renders an ASCII roofline.
+"""
+
+import math
+
+import pytest
+
+from repro.dataflow import interior_cell_table
+from repro.perf import (
+    a100_kernel_point,
+    a100_roofline,
+    cs2_kernel_points,
+    cs2_roofline,
+)
+from repro.util.reporting import Table, format_si
+
+
+def ascii_roofline(model, points, *, ai_range=(1e-2, 1e2), width=60) -> str:
+    """Log-log ASCII roofline with kernel dots marked '*'."""
+    lo, hi = (math.log10(a) for a in ai_range)
+    lines = [f"{model.name}  (peak {format_si(model.peak_flops, 'FLOP/s')})"]
+    for resource, bw in model.bandwidths.items():
+        cols = []
+        for i in range(width):
+            ai = 10 ** (lo + (hi - lo) * i / (width - 1))
+            att = model.attainable(ai, resource)
+            frac = att / model.peak_flops
+            cols.append("-" if frac >= 0.999 else "/")
+        # mark kernel dots on this resource's ceiling
+        for pt in points:
+            if pt.resource != resource:
+                continue
+            i = round(
+                (math.log10(pt.arithmetic_intensity) - lo) / (hi - lo) * (width - 1)
+            )
+            if 0 <= i < width:
+                cols[i] = "*"
+        lines.append(
+            f"  {resource:<7}|{''.join(cols)}|  BW {format_si(bw, 'B/s')}"
+        )
+    lines.append(f"  AI axis: {ai_range[0]:g} .. {ai_range[1]:g} FLOP/Byte (log)")
+    return "\n".join(lines)
+
+
+def test_reproduce_fig8_cs2(report, benchmark):
+    table4 = interior_cell_table()
+    model = benchmark(lambda: cs2_roofline(table4))
+    mem_pt, fab_pt = cs2_kernel_points(table4)
+
+    table = Table(
+        "Figure 8 (top) — CS-2 roofline",
+        ["Quantity", "Reproduced", "Paper"],
+    )
+    table.add_row(
+        ["kernel TFLOPS", f"{mem_pt.achieved_flops / 1e12:.2f}", "311.85"]
+    )
+    table.add_row(["AI (memory)", f"{mem_pt.arithmetic_intensity:.4f}", "0.0862"])
+    table.add_row(["AI (fabric)", f"{fab_pt.arithmetic_intensity:.4f}", "2.1875"])
+    table.add_row(["memory balance", f"{model.ridge_point('memory'):.4f}", "0.0892"])
+    table.add_row(
+        [
+            "memory verdict",
+            "bandwidth-bound"
+            if not model.is_compute_bound(mem_pt.arithmetic_intensity, "memory")
+            else "compute-bound",
+            "bandwidth-bound",
+        ]
+    )
+    table.add_row(
+        [
+            "fabric verdict",
+            "compute-bound"
+            if model.is_compute_bound(fab_pt.arithmetic_intensity, "fabric")
+            else "bandwidth-bound",
+            "compute-bound",
+        ]
+    )
+    report(table.render() + "\n\n" + ascii_roofline(model, [mem_pt, fab_pt]))
+
+    assert mem_pt.achieved_flops == pytest.approx(311.85e12, rel=1e-3)
+    assert not model.is_compute_bound(mem_pt.arithmetic_intensity, "memory")
+    assert model.is_compute_bound(fab_pt.arithmetic_intensity, "fabric")
+    assert model.ridge_point("memory") == pytest.approx(0.0892)
+
+
+def test_reproduce_fig8_a100(report, benchmark):
+    model = benchmark(a100_roofline)
+    pt = a100_kernel_point()
+
+    table = Table(
+        "Figure 8 (bottom) — A100 roofline",
+        ["Quantity", "Reproduced", "Paper"],
+    )
+    table.add_row(["kernel GFLOPS", f"{pt.achieved_flops / 1e9:.0f}", "6012"])
+    table.add_row(["kernel AI", f"{pt.arithmetic_intensity:.2f}", "2.11"])
+    table.add_row(["efficiency", f"{model.efficiency(pt):.2f}", "0.76"])
+    table.add_row(
+        [
+            "verdict",
+            "memory-bound"
+            if not model.is_compute_bound(pt.arithmetic_intensity, "l2")
+            else "compute-bound",
+            "memory-bound",
+        ]
+    )
+    report(table.render() + "\n\n" + ascii_roofline(model, [pt]))
+
+    assert model.efficiency(pt) == pytest.approx(0.76)
+    assert not model.is_compute_bound(pt.arithmetic_intensity, "l2")
+
+
+def test_roofline_evaluation_speed(benchmark):
+    """Roofline assembly (incl. measured instruction mix) is cheap."""
+    benchmark(lambda: cs2_roofline(interior_cell_table()))

@@ -1,0 +1,89 @@
+"""Table 4 — instruction and memory access counts for one mesh cell.
+
+Paper:
+
+    Operation  FLOP  Mem. traffic      Fabric traffic
+    60 FMUL    1     2 loads, 1 store  --
+    40 FSUB    1     2 loads, 1 store  --
+    10 FNEG    1     1 load, 1 store   --
+    10 FADD    1     2 loads, 1 store  --
+    10 FMA     2     3 loads, 1 store  --
+    16 FMOV    0     1 store           1 load
+
+plus the Sec. 7.3 derived totals: 14 FLOPs/flux, 140 FLOPs/cell, 406
+memory accesses, 16 fabric loads, AI 0.0862 (memory) / 2.1875 (fabric).
+
+Everything below is *measured* by executing the DSD kernel, then
+cross-checked against an end-to-end event-driven run (the interior PE of
+a 3x3 fabric receives exactly 8 neighbour columns -> 16 FMOV per cell).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D, FluidProperties, random_pressure
+from repro.dataflow import WseFluxComputation, interior_cell_table
+from repro.dataflow.instrcount import measure_flux_instruction_mix
+from repro.util.reporting import Table
+
+PAPER_COUNTS = {"FMUL": 60, "FSUB": 40, "FNEG": 10, "FADD": 10, "FMA": 10, "FMOV": 16}
+
+
+def test_reproduce_table4(report, benchmark):
+    table4 = benchmark(interior_cell_table)
+    table = Table(
+        "Table 4 — instruction and memory access counts per mesh cell",
+        ["Operation", "Count", "FLOP", "Mem. traffic", "Fabric traffic", "Paper count"],
+    )
+    for row in table4.rows:
+        table.add_row(
+            [
+                row.op,
+                row.count,
+                row.flops_per_op,
+                row.mem_traffic_label,
+                f"{row.fabric_loads} load" if row.fabric_loads else "--",
+                PAPER_COUNTS[row.op],
+            ]
+        )
+    table.add_note(
+        f"FLOPs/cell = {table4.flops_per_cell} (paper 140); "
+        f"memory accesses = {table4.memory_accesses_per_cell} (paper 406); "
+        f"fabric loads = {table4.fabric_loads_per_cell} (paper 16)"
+    )
+    table.add_note(
+        f"AI memory = {table4.arithmetic_intensity_memory:.4f} (paper 0.0862); "
+        f"AI fabric = {table4.arithmetic_intensity_fabric:.4f} (paper 2.1875)"
+    )
+    report(table.render())
+
+    for row in table4.rows:
+        assert row.count == PAPER_COUNTS[row.op], row.op
+    assert table4.flops_per_cell == 140
+    assert table4.memory_accesses_per_cell == 406
+    assert table4.fabric_loads_per_cell == 16
+
+
+def test_event_sim_interior_cell_counts(benchmark):
+    """Cross-check: the centre PE of a 3x3 fabric measures Table 4's
+    per-cell counts directly from the full protocol execution."""
+    nz = 16
+    mesh = CartesianMesh3D(3, 3, nz)
+    fluid = FluidProperties()
+    wse = WseFluxComputation(mesh, fluid, dtype=np.float32)
+    pressure = random_pressure(mesh, seed=0, dtype=np.float32)
+    benchmark(lambda: wse.run_single(pressure))
+    centre = wse.program.fabric.pe(1, 1)
+    counts = centre.dsd.counts
+    # 8 X-Y directions at nz faces + 2 vertical at (nz - 1) faces
+    fluxes = 8 * nz + 2 * (nz - 1)
+    assert counts["FMUL"] == 6 * fluxes
+    assert counts["FSUB"] == 4 * fluxes
+    assert counts["FMA"] == fluxes
+    # fabric receives: 8 neighbours x 2 words per cell
+    assert counts["FMOV"] == 16 * nz
+
+
+def test_instrumented_kernel_overhead(benchmark):
+    """Benchmark the instrumented measurement itself (it is cheap)."""
+    benchmark(lambda: measure_flux_instruction_mix(n=256))

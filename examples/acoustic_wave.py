@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""TTI acoustic wave on the fabric: the Sec.-8 pattern-reuse claim, live.
+
+The paper argues its diagonal communication pattern "enables the
+implementation of other types of applications, such as solving the
+acoustic wave equation on tilted transversely isotropic media".  This
+example propagates a Ricker wavelet through a tilted anisotropic medium
+twice — once with the vectorized reference, once on the simulated
+wafer-scale engine reusing the flux kernel's channels verbatim — and
+shows the anisotropic wavefront the diagonal terms produce.
+
+Run:  python examples/acoustic_wave.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.core import CartesianMesh3D
+from repro.wave import TTIMedium, WavePropagator, WseWavePropagator, ricker_wavelet
+
+
+def ascii_field(u: np.ndarray, width: int = 2) -> str:
+    """Coarse ASCII rendering of a horizontal wavefield slice."""
+    peak = np.abs(u).max()
+    if peak == 0:
+        return "(silent)"
+    chars = " .:-=+*#%@"
+    rows = []
+    for row in u:
+        cells = []
+        for v in row:
+            i = min(len(chars) - 1, int(abs(v) / peak * (len(chars) - 1) + 0.5))
+            cells.append(chars[i] * width)
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    mesh = CartesianMesh3D(17, 17, 3, dx=10.0, dy=10.0, dz=10.0)
+    medium = TTIMedium(velocity=3000.0, epsilon=0.25, theta=math.pi / 4)
+    dt = 0.6 * medium.max_stable_dt(mesh.dx, mesh.dy, mesh.dz)
+    steps = 26
+    wavelet = ricker_wavelet(steps, dt, peak_frequency=45.0)
+    src = (8, 8, 1)
+
+    print(f"medium: vp={medium.velocity} m/s, epsilon={medium.epsilon}, "
+          f"tilt={math.degrees(medium.theta):.0f} deg "
+          f"-> u_xy coefficient {medium.wxy:.3f} (the diagonal term)")
+    print(f"dt = {dt * 1e3:.3f} ms ({steps} steps, CFL 0.6)")
+
+    ref = WavePropagator(mesh, medium, dt, source=src)
+    u_ref = ref.run(wavelet)
+
+    wse = WseWavePropagator(mesh, medium, dt, source=src)
+    u_wse = wse.run(wavelet)
+
+    err = np.abs(u_wse - u_ref).max() / np.abs(u_ref).max()
+    print(f"fabric vs reference: max relative deviation {err:.2e}")
+    print()
+    print("wavefront |u| in the source layer (note the tilt of the lobes —")
+    print("that asymmetry exists only because diagonal data flows):")
+    print(ascii_field(u_ref[1]))
+    print()
+    total_msgs = sum(pe.messages_received for pe in wse.fabric.pes())
+    print(f"fabric protocol: {total_msgs} deliveries over {steps} steps "
+          f"using the flux kernel's 8 channels, every diagonal train 2 hops")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Trace the fabric protocol: Figs. 5-6 as an executable timeline.
+
+Runs one application of Algorithm 1 on a tiny 3x3 fabric with event
+tracing enabled and prints, per delivery, when each PE received which
+neighbour's column over which channel — making the two-step cardinal
+switch protocol and the two-hop diagonal flows visible.
+
+Run:  python examples/communication_trace.py
+"""
+
+import numpy as np
+
+from repro.core import CartesianMesh3D, FluidProperties, random_pressure
+from repro.dataflow import WseFluxComputation
+from repro.dataflow.cardinal import CARDINAL_CHANNELS
+from repro.dataflow.diagonal import DIAGONAL_CHANNELS
+
+
+def main() -> None:
+    mesh = CartesianMesh3D(3, 3, 4)
+    fluid = FluidProperties()
+    wse = WseFluxComputation(mesh, fluid, dtype=np.float32, trace=True)
+    pressure = random_pressure(mesh, seed=0)
+
+    color_names = {}
+    for ch in CARDINAL_CHANNELS:
+        color_names[wse.program.colors.lookup(ch.name)] = (ch.name, ch.delivers.name)
+    for ch in DIAGONAL_CHANNELS:
+        color_names[wse.program.colors.lookup(ch.name)] = (ch.name, ch.delivers.name)
+
+    result = wse.run_single(pressure)
+    rt = wse.last_runtime
+
+    print("fabric 3x3, Z column depth 4 — one application of Algorithm 1")
+    print(f"{result.stats.messages_injected} messages injected, "
+          f"{result.stats.messages_delivered} delivered, "
+          f"{result.stats.messages_dropped_offchip} dropped off-chip "
+          f"(boundary), max hops {result.stats.max_hops_seen}")
+    print()
+    print(f"{'cycle':>8}  {'PE':>6}  {'channel':<11} {'kind':<8} "
+          f"{'from PE':>8}  {'hops':>4}  delivers")
+    for t, coord, msg in rt.trace_log:
+        name, delivers = color_names[msg.color]
+        print(f"{t:8.1f}  {str(coord):>6}  {name:<11} {msg.kind:<8} "
+              f"{str(msg.source):>8}  {msg.hops:>4}  {delivers} neighbour data"
+              if msg.kind == "data" else
+              f"{t:8.1f}  {str(coord):>6}  {name:<11} {msg.kind:<8} "
+              f"{str(msg.source):>8}  {msg.hops:>4}  switch command")
+    print()
+
+    centre = wse.program.fabric.pe(1, 1)
+    print(f"centre PE (1,1): received {centre.messages_received} messages "
+          f"({centre.words_received} words) — 4 cardinal + 4 diagonal")
+    print("observations:")
+    print(" * cardinal data arrives in two waves (Sending/Receiving roles")
+    print("   alternate via the control wavelets, Fig. 6b);")
+    print(" * every diagonal train shows hops=2: source -> intermediary ->")
+    print("   target, the rotating clockwise schedule of Fig. 5;")
+    print(" * flux computations run on arrival — communication overlaps")
+    print("   compute (Sec. 5.3.2).")
+
+
+if __name__ == "__main__":
+    main()

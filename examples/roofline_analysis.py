@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Roofline what-if analysis on top of the Fig. 8 reproduction.
+
+Rebuilds both machines' rooflines from the measured instruction counts,
+places the kernel dots, and then explores what the model predicts when
+the kernel changes: dropping the diagonal fluxes (6 neighbours), moving
+to double precision, or fusing the density evaluation into the kernel.
+
+Run:  python examples/roofline_analysis.py
+"""
+
+from repro.dataflow import interior_cell_table
+from repro.perf import (
+    a100_kernel_point,
+    a100_roofline,
+    cs2_kernel_points,
+    cs2_roofline,
+)
+from repro.util.reporting import format_si
+
+
+def describe(model, point) -> str:
+    verdict = (
+        "compute-bound"
+        if model.is_compute_bound(point.arithmetic_intensity, point.resource)
+        else "bandwidth-bound"
+    )
+    att = model.attainable(point.arithmetic_intensity, point.resource)
+    return (
+        f"  {point.name:<22} AI={point.arithmetic_intensity:8.4f} "
+        f"achieved={format_si(point.achieved_flops, 'FLOP/s'):>14} "
+        f"attainable={format_si(att, 'FLOP/s'):>14}  {verdict}"
+    )
+
+
+def main() -> None:
+    table = interior_cell_table()
+    cs2 = cs2_roofline(table)
+    mem_pt, fab_pt = cs2_kernel_points(table)
+    a100 = a100_roofline()
+    a_pt = a100_kernel_point()
+
+    print("=== Fig. 8 reproduction ===")
+    print(f"CS-2: peak {format_si(cs2.peak_flops, 'FLOP/s')}, "
+          f"memory BW {format_si(cs2.bandwidths['memory'], 'B/s')}, "
+          f"fabric BW {format_si(cs2.bandwidths['fabric'], 'B/s')}")
+    print(describe(cs2, mem_pt))
+    print(describe(cs2, fab_pt))
+    print(f"A100: peak {format_si(a100.peak_flops, 'FLOP/s')}, "
+          f"L2 BW {format_si(a100.bandwidths['l2'], 'B/s')}")
+    print(describe(a100, a_pt))
+    print()
+
+    print("=== what-if: 6-neighbour kernel (no diagonal fluxes) ===")
+    t6 = interior_cell_table(fluxes_per_cell=6)
+    # fabric traffic drops to 4 cardinal neighbours x 2 words
+    fabric_bytes = 4 * 2 * 4
+    ai_mem = t6.flops_per_cell / t6.memory_bytes_per_cell
+    ai_fab = t6.flops_per_cell / fabric_bytes
+    print(f"  FLOPs/cell {t6.flops_per_cell} (was 140), "
+          f"AI memory {ai_mem:.4f} (was 0.0862), AI fabric {ai_fab:.4f}")
+    att = cs2.attainable(ai_mem, "memory")
+    print(f"  memory-roof attainable: {format_si(att, 'FLOP/s')} — the AI is "
+          "unchanged (FLOPs and traffic shrink together), so per-cell\n"
+          "  efficiency holds while total work drops 40%")
+    print()
+
+    print("=== what-if: double precision (64-bit words everywhere) ===")
+    ai_mem_dp = table.flops_per_cell / (2 * table.memory_bytes_per_cell)
+    att_dp = cs2.attainable(ai_mem_dp, "memory")
+    print(f"  AI memory halves to {ai_mem_dp:.4f}; attainable drops to "
+          f"{format_si(att_dp, 'FLOP/s')} (x0.5) — and the SIMD width\n"
+          "  halves too: fp64 pays at least 2x on this kernel")
+    print()
+
+    print("=== what-if: density evaluation fused into the flux kernel ===")
+    # Eq. 5 adds ~1 FSUB + 1 FMUL + 1 exp (~8 flops equivalent) per cell
+    fused_flops = table.flops_per_cell + 10
+    fused_bytes = table.memory_bytes_per_cell + 3 * 4
+    print(f"  AI memory {fused_flops / fused_bytes:.4f} (from 0.0862): the "
+          "kernel inches toward the 0.0892 balance point — fusing\n"
+          "  compute into a bandwidth-bound kernel is free on this machine")
+
+
+if __name__ == "__main__":
+    main()

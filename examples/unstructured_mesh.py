@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Arbitrary mesh topologies: the paper's Sec. 9 future work, executed.
+
+Builds a random Delaunay cell cloud, runs the connection-list TPFA
+kernel and a full implicit injection step on it, then analyzes what
+mapping it onto the 2D fabric would cost under three placement
+strategies — the "more sophisticated communication pattern" the paper
+anticipates for unstructured meshes.
+
+Run:  python examples/unstructured_mesh.py
+"""
+
+import numpy as np
+
+from repro.core import FluidProperties
+from repro.core.unstructured import delaunay_mesh_2d, unstructured_flux_residual
+from repro.dataflow.unstructured_map import GridEmbedding, analyze_embedding
+from repro.solver import UnstructuredFlowResidual, newton_solve_unstructured
+
+
+def main() -> None:
+    fluid = FluidProperties()
+    mesh = delaunay_mesh_2d(300, seed=17, extent=2000.0)
+    deg = mesh.degree()
+    print(f"Delaunay cloud: {mesh.num_cells} cells, "
+          f"{mesh.num_connections} connections, "
+          f"degree min/mean/max = {deg.min()}/{deg.mean():.2f}/{deg.max()} "
+          f"(the Cartesian kernel always sees 10)")
+
+    # --- the flux kernel on the arbitrary topology ---------------------
+    rng = np.random.default_rng(18)
+    p = 1.5e7 + 2e5 * rng.standard_normal(mesh.num_cells)
+    r = unstructured_flux_residual(mesh, fluid, p, gravity=0.0)
+    print(f"flux residual: |r|_max = {np.abs(r).max():.4e}, "
+          f"sum(r) = {r.sum():.2e}  (mass balance on any topology)")
+
+    # --- one implicit injection step ------------------------------------
+    src = np.zeros(mesh.num_cells)
+    injector = int(np.argmin(
+        np.linalg.norm(mesh.centroids[:, :2] - 1000.0, axis=1)
+    ))
+    src[injector] = 5.0
+    residual_op = UnstructuredFlowResidual(
+        mesh, fluid, dt=3600.0, gravity=0.0, source=src
+    )
+    result = newton_solve_unstructured(
+        residual_op, np.full(mesh.num_cells, 1.5e7), rtol=1e-9
+    )
+    print(f"implicit step: Newton converged in {result.iterations} "
+          f"iterations ({result.linear_iterations} BiCGSTAB iterations); "
+          f"pressure peaks at cell {int(np.argmax(result.pressure))} "
+          f"(injector is {injector})")
+
+    # --- what mapping this onto the fabric costs ------------------------
+    print()
+    print("fabric embedding analysis (structured pattern needs <= 2 hops):")
+    print(f"{'placement':>10} {'mean hops':>10} {'max':>5} {'<=2 hops':>9}")
+    for strategy in ("spatial", "bfs", "random"):
+        emb = GridEmbedding.build(mesh, strategy=strategy)
+        a = analyze_embedding(mesh, emb)
+        print(f"{strategy:>10} {a.mean_hops:>10.2f} {a.max_hops:>5} "
+              f"{a.within_two_hops_fraction:>8.0%}")
+    print("locality-aware placement roughly halves the traffic of a random")
+    print("one, but multi-hop routing remains unavoidable - the routing /")
+    print("broadcast strategies the paper names as future work (Sec. 9)")
+
+
+if __name__ == "__main__":
+    main()

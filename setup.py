@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works on environments whose
+setuptools predates PEP 660 editable installs (no ``wheel`` package).
+Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — reproduction of "Massively Distributed Finite-Volume Flux
+Computation" (SC 2023).
+
+The package implements the paper's TPFA finite-volume flux kernel three
+ways and cross-validates them:
+
+* :mod:`repro.core` — vectorized NumPy reference (ground truth);
+* :mod:`repro.gpu` — RAJA-like and CUDA-like kernels on a simulated
+  A100-class device with an occupancy/bandwidth cost model;
+* :mod:`repro.dataflow` — the paper's contribution: a cell-based mapping
+  onto a simulated wafer-scale engine (:mod:`repro.wse`) with the two-step
+  cardinal router-switch protocol and the two-hop diagonal exchange.
+
+:mod:`repro.perf` provides the analytic timing/roofline/energy models that
+regenerate the paper's tables and figures, and :mod:`repro.solver` extends
+the kernel into a matrix-free implicit single-phase flow simulator
+(paper Sec. 8).
+"""
+
+from repro._version import __version__
+from repro.core import (
+    CartesianMesh3D,
+    Connection,
+    FluidProperties,
+    FluxKernel,
+    PressureSequence,
+    Transmissibility,
+    compute_flux_residual,
+)
+
+__all__ = [
+    "__version__",
+    "CartesianMesh3D",
+    "Connection",
+    "FluidProperties",
+    "FluxKernel",
+    "PressureSequence",
+    "Transmissibility",
+    "compute_flux_residual",
+]

@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's headline artifacts without writing
+code:
+
+* ``tables``  — reproduce Tables 1-4, Fig. 8, and the energy comparison;
+* ``validate`` — cross-validate all implementations on a chosen mesh;
+* ``scaling`` — the Table 2 weak-scaling projection;
+* ``listing`` — the pseudo-CSL program listing for a mesh;
+* ``inject``  — a quick implicit CO2-injection run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Massively Distributed Finite-Volume Flux "
+            "Computation' (SC 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="reproduce the paper's tables and figures")
+
+    p_val = sub.add_parser(
+        "validate", help="cross-validate all implementations on one mesh"
+    )
+    p_val.add_argument("--nx", type=int, default=6)
+    p_val.add_argument("--ny", type=int, default=5)
+    p_val.add_argument("--nz", type=int, default=4)
+    p_val.add_argument("--seed", type=int, default=0)
+    p_val.add_argument(
+        "--geomodel",
+        default="lognormal",
+        choices=["uniform", "layered", "lognormal", "channelized"],
+    )
+
+    p_scale = sub.add_parser("scaling", help="Table 2 weak-scaling projection")
+    p_scale.add_argument(
+        "--applications", type=int, default=1000, help="applications of Algorithm 1"
+    )
+
+    p_list = sub.add_parser("listing", help="pseudo-CSL program listing")
+    p_list.add_argument("--nx", type=int, default=4)
+    p_list.add_argument("--ny", type=int, default=4)
+    p_list.add_argument("--nz", type=int, default=8)
+
+    p_inj = sub.add_parser("inject", help="implicit CO2-injection run")
+    p_inj.add_argument("--steps", type=int, default=5)
+    p_inj.add_argument("--dt", type=float, default=86400.0, help="step size [s]")
+    p_inj.add_argument("--rate", type=float, default=0.5, help="kg/s")
+    return parser
+
+
+# --------------------------------------------------------------------- #
+def _cmd_tables(out) -> int:
+    from repro.core.constants import PAPER_MESH, PAPER_WEAK_SCALING_MESHES
+    from repro.dataflow import interior_cell_table
+    from repro.perf import (
+        A100_CUDA_TIME_MODEL,
+        A100_RAJA_TIME_MODEL,
+        CS2_TIME_MODEL,
+        PAPER_TABLE1,
+        a100_kernel_point,
+        a100_roofline,
+        compare_energy,
+        cs2_kernel_points,
+        cs2_roofline,
+        weak_scaling_row,
+    )
+    from repro.util.reporting import Table
+
+    nx, ny, nz = PAPER_MESH
+    t1 = Table("Table 1 - 1000 applications, 750x994x246", ["Arch", "Model [s]", "Paper [s]"])
+    for name, model in (
+        ("Dataflow/CSL", CS2_TIME_MODEL.seconds(nx, ny, nz)),
+        ("GPU/RAJA", A100_RAJA_TIME_MODEL.seconds(nx, ny, nz)),
+        ("GPU/CUDA", A100_CUDA_TIME_MODEL.seconds(nx, ny, nz)),
+    ):
+        t1.add_row([name, f"{model:.4f}", f"{PAPER_TABLE1[name][0]:.4f}"])
+    print(t1.render(), file=out)
+
+    t2 = Table("Table 2 - weak scaling", ["Mesh", "Gcell/s", "CS-2 [s]", "A100 [s]"])
+    for mesh in PAPER_WEAK_SCALING_MESHES:
+        row = weak_scaling_row(*mesh)
+        t2.add_row(
+            [
+                f"{row.nx}x{row.ny}x{row.nz}",
+                f"{row.throughput_gcells:.1f}",
+                f"{row.cs2_seconds:.4f}",
+                f"{row.a100_seconds:.3f}",
+            ]
+        )
+    print("", file=out)
+    print(t2.render(), file=out)
+
+    split = CS2_TIME_MODEL.time_split(nx, ny, nz)
+    t3 = Table("Table 3 - CS-2 time split", ["Component", "[s]", "[%]"])
+    for name, (secs, pct) in split.items():
+        t3.add_row([name, f"{secs:.4f}", f"{pct:.2f}"])
+    print("", file=out)
+    print(t3.render(), file=out)
+
+    table4 = interior_cell_table()
+    t4 = Table("Table 4 - per-cell instructions (measured)", ["Op", "Count", "Mem", "Fabric"])
+    for row in table4.rows:
+        t4.add_row(
+            [row.op, row.count, row.mem_traffic_label, row.fabric_loads or "-"]
+        )
+    t4.add_note(
+        f"{table4.flops_per_cell} FLOPs/cell, AI mem "
+        f"{table4.arithmetic_intensity_memory:.4f}, AI fabric "
+        f"{table4.arithmetic_intensity_fabric:.4f}"
+    )
+    print("", file=out)
+    print(t4.render(), file=out)
+
+    rl = cs2_roofline(table4)
+    mem_pt, fab_pt = cs2_kernel_points(table4)
+    arl = a100_roofline()
+    apt = a100_kernel_point()
+    print("", file=out)
+    print(
+        f"Fig. 8: CS-2 kernel {mem_pt.achieved_flops / 1e12:.2f} TFLOPS "
+        f"(memory bandwidth-bound, fabric compute-bound); "
+        f"A100 kernel {apt.achieved_flops / 1e9:.0f} GFLOPS at "
+        f"{arl.efficiency(apt):.0%} of attainable (memory-bound)",
+        file=out,
+    )
+    cmp = compare_energy()
+    print(
+        f"Energy: {cmp.cs2_gflops_per_watt:.2f} GFLOP/W on CS-2; "
+        f"{cmp.energy_efficiency_ratio:.2f}x energy advantage per job",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_validate(args, out) -> int:
+    from repro.core import (
+        FluidProperties,
+        Transmissibility,
+        compute_flux_residual,
+        random_pressure,
+    )
+    from repro.dataflow import LockstepWseSimulation, WseFluxComputation
+    from repro.gpu import GpuFluxComputation
+    from repro.workloads import make_geomodel
+
+    mesh = make_geomodel(args.nx, args.ny, args.nz, kind=args.geomodel, seed=args.seed)
+    fluid = FluidProperties()
+    trans = Transmissibility(mesh)
+    p = random_pressure(mesh, seed=args.seed)
+    ref = compute_flux_residual(mesh, fluid, p, trans)
+    scale = float(np.abs(ref).max())
+    results = {
+        "gpu/raja": GpuFluxComputation(mesh, fluid, trans, variant="raja", dtype=np.float64)
+        .run_single(p).residual,
+        "gpu/cuda": GpuFluxComputation(mesh, fluid, trans, variant="cuda", dtype=np.float64)
+        .run_single(p).residual,
+        "wse/event": WseFluxComputation(mesh, fluid, trans, dtype=np.float64)
+        .run_single(p).residual,
+        "wse/lockstep": LockstepWseSimulation(mesh, fluid, trans, dtype=np.float64)
+        .run_application(p),
+    }
+    print(
+        f"mesh {args.nx}x{args.ny}x{args.nz} ({args.geomodel}, seed {args.seed}); "
+        f"|r|_max = {scale:.6e}",
+        file=out,
+    )
+    worst = 0.0
+    for name, res in results.items():
+        err = float(np.abs(res - ref).max()) / scale
+        worst = max(worst, err)
+        print(f"  {name:<13} max rel deviation {err:.3e}", file=out)
+    ok = worst < 1e-10
+    print("VALIDATION PASSED" if ok else "VALIDATION FAILED", file=out)
+    return 0 if ok else 1
+
+
+def _cmd_scaling(args, out) -> int:
+    from repro.core.constants import PAPER_WEAK_SCALING_MESHES
+    from repro.perf import weak_scaling_row
+    from repro.util.reporting import Table
+
+    t = Table(
+        f"Weak scaling, {args.applications} applications",
+        ["Mesh", "Cells", "Gcell/s", "CS-2 [s]", "A100 [s]", "Speedup"],
+    )
+    for mesh in PAPER_WEAK_SCALING_MESHES:
+        row = weak_scaling_row(*mesh, applications=args.applications)
+        t.add_row(
+            [
+                f"{row.nx}x{row.ny}x{row.nz}",
+                f"{row.total_cells:,}",
+                f"{row.throughput_gcells:.1f}",
+                f"{row.cs2_seconds:.4f}",
+                f"{row.a100_seconds:.3f}",
+                f"{row.speedup:.1f}x",
+            ]
+        )
+    print(t.render(), file=out)
+    return 0
+
+
+def _cmd_listing(args, out) -> int:
+    from repro.core import CartesianMesh3D, FluidProperties
+    from repro.dataflow import generate_listing
+    from repro.dataflow.program import FluxProgram
+
+    program = FluxProgram(
+        CartesianMesh3D(args.nx, args.ny, args.nz), FluidProperties()
+    )
+    print(generate_listing(program), file=out)
+    return 0
+
+
+def _cmd_inject(args, out) -> int:
+    from repro.solver import SinglePhaseFlowSimulator
+    from repro.workloads import InjectionScenario
+
+    scenario = InjectionScenario(rate=args.rate)
+    mesh = scenario.build_mesh()
+    sim = SinglePhaseFlowSimulator(
+        mesh,
+        scenario.fluid,
+        wells=scenario.wells(),
+        initial_pressure=scenario.initial_pressure(mesh),
+    )
+    m0 = sim.mass_in_place()
+    injected = 0.0
+    for _ in range(args.steps):
+        report = sim.step(args.dt, rtol=1e-8)
+        injected += sim.injected_rate * report.dt
+        print(
+            f"t={report.time / 86400:6.2f} d  p_avg={report.average_pressure / 1e6:8.4f} MPa  "
+            f"newton={report.newton.iterations}",
+            file=out,
+        )
+    err = abs((sim.mass_in_place() - m0) - injected) / max(injected, 1e-30)
+    print(f"mass balance error: {err:.2e}", file=out)
+    return 0 if err < 1e-5 else 1
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        return _cmd_tables(out)
+    if args.command == "validate":
+        return _cmd_validate(args, out)
+    if args.command == "scaling":
+        return _cmd_scaling(args, out)
+    if args.command == "listing":
+        return _cmd_listing(args, out)
+    if args.command == "inject":
+        return _cmd_inject(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Distributed-memory (MPI-style) baseline: block decomposition + halos.
+
+The traditional-architecture contrast of paper Sec. 4 — the top-level
+data distribution "that would be usually implemented with MPI" — built
+as a simulated rank grid with explicit tagged messaging, an 8-neighbour
+halo exchange per application, and an alpha-beta cost model.
+"""
+
+from repro.cluster.comm import CartGrid, RankStats, SimComm
+from repro.cluster.decomposition import Block, BlockDecomposition
+from repro.cluster.flux import ClusterFluxComputation, ClusterRunResult
+from repro.cluster.perf import ClusterPerfModel
+
+__all__ = [
+    "SimComm",
+    "RankStats",
+    "CartGrid",
+    "Block",
+    "BlockDecomposition",
+    "ClusterFluxComputation",
+    "ClusterRunResult",
+    "ClusterPerfModel",
+]

@@ -1,0 +1,141 @@
+"""Simulated message-passing communicator for domain decomposition.
+
+Paper Sec. 4 frames the fabric's top-level concern as "the level that
+would be usually implemented with MPI" on a traditional architecture.
+:mod:`repro.cluster` builds that traditional baseline: ranks own mesh
+blocks and exchange halos through an explicit communicator.
+
+:class:`SimComm` is an in-process stand-in for ``mpi4py.MPI.COMM_WORLD``
+restricted to the pattern halo exchange needs: buffered nonblocking
+sends (`isend`) matched by tagged receives (`recv`), executed phase by
+phase (all ranks send, then all ranks receive — the standard deadlock-
+free halo schedule).  Traffic is accounted per rank in messages and
+bytes, mirroring the mpi4py buffer-protocol idiom (arrays move whole,
+no pickling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimComm", "RankStats", "CartGrid"]
+
+
+@dataclass
+class RankStats:
+    """Per-rank traffic counters."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class SimComm:
+    """A size-``n`` communicator with tagged point-to-point messaging.
+
+    Messages are keyed ``(source, dest, tag)``; sending twice on one key
+    before it is received is an error (halo exchange never does), as is
+    receiving a message that was never sent — both are real MPI bugs the
+    simulator surfaces instead of deadlocking.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self._mailbox: dict[tuple[int, int, int], np.ndarray] = {}
+        self.stats = [RankStats() for _ in range(size)]
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"{what} rank {rank} outside communicator of size {self.size}")
+
+    def isend(self, source: int, dest: int, tag: int, array: np.ndarray) -> None:
+        """Buffered nonblocking send of a contiguous array."""
+        self._check_rank(source, "source")
+        self._check_rank(dest, "dest")
+        key = (source, dest, tag)
+        if key in self._mailbox:
+            raise RuntimeError(f"unmatched earlier send on {key}")
+        payload = np.ascontiguousarray(array)
+        self._mailbox[key] = payload
+        st = self.stats[source]
+        st.messages_sent += 1
+        st.bytes_sent += payload.nbytes
+
+    def recv(self, dest: int, source: int, tag: int) -> np.ndarray:
+        """Receive the message sent by *source* to *dest* under *tag*.
+
+        Raises
+        ------
+        RuntimeError
+            When no matching send exists (a would-be deadlock).
+        """
+        key = (source, dest, tag)
+        payload = self._mailbox.pop(key, None)
+        if payload is None:
+            raise RuntimeError(
+                f"recv would deadlock: no message from rank {source} to "
+                f"rank {dest} with tag {tag}"
+            )
+        st = self.stats[dest]
+        st.messages_received += 1
+        st.bytes_received += payload.nbytes
+        return payload
+
+    @property
+    def pending(self) -> int:
+        """Sent-but-unreceived messages (must be 0 between phases)."""
+        return len(self._mailbox)
+
+    def total_bytes(self) -> int:
+        """Bytes moved through the communicator so far."""
+        return sum(st.bytes_sent for st in self.stats)
+
+    def total_messages(self) -> int:
+        """Messages moved through the communicator so far."""
+        return sum(st.messages_sent for st in self.stats)
+
+
+@dataclass(frozen=True)
+class CartGrid:
+    """A P x Q Cartesian rank topology with 8-neighbour lookups.
+
+    Unlike the WSE fabric, MPI ranks address *any* peer directly — a
+    corner halo is one message, not a two-hop forward.  That contrast is
+    exactly the paper's Sec. 5.2.2 point.
+    """
+
+    px: int
+    py: int
+
+    def __post_init__(self) -> None:
+        if self.px < 1 or self.py < 1:
+            raise ValueError("process grid dimensions must be >= 1")
+
+    @property
+    def size(self) -> int:
+        return self.px * self.py
+
+    def rank_of(self, cx: int, cy: int) -> int:
+        """Rank at grid coordinate (cx, cy)."""
+        if not (0 <= cx < self.px and 0 <= cy < self.py):
+            raise ValueError(f"coordinate ({cx}, {cy}) outside {self.px}x{self.py} grid")
+        return cy * self.px + cx
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        """Grid coordinate of *rank*."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside grid of size {self.size}")
+        return (rank % self.px, rank // self.px)
+
+    def neighbour(self, rank: int, dx: int, dy: int) -> int | None:
+        """Rank offset by (dx, dy), or None past the grid edge."""
+        cx, cy = self.coords_of(rank)
+        nx, ny = cx + dx, cy + dy
+        if 0 <= nx < self.px and 0 <= ny < self.py:
+            return self.rank_of(nx, ny)
+        return None

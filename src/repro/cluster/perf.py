@@ -1,0 +1,81 @@
+"""Latency-bandwidth (alpha-beta) cost model for the cluster baseline.
+
+Projects per-application time for the halo-exchange implementation:
+
+    t = alpha * n_messages + bytes / beta + owned_cells / compute_rate
+
+the textbook model of the "top-level hierarchy concern ... usually
+implemented with MPI" (paper Sec. 4).  Defaults describe a commodity
+InfiniBand-class cluster node; the point of the model is the *scaling
+contrast* with the WSE's localized single-hop exchanges, not absolute
+fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.decomposition import BlockDecomposition
+
+__all__ = ["ClusterPerfModel"]
+
+
+@dataclass(frozen=True)
+class ClusterPerfModel:
+    """Alpha-beta-gamma model of one cluster node per rank.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message latency alpha (MPI short-message overhead).
+    bandwidth_bytes_per_s:
+        Link bandwidth beta per rank.
+    compute_cells_per_s:
+        Flux-kernel throughput gamma of one rank (cells/second).
+    """
+
+    latency_s: float = 2e-6
+    bandwidth_bytes_per_s: float = 12.5e9
+    compute_cells_per_s: float = 2.0e9
+
+    def application_seconds(
+        self,
+        decomp: BlockDecomposition,
+        *,
+        word_bytes: int = 8,
+    ) -> float:
+        """Per-application time: the slowest rank's compute + halo cost."""
+        nz = decomp.mesh.nz
+        worst = 0.0
+        for block in decomp.blocks:
+            bx = block.x1 - block.x0
+            by = block.y1 - block.y0
+            msgs = 0
+            halo_words = 0
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                cx = block.rank % decomp.px + dx
+                cy = block.rank // decomp.px + dy
+                if 0 <= cx < decomp.px and 0 <= cy < decomp.py:
+                    msgs += 1
+                    halo_words += nz * (by if dx else bx)
+            for dx, dy in ((1, 1), (1, -1), (-1, 1), (-1, -1)):
+                cx = block.rank % decomp.px + dx
+                cy = block.rank // decomp.px + dy
+                if 0 <= cx < decomp.px and 0 <= cy < decomp.py:
+                    msgs += 1
+                    halo_words += nz
+            comm = self.latency_s * msgs + (
+                halo_words * word_bytes / self.bandwidth_bytes_per_s
+            )
+            compute = bx * by * nz / self.compute_cells_per_s
+            worst = max(worst, comm + compute)
+        return worst
+
+    def parallel_efficiency(
+        self, decomp: BlockDecomposition, *, word_bytes: int = 8
+    ) -> float:
+        """Single-rank time over (ranks x parallel time): the strong-
+        scaling efficiency the halo surface-to-volume ratio permits."""
+        serial = decomp.mesh.num_cells / self.compute_cells_per_s
+        parallel = self.application_seconds(decomp, word_bytes=word_bytes)
+        return serial / (decomp.size * parallel)

@@ -1,0 +1,68 @@
+"""Physical constants and default fluid/rock properties.
+
+Defaults are representative of supercritical CO2 injection conditions in a
+saline aquifer, the scenario motivating the paper (Sec. 1).  All quantities
+are SI: pressure in Pa, density in kg/m^3, viscosity in Pa.s, permeability
+in m^2, compressibility in 1/Pa.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GRAVITY",
+    "DEFAULT_VISCOSITY",
+    "DEFAULT_COMPRESSIBILITY",
+    "DEFAULT_REFERENCE_DENSITY",
+    "DEFAULT_REFERENCE_PRESSURE",
+    "DEFAULT_ROCK_COMPRESSIBILITY",
+    "DEFAULT_POROSITY",
+    "DEFAULT_PERMEABILITY",
+    "MILLIDARCY",
+    "PAPER_MESH",
+    "PAPER_ITERATIONS",
+    "PAPER_WEAK_SCALING_MESHES",
+]
+
+#: Standard gravitational acceleration [m/s^2].
+GRAVITY = 9.80665
+
+#: Supercritical CO2 viscosity at reservoir conditions [Pa.s] (constant, Eq. 1a).
+DEFAULT_VISCOSITY = 5.0e-5
+
+#: Fluid compressibility c_f [1/Pa] (Eq. 5, slight compressibility).
+DEFAULT_COMPRESSIBILITY = 1.0e-9
+
+#: Reference density rho_ref [kg/m^3] (Eq. 5).
+DEFAULT_REFERENCE_DENSITY = 700.0
+
+#: Reference pressure p_ref [Pa] (Eq. 5).
+DEFAULT_REFERENCE_PRESSURE = 1.0e7
+
+#: Rock (pore volume) compressibility [1/Pa] used by the implicit solver,
+#: where porosity depends linearly on pressure (Sec. 3).
+DEFAULT_ROCK_COMPRESSIBILITY = 1.0e-10
+
+#: Default porosity [-].
+DEFAULT_POROSITY = 0.2
+
+#: One millidarcy in m^2.
+MILLIDARCY = 9.869233e-16
+
+#: Default permeability [m^2] (100 mD).
+DEFAULT_PERMEABILITY = 100.0 * MILLIDARCY
+
+#: The largest mesh evaluated in the paper (Nx, Ny, Nz) — Sec. 7.2.
+PAPER_MESH = (750, 994, 246)
+
+#: Number of applications of Algorithm 1 per experiment (Sec. 3).
+PAPER_ITERATIONS = 1000
+
+#: The weak-scaling grid sizes of Table 2 as (Nx, Ny, Nz).
+PAPER_WEAK_SCALING_MESHES = [
+    (200, 200, 246),
+    (400, 400, 246),
+    (600, 600, 246),
+    (750, 600, 246),
+    (750, 800, 246),
+    (750, 950, 246),
+]

@@ -1,0 +1,77 @@
+"""The paper's contribution: TPFA flux computation on the dataflow fabric.
+
+Maps the 3D mesh cell-based onto the 2D PE grid (Z columns in PE memory),
+exchanges neighbour columns through the two-step cardinal switch protocol
+and the two-hop diagonal flows, and computes fluxes in DSD instructions
+as data arrives.  Runs on :mod:`repro.wse` event-driven (small fabrics,
+full protocol) or lockstep-vectorized (large fabrics, same numerics).
+"""
+
+from repro.dataflow.cardinal import (
+    CARDINAL_CHANNELS,
+    CardinalChannel,
+    is_step1_sender,
+    switch_positions_for,
+)
+from repro.dataflow.diagonal import DIAGONAL_CHANNELS, DiagonalChannel, static_position
+from repro.dataflow.codegen import generate_listing
+from repro.dataflow.collectives import FabricCollectives
+from repro.dataflow.driver import WseFluxComputation, WseRunResult
+from repro.dataflow.flux_pe import (
+    FluxScratch,
+    compute_face_flux_column,
+    evaluate_density_column,
+)
+from repro.dataflow.halos import (
+    PEColumnLayout,
+    layout_words_per_cell,
+    max_nz_for_memory,
+)
+from repro.dataflow.instrcount import (
+    CellInstructionTable,
+    interior_cell_table,
+    measure_flux_instruction_mix,
+)
+from repro.dataflow.lockstep import LockstepReport, LockstepWseSimulation
+from repro.dataflow.matfree import WseMatrixFreeJacobian
+from repro.dataflow.mapping import (
+    BlockedCellMapping,
+    CellBasedMapping,
+    FaceBasedMapping,
+    MappingComparison,
+    compare_mappings,
+)
+from repro.dataflow.program import FluxProgram, padded_trans_fields
+
+__all__ = [
+    "WseFluxComputation",
+    "WseRunResult",
+    "FluxProgram",
+    "padded_trans_fields",
+    "LockstepWseSimulation",
+    "LockstepReport",
+    "WseMatrixFreeJacobian",
+    "FabricCollectives",
+    "generate_listing",
+    "CellBasedMapping",
+    "FaceBasedMapping",
+    "BlockedCellMapping",
+    "MappingComparison",
+    "compare_mappings",
+    "CardinalChannel",
+    "CARDINAL_CHANNELS",
+    "is_step1_sender",
+    "switch_positions_for",
+    "DiagonalChannel",
+    "DIAGONAL_CHANNELS",
+    "static_position",
+    "FluxScratch",
+    "compute_face_flux_column",
+    "evaluate_density_column",
+    "PEColumnLayout",
+    "layout_words_per_cell",
+    "max_nz_for_memory",
+    "CellInstructionTable",
+    "interior_cell_table",
+    "measure_flux_instruction_mix",
+]

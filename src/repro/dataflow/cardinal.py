@@ -1,0 +1,123 @@
+"""Cardinal-neighbour exchange: the two-step Sending/Receiving protocol.
+
+Paper Sec. 5.2.1 and Fig. 6: each X-Y cardinal direction owns a color
+whose router configuration has **two switch positions** — position 0 makes
+the PE the root of a localized broadcast (*Sending*: RAMP -> link),
+position 1 makes it a *Receiving* PE (link -> RAMP).  After sending, a PE
+issues a control wavelet that travels the same broadcast pattern and
+flips the configurations of its own and the neighbouring router, so the
+roles alternate and "after two steps, all data have been sent and
+received by all PEs".
+
+The chain must be seeded from the edge the control wavelets flow *away*
+from: step-1 senders are the PEs at even distance from that edge
+(:func:`is_step1_sender`), and the edge PE itself — which can never be
+triggered by a neighbour — gets two identical Sending positions so the
+flip is harmless (:func:`switch_positions_for`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stencil import Connection
+from repro.wse.geometry import Port
+from repro.wse.router import RoutePosition
+
+__all__ = [
+    "CardinalChannel",
+    "CARDINAL_CHANNELS",
+    "channel_for_flow",
+    "is_step1_sender",
+    "switch_positions_for",
+]
+
+
+@dataclass(frozen=True)
+class CardinalChannel:
+    """One cardinal exchange color.
+
+    Attributes
+    ----------
+    name:
+        Color name, e.g. ``"card_east"``.
+    flow:
+        Fabric port the data travels through (EAST = data moves east).
+    delivers:
+        The mesh connection whose neighbour data this channel delivers:
+        a PE receiving on the eastward channel is looking at its *west*
+        neighbour's column.
+    """
+
+    name: str
+    flow: Port
+    delivers: Connection
+
+    @property
+    def receive_port(self) -> Port:
+        """Port on which a Receiving PE sees this channel's data."""
+        return self.flow.opposite
+
+
+#: The four cardinal channels (Sec. 5.2.1: one pattern per direction).
+CARDINAL_CHANNELS = (
+    CardinalChannel("card_east", Port.EAST, Connection.WEST),
+    CardinalChannel("card_west", Port.WEST, Connection.EAST),
+    CardinalChannel("card_south", Port.SOUTH, Connection.NORTH),
+    CardinalChannel("card_north", Port.NORTH, Connection.SOUTH),
+)
+
+_BY_FLOW = {ch.flow: ch for ch in CARDINAL_CHANNELS}
+
+
+def channel_for_flow(flow: Port) -> CardinalChannel:
+    """The channel whose data flows through fabric port *flow*."""
+    return _BY_FLOW[flow]
+
+
+def _distance_from_seed_edge(
+    coord: tuple[int, int], flow: Port, width: int, height: int
+) -> int:
+    """Hops from the edge that seeds the control-wavelet chain.
+
+    Control wavelets travel with the data (direction *flow*), so the
+    chain starts at the edge the flow leaves from: the west edge for an
+    eastward channel, the east edge for a westward one, etc.
+    """
+    x, y = coord
+    if flow is Port.EAST:
+        return x
+    if flow is Port.WEST:
+        return (width - 1) - x
+    if flow is Port.SOUTH:
+        return y
+    if flow is Port.NORTH:
+        return (height - 1) - y
+    raise ValueError(f"no cardinal channel flows through {flow}")
+
+
+def is_step1_sender(
+    coord: tuple[int, int], channel: CardinalChannel, width: int, height: int
+) -> bool:
+    """True when *coord* transmits in step 1 of *channel*'s exchange."""
+    return _distance_from_seed_edge(coord, channel.flow, width, height) % 2 == 0
+
+
+def switch_positions_for(
+    coord: tuple[int, int], channel: CardinalChannel, width: int, height: int
+) -> tuple[list[RoutePosition], int]:
+    """Router switch positions and initial index for one PE (Fig. 6a).
+
+    Returns ``(positions, initial)`` where positions[0] is the Sending
+    configuration (RAMP broadcasts through the flow port) and
+    positions[1] the Receiving one (flow's opposite port delivers to the
+    RAMP).  The seed-edge PE has no upstream neighbour to trigger it, so
+    both of its positions are Sending (flips are no-ops for it).
+    """
+    sending: RoutePosition = {Port.RAMP: (channel.flow,)}
+    receiving: RoutePosition = {channel.receive_port: (Port.RAMP,)}
+    dist = _distance_from_seed_edge(coord, channel.flow, width, height)
+    if dist == 0:
+        return [dict(sending), dict(sending)], 0
+    initial = 0 if dist % 2 == 0 else 1
+    return [sending, receiving], initial

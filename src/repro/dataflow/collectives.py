@@ -1,0 +1,318 @@
+"""Fabric-wide collectives: broadcast and sum-reduction (paper Sec. 9).
+
+"We also need to come up with data broadcasting strategies to support
+data movement from any cells" — and any Krylov method ported to the
+fabric needs global reductions for its dot products.  This module
+implements both as row/column two-phase patterns:
+
+* **broadcast**: the root sends along its row (each row PE delivers to
+  its RAMP and forwards), then every row PE re-injects down/up its
+  column — two colors, every PE receives exactly once, O(w + h) hops;
+* **reduce_sum**: the mirror image with accumulation — column chains
+  fold partial sums toward the root's row (each PE adds the incoming
+  partial to its own contribution before forwarding), then the row
+  chain folds into the root — elementwise over a fixed-length vector,
+  so one call reduces a whole column of values.
+
+Both run on the same event runtime and PE task model as the flux
+kernel, and compose with it (four extra colors out of the 24 budget).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wse.color import ColorAllocator
+from repro.wse.fabric import Fabric
+from repro.wse.geometry import Port
+from repro.wse.runtime import EventRuntime
+
+__all__ = ["FabricCollectives"]
+
+
+class FabricCollectives:
+    """Broadcast/reduce engine over an existing fabric.
+
+    Parameters
+    ----------
+    fabric:
+        The PE grid (may already host another program; the collectives
+        allocate their own colors and buffers).
+    colors:
+        The program's color allocator (four colors are drawn from it).
+    root:
+        Coordinate owning broadcast sources and reduction results.
+    length:
+        Vector length of each collective payload.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        colors: ColorAllocator,
+        *,
+        root: tuple[int, int] = (0, 0),
+        length: int = 1,
+        dtype=np.float64,
+    ) -> None:
+        if not fabric.contains(root):
+            raise ValueError(f"root {root} outside fabric")
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        self.fabric = fabric
+        self.root = root
+        self.length = length
+        self.dtype = np.dtype(dtype)
+        self._c_brow = colors.allocate("coll_bcast_row")
+        self._c_bcol = colors.allocate("coll_bcast_col")
+        self._c_rcol = colors.allocate("coll_reduce_col")
+        self._c_rrow = colors.allocate("coll_reduce_row")
+        self._setup_buffers()
+        self._setup_routing()
+        self._setup_tasks()
+
+    # ------------------------------------------------------------------ #
+    def _setup_buffers(self) -> None:
+        for pe in self.fabric.pes():
+            pe.state["coll_value"] = pe.memory.alloc_array(
+                "coll_value", self.length, self.dtype
+            )
+            pe.state["coll_partial"] = pe.memory.alloc_array(
+                "coll_partial", self.length, self.dtype
+            )
+
+    def _setup_routing(self) -> None:
+        rx, ry = self.root
+        w, h = self.fabric.width, self.fabric.height
+
+        def brow(coord):
+            x, y = coord
+            if y != ry:
+                return None
+            outs: list[Port] = []
+            routes = {}
+            if x == rx:
+                if x + 1 < w:
+                    outs.append(Port.EAST)
+                if x - 1 >= 0:
+                    outs.append(Port.WEST)
+                routes[Port.RAMP] = tuple(outs)
+            elif x > rx:
+                fwd = (Port.EAST,) if x + 1 < w else ()
+                routes[Port.WEST] = (Port.RAMP,) + fwd
+            else:
+                fwd = (Port.WEST,) if x - 1 >= 0 else ()
+                routes[Port.EAST] = (Port.RAMP,) + fwd
+            return [routes]
+
+        def bcol(coord):
+            x, y = coord
+            routes = {}
+            if y == ry:
+                outs = []
+                if y + 1 < h:
+                    outs.append(Port.SOUTH)
+                if y - 1 >= 0:
+                    outs.append(Port.NORTH)
+                if outs:
+                    routes[Port.RAMP] = tuple(outs)
+            elif y > ry:
+                fwd = (Port.SOUTH,) if y + 1 < h else ()
+                routes[Port.NORTH] = (Port.RAMP,) + fwd
+            else:
+                fwd = (Port.NORTH,) if y - 1 >= 0 else ()
+                routes[Port.SOUTH] = (Port.RAMP,) + fwd
+            return [routes] if routes else None
+
+        def rcol(coord):
+            x, y = coord
+            routes = {}
+            if y == ry:
+                if y + 1 < h:
+                    routes[Port.SOUTH] = (Port.RAMP,)
+                if y - 1 >= 0:
+                    routes[Port.NORTH] = (Port.RAMP,)
+            elif y > ry:
+                routes[Port.RAMP] = (Port.NORTH,)
+                if y + 1 < h:
+                    routes[Port.SOUTH] = (Port.RAMP,)
+            else:
+                routes[Port.RAMP] = (Port.SOUTH,)
+                if y - 1 >= 0:
+                    routes[Port.NORTH] = (Port.RAMP,)
+            return [routes] if routes else None
+
+        def rrow(coord):
+            x, y = coord
+            if y != ry:
+                return None
+            routes = {}
+            if x == rx:
+                if x + 1 < w:
+                    routes[Port.EAST] = (Port.RAMP,)
+                if x - 1 >= 0:
+                    routes[Port.WEST] = (Port.RAMP,)
+            elif x > rx:
+                routes[Port.RAMP] = (Port.WEST,)
+                if x + 1 < w:
+                    routes[Port.EAST] = (Port.RAMP,)
+            else:
+                routes[Port.RAMP] = (Port.EAST,)
+                if x - 1 >= 0:
+                    routes[Port.WEST] = (Port.RAMP,)
+            return [routes] if routes else None
+
+        self.fabric.configure_color(self._c_brow, brow)
+        self.fabric.configure_color(self._c_bcol, bcol)
+        self.fabric.configure_color(self._c_rcol, rcol)
+        self.fabric.configure_color(self._c_rrow, rrow)
+
+    # ------------------------------------------------------------------ #
+    def _setup_tasks(self) -> None:
+        rx, ry = self.root
+
+        def on_bcast_row(rt, pe, msg):
+            pe.dsd.fmovs(pe.state["coll_value"], msg.payload, from_fabric=True)
+            # row PE fans the value down/up its column
+            rt.inject(
+                pe.coord,
+                self._c_bcol,
+                pe.state["coll_value"],
+                at=rt.pe_send_time(pe),
+            )
+
+        def on_bcast_col(rt, pe, msg):
+            pe.dsd.fmovs(pe.state["coll_value"], msg.payload, from_fabric=True)
+
+        def on_reduce_col(rt, pe, msg):
+            part = pe.state["coll_partial"]
+            pe.dsd.fmovs(pe.state["coll_value"], msg.payload, from_fabric=True)
+            pe.dsd.fadds(part, part, pe.state["coll_value"])
+            pe.state["coll_pending"] -= 1
+            self._maybe_forward_reduction(rt, pe)
+
+        def on_reduce_row(rt, pe, msg):
+            part = pe.state["coll_partial"]
+            pe.dsd.fmovs(pe.state["coll_value"], msg.payload, from_fabric=True)
+            pe.dsd.fadds(part, part, pe.state["coll_value"])
+            pe.state["coll_pending"] -= 1
+            self._maybe_forward_reduction(rt, pe)
+
+        self.fabric.bind_all(self._c_brow, on_bcast_row)
+        self.fabric.bind_all(self._c_bcol, on_bcast_col)
+        self.fabric.bind_all(self._c_rcol, on_reduce_col)
+        self.fabric.bind_all(self._c_rrow, on_reduce_row)
+
+    def _pending_contributions(self, coord) -> int:
+        """Upstream partials this PE must fold before forwarding."""
+        rx, ry = self.root
+        x, y = coord
+        h, w = self.fabric.height, self.fabric.width
+        if y != ry:
+            # column chain: one contribution from the next PE away from ry
+            return 1 if (y > ry and y + 1 < h) or (y < ry and y - 1 >= 0) else 0
+        pending = 0
+        if y + 1 < h:
+            pending += 1  # south column chain
+        if y - 1 >= 0:
+            pending += 1  # north column chain
+        if x != rx:
+            # row chain: the next row PE away from the root
+            if (x > rx and x + 1 < w) or (x < rx and x - 1 >= 0):
+                pending += 1
+        else:
+            if x + 1 < w:
+                pending += 1
+            if x - 1 >= 0:
+                pending += 1
+        return pending
+
+    def _maybe_forward_reduction(self, rt, pe) -> None:
+        if pe.state["coll_pending"] > 0:
+            return
+        x, y = pe.coord
+        rx, ry = self.root
+        if pe.coord == self.root:
+            return  # the result stays here
+        color = self._c_rcol if y != ry else self._c_rrow
+        rt.inject(
+            pe.coord, color, pe.state["coll_partial"], at=rt.pe_send_time(pe)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public operations
+    # ------------------------------------------------------------------ #
+    def broadcast(self, value: np.ndarray) -> EventRuntime:
+        """Deliver *value* from the root to every PE's ``coll_value``."""
+        value = np.ascontiguousarray(value, dtype=self.dtype)
+        if value.shape != (self.length,):
+            raise ValueError(f"value must have shape ({self.length},)")
+        root_pe = self.fabric.pe(*self.root)
+        root_pe.state["coll_value"][:] = value
+        rt = EventRuntime(self.fabric)
+        rt.inject(self.root, self._c_brow, root_pe.state["coll_value"])
+        rt.inject(self.root, self._c_bcol, root_pe.state["coll_value"])
+        rt.run()
+        for pe in self.fabric.pes():
+            got = pe.state["coll_value"]
+            if not np.array_equal(got, value):
+                raise RuntimeError(f"broadcast failed to reach PE {pe.coord}")
+            pe.busy_until = 0.0
+        return rt
+
+    def reduce_sum(self, contributions: np.ndarray) -> np.ndarray:
+        """Elementwise sum of per-PE vectors, folded into the root.
+
+        Parameters
+        ----------
+        contributions:
+            Array of shape ``(height, width, length)``: the vector each
+            PE contributes.
+
+        Returns
+        -------
+        numpy.ndarray
+            The root PE's accumulated result, shape ``(length,)``.
+        """
+        contributions = np.asarray(contributions, dtype=self.dtype)
+        expected = (self.fabric.height, self.fabric.width, self.length)
+        if contributions.shape != expected:
+            raise ValueError(
+                f"contributions must have shape {expected}, got "
+                f"{contributions.shape}"
+            )
+        rt = EventRuntime(self.fabric)
+        for pe in self.fabric.pes():
+            x, y = pe.coord
+            pe.state["coll_partial"][:] = contributions[y, x]
+            pe.state["coll_pending"] = self._pending_contributions(pe.coord)
+        # leaves start the chains
+        for pe in self.fabric.pes():
+            if pe.state["coll_pending"] == 0 and pe.coord != self.root:
+                self._maybe_forward_reduction(rt, pe)
+        rt.run()
+        root_pe = self.fabric.pe(*self.root)
+        if root_pe.state["coll_pending"] != 0:
+            raise RuntimeError(
+                f"reduction incomplete: root still waits for "
+                f"{root_pe.state['coll_pending']} partials"
+            )
+        for pe in self.fabric.pes():
+            pe.busy_until = 0.0
+        return root_pe.state["coll_partial"].copy()
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Global dot product of two ``(height, width, length)`` fields.
+
+        Each PE contributes its local partial dot product; the fabric
+        reduction folds them — the building block Krylov recurrences
+        need on-device (Sec. 8/9).
+        """
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        partials = np.einsum("yxl,yxl->yx", a, b)[..., None]
+        saved_length = self.length
+        if saved_length != 1:
+            # reuse the machinery at length 1 via a temporary view
+            raise ValueError("dot requires a collectives engine of length 1")
+        return float(self.reduce_sum(partials)[0])

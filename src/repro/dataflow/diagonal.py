@@ -1,0 +1,74 @@
+"""Diagonal-neighbour exchange through intermediary PEs (paper Sec. 5.2.2).
+
+The fabric only links cardinal neighbours, so diagonal data takes two
+hops through an intermediary that "must be an immediate neighbor to both
+the source cell and its diagonal destination cell".  All four diagonal
+flows run concurrently under a rotating schedule: every source sends
+clockwise (first hop directions E, S, W, N for the four flows), and each
+flow turns 90 degrees at its intermediary — so the four flows use four
+*distinct* intermediaries and never contend for the same role (Fig. 5).
+
+Each flow is one color with a single static routing position valid for
+every PE simultaneously, because a PE's three roles use three different
+input ports:
+
+* source  — injects via RAMP, forwarded out the first-hop port;
+* intermediary — receives from the first hop's opposite port, forwards
+  out the second-hop port;
+* target — receives from the second hop's opposite port, delivered RAMP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stencil import Connection
+from repro.wse.geometry import Port
+from repro.wse.router import RoutePosition
+
+__all__ = ["DiagonalChannel", "DIAGONAL_CHANNELS", "static_position"]
+
+
+@dataclass(frozen=True)
+class DiagonalChannel:
+    """One diagonal flow: two hops, one color.
+
+    Attributes
+    ----------
+    name:
+        Color name, e.g. ``"diag_se"``.
+    first_hop, second_hop:
+        The clockwise hop pair (e.g. EAST then SOUTH for the
+        south-eastward flow).
+    delivers:
+        Mesh connection whose neighbour data arrives on this channel:
+        the south-eastward flow delivers the *north-west* neighbour's
+        column to each target.
+    """
+
+    name: str
+    first_hop: Port
+    second_hop: Port
+    delivers: Connection
+
+
+#: The four concurrent diagonal flows, clockwise rotation (Sec. 5.2.2).
+DIAGONAL_CHANNELS = (
+    DiagonalChannel("diag_se", Port.EAST, Port.SOUTH, Connection.NORTHWEST),
+    DiagonalChannel("diag_sw", Port.SOUTH, Port.WEST, Connection.NORTHEAST),
+    DiagonalChannel("diag_nw", Port.WEST, Port.NORTH, Connection.SOUTHEAST),
+    DiagonalChannel("diag_ne", Port.NORTH, Port.EAST, Connection.SOUTHWEST),
+)
+
+
+def static_position(channel: DiagonalChannel) -> RoutePosition:
+    """The single switch position every router uses for *channel*.
+
+    Three rules (by input port): RAMP -> first hop; first hop's arrival
+    port -> second hop; second hop's arrival port -> RAMP.
+    """
+    return {
+        Port.RAMP: (channel.first_hop,),
+        channel.first_hop.opposite: (channel.second_hop,),
+        channel.second_hop.opposite: (Port.RAMP,),
+    }

@@ -1,0 +1,225 @@
+"""End-to-end dataflow flux computation: the paper's headline kernel.
+
+:class:`WseFluxComputation` runs applications of Algorithm 1 on the
+simulated wafer-scale engine: per application it loads a pressure field,
+schedules every PE's program (local compute + the cardinal/diagonal
+exchange protocols), drains the event queue, verifies exactly-once
+delivery, and gathers the distributed residual.
+
+The per-application device time is measured in model cycles by the
+discrete-event runtime; instruction/traffic totals come from the PEs' DSD
+engines.  For paper-scale meshes (where event simulation is infeasible in
+Python) use :mod:`repro.dataflow.lockstep` for function and
+:mod:`repro.perf.timing` for calibrated time projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import constants
+from repro.core.fluid import FluidProperties
+from repro.core.mesh import CartesianMesh3D
+from repro.core.transmissibility import Transmissibility
+from repro.dataflow.program import FluxProgram
+from repro.wse.perf import WSE2, WsePerfModel
+from repro.wse.runtime import EventRuntime, RuntimeStats
+
+__all__ = ["WseFluxComputation", "WseRunResult"]
+
+
+@dataclass
+class WseRunResult:
+    """Outcome of one or more applications of Algorithm 1.
+
+    Attributes
+    ----------
+    residual:
+        The residual field of the *last* application, shape (nz, ny, nx).
+    applications:
+        Number of applications executed.
+    device_cycles:
+        Summed end-to-end cycles of all applications (event-queue drain
+        time per application).
+    device_seconds:
+        ``device_cycles`` converted through the perf model clock.
+    compute_cycles:
+        Total PE datapath cycles (sum over PEs of DSD cycles).
+    instruction_counts:
+        Fabric-wide instruction element totals by opcode.
+    flops:
+        Total floating-point operations executed.
+    fabric_word_hops:
+        Total fabric traffic (words x hops).
+    stats:
+        Aggregated runtime statistics of the last application.
+    residuals:
+        Per-application residual fields (only when ``keep_all=True``).
+    """
+
+    residual: np.ndarray
+    applications: int
+    device_cycles: float
+    device_seconds: float
+    compute_cycles: float
+    instruction_counts: dict[str, int]
+    flops: int
+    fabric_word_hops: int
+    stats: RuntimeStats
+    residuals: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def seconds_per_application(self) -> float:
+        """Average device seconds per application of Algorithm 1."""
+        return self.device_seconds / self.applications
+
+    @property
+    def throughput_cells_per_second(self) -> float:
+        """Cells processed per second of device time (Table 2 metric)."""
+        cells = self.residual.size * self.applications
+        return cells / self.device_seconds if self.device_seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human-readable run report."""
+        nz, ny, nx = self.residual.shape
+        ops = ", ".join(
+            f"{op}={count}"
+            for op, count in sorted(self.instruction_counts.items())
+            if not op.startswith("AUX") and op != "FMOV_LOCAL"
+        )
+        return "\n".join(
+            [
+                f"WSE flux run: mesh {nx}x{ny}x{nz}, "
+                f"{self.applications} application(s)",
+                f"  device time : {self.device_cycles:.0f} cycles "
+                f"({self.device_seconds * 1e6:.2f} us)",
+                f"  throughput  : {self.throughput_cells_per_second / 1e6:.2f} Mcell/s",
+                f"  flops       : {self.flops} ({ops})",
+                f"  fabric      : {self.fabric_word_hops} word-hops, "
+                f"{self.stats.messages_delivered} deliveries, "
+                f"max {self.stats.max_hops_seen} hops",
+            ]
+        )
+
+
+class WseFluxComputation:
+    """Distributed TPFA flux computation on the simulated WSE.
+
+    Parameters mirror :class:`~repro.dataflow.program.FluxProgram`; see
+    that class for the meaning of ``reuse_buffers``, ``vectorized``,
+    ``compute_fluxes`` (comm-only mode), and the memory knobs.
+
+    Examples
+    --------
+    >>> from repro.core import CartesianMesh3D, FluidProperties
+    >>> mesh = CartesianMesh3D(4, 3, 5)
+    >>> wse = WseFluxComputation(mesh, FluidProperties(), dtype=np.float64)
+    >>> result = wse.run_single(mesh.full(1.5e7))
+    >>> result.residual.shape
+    (5, 3, 4)
+    """
+
+    def __init__(
+        self,
+        mesh: CartesianMesh3D,
+        fluid: FluidProperties,
+        trans: Transmissibility | None = None,
+        *,
+        gravity: float = constants.GRAVITY,
+        dtype=np.float32,
+        reuse_buffers: bool = True,
+        vectorized: bool = True,
+        compute_fluxes: bool = True,
+        overlap_compute: bool = True,
+        perf: WsePerfModel = WSE2,
+        pe_memory_bytes: int | None = None,
+        pe_memory_reserved: int = 2048,
+        trace: bool = False,
+    ) -> None:
+        kwargs = dict(
+            mesh=mesh,
+            fluid=fluid,
+            trans=trans,
+            gravity=gravity,
+            dtype=dtype,
+            reuse_buffers=reuse_buffers,
+            vectorized=vectorized,
+            compute_fluxes=compute_fluxes,
+            overlap_compute=overlap_compute,
+            pe_memory_reserved=pe_memory_reserved,
+        )
+        if pe_memory_bytes is not None:
+            kwargs["pe_memory_bytes"] = pe_memory_bytes
+        self.program = FluxProgram(**kwargs)
+        self.mesh = mesh
+        self.perf = perf
+        self.trace = trace
+        self.last_runtime: EventRuntime | None = None
+
+    # ------------------------------------------------------------------ #
+    def run(self, pressures, *, keep_all: bool = False) -> WseRunResult:
+        """Execute one application per pressure field in *pressures*.
+
+        Parameters
+        ----------
+        pressures:
+            Iterable of (nz, ny, nx) pressure fields (e.g. a
+            :class:`~repro.core.PressureSequence`).
+        keep_all:
+            Keep every application's residual (memory permitting).
+        """
+        program = self.program
+        program.fabric.reset_counters()
+        total_cycles = 0.0
+        applications = 0
+        residuals: list[np.ndarray] = []
+        residual = None
+        totals = RuntimeStats()
+        for pressure in pressures:
+            rt = EventRuntime(program.fabric, self.perf, trace=self.trace)
+            program.load_pressure(np.ascontiguousarray(pressure))
+            program.begin_application(rt)
+            rt.run()
+            program.verify_deliveries()
+            total_cycles += rt.now
+            applications += 1
+            s = rt.stats
+            totals.events_processed += s.events_processed
+            totals.messages_injected += s.messages_injected
+            totals.messages_delivered += s.messages_delivered
+            totals.messages_dropped_offchip += s.messages_dropped_offchip
+            totals.control_advances += s.control_advances
+            totals.fabric_word_hops += s.fabric_word_hops
+            totals.max_hops_seen = max(totals.max_hops_seen, s.max_hops_seen)
+            self.last_runtime = rt
+            residual = program.gather_residual()
+            if keep_all:
+                residuals.append(residual.copy())
+            for pe in program.fabric.pes():
+                pe.busy_until = 0.0
+        if applications == 0:
+            raise ValueError("no pressure fields supplied")
+        fabric = program.fabric
+        return WseRunResult(
+            residual=residual,
+            applications=applications,
+            device_cycles=total_cycles,
+            device_seconds=self.perf.seconds(total_cycles),
+            compute_cycles=sum(pe.dsd.cycles for pe in fabric.pes()),
+            instruction_counts=fabric.total_counts(),
+            flops=fabric.total_flops(),
+            fabric_word_hops=totals.fabric_word_hops,
+            stats=totals,
+            residuals=residuals,
+        )
+
+    def run_single(self, pressure: np.ndarray) -> WseRunResult:
+        """Run one application of Algorithm 1."""
+        return self.run([pressure])
+
+    # ------------------------------------------------------------------ #
+    def memory_high_water(self) -> int:
+        """Largest PE scratchpad footprint (bytes) of the loaded program."""
+        return self.program.fabric.max_memory_high_water()

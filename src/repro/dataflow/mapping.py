@@ -1,0 +1,265 @@
+"""Problem-to-fabric mappings (paper Fig. 3, Sec. 5.1).
+
+Two mapping techniques are considered by the paper: **cell-based** (each
+cell column maps to a PE; chosen) and **face-based** (faces map to PEs;
+considered and rejected).  The cell-based mapping assigns cell
+``(x, y, z)`` to PE ``(x, y)`` with the whole Z column resident in that
+PE's local memory, maximizing parallelism in the X-Y plane.
+
+:class:`FaceBasedMapping` is provided for the ablation analysis: it
+staggers cells and faces on a twice-refined fabric, which needs ~4x the
+PEs for the same mesh and moves cell data for *every* flux (each face PE
+needs both adjacent cell states), quantifying why the paper picks the
+cell-based approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mesh import CartesianMesh3D
+
+__all__ = [
+    "CellBasedMapping",
+    "FaceBasedMapping",
+    "BlockedCellMapping",
+    "MappingComparison",
+    "compare_mappings",
+]
+
+
+@dataclass(frozen=True)
+class CellBasedMapping:
+    """Cell ``(x, y, z) -> PE (x, y)``; Z column in PE memory (Sec. 5.1)."""
+
+    mesh: CartesianMesh3D
+
+    @property
+    def fabric_shape(self) -> tuple[int, int]:
+        """Required fabric dimensions ``(width, height)``."""
+        return (self.mesh.nx, self.mesh.ny)
+
+    @property
+    def num_pes(self) -> int:
+        """PEs used by the mapping."""
+        return self.mesh.nx * self.mesh.ny
+
+    def pe_for_cell(self, x: int, y: int, z: int) -> tuple[int, int]:
+        """Owning PE of a cell (validates coordinates)."""
+        self.mesh.cell_index(x, y, z)
+        return (x, y)
+
+    def cells_per_pe(self) -> int:
+        """Cells resident in each PE's memory: the whole Z column."""
+        return self.mesh.nz
+
+    def words_received_per_pe_per_iteration(self) -> int:
+        """Fabric words an interior PE receives per application.
+
+        Eight X-Y neighbours each contribute a ``(p, rho)`` column pair:
+        ``8 * 2 * Nz`` words (Sec. 5.2; Fig. 5).
+        """
+        return 8 * 2 * self.mesh.nz
+
+    def total_words_per_iteration(self) -> int:
+        """Aggregate fabric words received per application (interior
+        approximation: every cell PE drains all eight halos)."""
+        return self.num_pes * self.words_received_per_pe_per_iteration()
+
+
+@dataclass(frozen=True)
+class FaceBasedMapping:
+    """Faces on a staggered, twice-refined fabric (Fig. 3 alternative).
+
+    Cell ``(x, y)`` columns sit at fabric ``(2x, 2y)``; X-face columns at
+    ``(2x+1, 2y)``; Y-face columns at ``(2x, 2y+1)``; diagonal-face
+    columns at ``(2x+1, 2y+1)``.  Face PEs compute the flux for their
+    face, which requires receiving *both* adjacent cell states every
+    iteration, and cell PEs then receive all flux contributions back.
+    """
+
+    mesh: CartesianMesh3D
+
+    @property
+    def fabric_shape(self) -> tuple[int, int]:
+        """Required fabric dimensions (staggered grid)."""
+        return (2 * self.mesh.nx - 1, 2 * self.mesh.ny - 1)
+
+    @property
+    def num_pes(self) -> int:
+        w, h = self.fabric_shape
+        return w * h
+
+    def pe_for_cell(self, x: int, y: int, z: int) -> tuple[int, int]:
+        """Owning PE of a cell column."""
+        self.mesh.cell_index(x, y, z)
+        return (2 * x, 2 * y)
+
+    def pe_for_x_face(self, x: int, y: int) -> tuple[int, int]:
+        """PE owning the face column between cells (x, y) and (x+1, y)."""
+        if not (0 <= x < self.mesh.nx - 1 and 0 <= y < self.mesh.ny):
+            raise IndexError(f"no X face at ({x}, {y})")
+        return (2 * x + 1, 2 * y)
+
+    def pe_for_y_face(self, x: int, y: int) -> tuple[int, int]:
+        """PE owning the face column between cells (x, y) and (x, y+1)."""
+        if not (0 <= x < self.mesh.nx and 0 <= y < self.mesh.ny - 1):
+            raise IndexError(f"no Y face at ({x}, {y})")
+        return (2 * x, 2 * y + 1)
+
+    def cells_per_pe(self) -> int:
+        """Cells resident in a cell PE's memory."""
+        return self.mesh.nz
+
+    def words_received_per_pe_per_iteration(self) -> int:
+        """Fabric words an interior *face* PE receives per application:
+        the two adjacent cell state columns of ``(p, rho)``."""
+        return 2 * 2 * self.mesh.nz
+
+    def total_words_per_iteration(self) -> int:
+        """Aggregate fabric words received per application.
+
+        Every face PE ingests both adjacent cell columns (there are
+        roughly four face PEs per cell: X, Y, and two diagonal families),
+        and every cell PE then receives its eight X-Y flux columns back —
+        strictly more aggregate traffic than the cell-based mapping,
+        which is one reason the paper picks cell-based.
+        """
+        nz = self.mesh.nz
+        n_cells_xy = self.mesh.nx * self.mesh.ny
+        face_pes = 4 * n_cells_xy  # interior approximation
+        face_in = face_pes * 2 * 2 * nz
+        cell_in = n_cells_xy * 8 * nz
+        return face_in + cell_in
+
+
+@dataclass(frozen=True)
+class BlockedCellMapping:
+    """Cell-based mapping with a *block* of columns per PE.
+
+    The usable fabric caps the cell-based mapping at 750 x 994 columns
+    (Sec. 7.1); meshes with a larger X-Y plane need several columns per
+    PE.  Blocking trades the flat weak scaling for classic
+    surface-to-volume behaviour: per-PE compute grows with the block
+    area while fabric traffic grows only with its perimeter — the same
+    economics as the MPI decomposition (:mod:`repro.cluster`), whose
+    halo-exchange implementation is the functional equivalent of this
+    mapping and validates it numerically.
+
+    Parameters
+    ----------
+    mesh:
+        The (large) mesh to place.
+    fabric_shape:
+        Available fabric PEs ``(width, height)``.
+    """
+
+    mesh: CartesianMesh3D
+    fabric_shape: tuple[int, int] = (750, 994)
+
+    def __post_init__(self) -> None:
+        fw, fh = self.fabric_shape
+        if fw < 1 or fh < 1:
+            raise ValueError("fabric dimensions must be positive")
+
+    @property
+    def block_xy(self) -> tuple[int, int]:
+        """Columns per PE along X and Y (ceil division)."""
+        fw, fh = self.fabric_shape
+        return (
+            -(-self.mesh.nx // fw),
+            -(-self.mesh.ny // fh),
+        )
+
+    @property
+    def columns_per_pe(self) -> int:
+        """Z columns resident in one PE (interior block)."""
+        bx, by = self.block_xy
+        return bx * by
+
+    @property
+    def cells_per_pe(self) -> int:
+        """Cells in one PE's memory."""
+        return self.columns_per_pe * self.mesh.nz
+
+    def words_per_pe(self, *, reuse_buffers: bool = True) -> int:
+        """Scratchpad words an interior PE needs.
+
+        Owned columns carry the full per-cell layout; the halo ring of
+        ``2 (bx + by) + 4`` columns needs only the received ``(p, rho)``
+        pair per cell.
+        """
+        from repro.dataflow.halos import layout_words_per_cell
+
+        bx, by = self.block_xy
+        nz = self.mesh.nz
+        own = layout_words_per_cell(reuse_buffers=reuse_buffers)
+        halo_cols = 2 * (bx + by) + 4
+        return self.cells_per_pe * own + halo_cols * nz * 2
+
+    def fits_memory(
+        self,
+        capacity_bytes: int = 48 * 1024,
+        *,
+        reserved_bytes: int = 2048,
+        word_bytes: int = 4,
+        reuse_buffers: bool = True,
+    ) -> bool:
+        """Whether the blocked layout fits one PE's scratchpad."""
+        need = self.words_per_pe(reuse_buffers=reuse_buffers) * word_bytes
+        return need <= capacity_bytes - reserved_bytes
+
+    def fabric_words_per_pe_per_application(self) -> int:
+        """Words an interior PE receives per application.
+
+        Only the halo ring crosses the fabric: ``2 (bx + by)`` side
+        columns plus the four corner columns, each a ``(p, rho)`` pair
+        of length nz.
+        """
+        bx, by = self.block_xy
+        return (2 * (bx + by) + 4) * 2 * self.mesh.nz
+
+    def surface_to_volume(self) -> float:
+        """Received halo cells per owned cell (the efficiency driver)."""
+        bx, by = self.block_xy
+        return (2 * (bx + by) + 4) / (bx * by)
+
+
+@dataclass(frozen=True)
+class MappingComparison:
+    """Head-to-head numbers motivating the cell-based choice."""
+
+    cell_num_pes: int
+    face_num_pes: int
+    cell_total_words: int
+    face_total_words: int
+    cell_max_mesh_on_fabric: tuple[int, int]
+    face_max_mesh_on_fabric: tuple[int, int]
+
+    @property
+    def pe_overhead_factor(self) -> float:
+        """How many times more PEs the face-based mapping consumes."""
+        return self.face_num_pes / self.cell_num_pes
+
+    @property
+    def traffic_overhead_factor(self) -> float:
+        """Aggregate fabric traffic ratio, face-based over cell-based."""
+        return self.face_total_words / self.cell_total_words
+
+
+def compare_mappings(
+    mesh: CartesianMesh3D,
+    fabric_shape: tuple[int, int] = (750, 994),
+) -> MappingComparison:
+    """Quantify cell- vs face-based mapping for *mesh* (ablation input)."""
+    cell = CellBasedMapping(mesh)
+    face = FaceBasedMapping(mesh)
+    fw, fh = fabric_shape
+    return MappingComparison(
+        cell_num_pes=cell.num_pes,
+        face_num_pes=face.num_pes,
+        cell_total_words=cell.total_words_per_iteration(),
+        face_total_words=face.total_words_per_iteration(),
+        cell_max_mesh_on_fabric=(fw, fh),
+        face_max_mesh_on_fabric=((fw + 1) // 2, (fh + 1) // 2),
+    )

@@ -1,0 +1,399 @@
+"""Builds the per-PE flux program: colors, routing, tasks, memory.
+
+This module translates the paper's Sec. 5 into an executable fabric
+configuration:
+
+* allocates the twelve routable colors (4 cardinal channels with switch
+  positions, 4 diagonal channels with static two-hop routes, Sec. 5.2);
+* builds every PE's memory layout (Sec. 5.1) and fills the static data
+  (elevation column, 10 transmissibility columns);
+* binds the data/control tasks implementing receive-compute overlap: a
+  partial flux computation runs immediately when a neighbour's column
+  arrives ("the corresponding flux computation will occur immediately in
+  an asynchronous fashion", Sec. 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import constants
+from repro.core.fluid import FluidProperties
+from repro.core.mesh import CartesianMesh3D
+from repro.core.stencil import (
+    ALL_CONNECTIONS,
+    XY_CONNECTIONS,
+    Connection,
+    interior_slices,
+)
+from repro.core.transmissibility import Transmissibility
+from repro.dataflow.cardinal import (
+    CARDINAL_CHANNELS,
+    CardinalChannel,
+    is_step1_sender,
+    switch_positions_for,
+)
+from repro.dataflow.diagonal import DIAGONAL_CHANNELS, DiagonalChannel, static_position
+from repro.dataflow.flux_pe import compute_face_flux_column, evaluate_density_column
+from repro.dataflow.halos import PEColumnLayout
+from repro.wse.color import ColorAllocator
+from repro.wse.fabric import Fabric
+from repro.wse.memory import WSE2_PE_MEMORY_BYTES
+from repro.wse.packet import KIND_CONTROL
+from repro.wse.pe import ProcessingElement
+from repro.wse.runtime import EventRuntime
+
+__all__ = ["FluxProgram", "padded_trans_fields"]
+
+
+def padded_trans_fields(
+    mesh: CartesianMesh3D, trans: Transmissibility, dtype=np.float32
+) -> dict[Connection, np.ndarray]:
+    """Full-mesh transmissibility fields, zero where no neighbour exists.
+
+    ``out[conn][z, y, x]`` is ``Upsilon`` between cell (x, y, z) and its
+    *conn* neighbour (0 on the boundary), ready to slice into per-PE
+    columns.
+    """
+    out: dict[Connection, np.ndarray] = {}
+    for conn in ALL_CONNECTIONS:
+        full = np.zeros(mesh.shape_zyx, dtype=dtype)
+        local, _ = interior_slices(mesh.shape_zyx, conn)
+        full[local] = trans.face_array(conn)
+        out[conn] = full
+    return out
+
+
+@dataclass
+class FluxProgram:
+    """A configured fabric ready to run applications of Algorithm 1.
+
+    Parameters
+    ----------
+    mesh, fluid, trans:
+        Problem definition; ``trans`` defaults to a fresh TPFA build.
+    gravity:
+        Gravitational acceleration of Eq. 3b.
+    dtype:
+        PE-local floating dtype (float32 matches the hardware; float64
+        is allowed for tight cross-validation runs).
+    reuse_buffers:
+        Apply the Sec.-5.3.1 memory optimization (see halos module).
+    vectorized:
+        Use the SIMD/DSD fast path for cycle accounting (Sec. 5.3.3).
+    compute_fluxes:
+        When False, run communication only — the paper's Table 3
+        experiment ("we modified our dataflow implementation to remove
+        all flux computations and focus solely on data communications").
+    overlap_compute:
+        When True (the paper's Sec.-5.3.2 behaviour) each neighbour's
+        partial flux is computed immediately on arrival, hiding compute
+        behind the remaining transfers.  When False, arrivals are only
+        drained into per-neighbour buffers and all eight partial fluxes
+        run after the last arrival — the no-overlap ablation.  Requires
+        ``reuse_buffers=False`` (deferred compute needs every halo live).
+    pe_memory_bytes / pe_memory_reserved:
+        Scratchpad capacity and code reservation per PE.
+    """
+
+    mesh: CartesianMesh3D
+    fluid: FluidProperties
+    trans: Transmissibility | None = None
+    gravity: float = constants.GRAVITY
+    dtype: type = np.float32
+    reuse_buffers: bool = True
+    vectorized: bool = True
+    compute_fluxes: bool = True
+    overlap_compute: bool = True
+    pe_memory_bytes: int = WSE2_PE_MEMORY_BYTES
+    pe_memory_reserved: int = 2048
+    fabric: Fabric = field(init=False)
+    colors: ColorAllocator = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.overlap_compute and self.reuse_buffers:
+            raise ValueError(
+                "overlap_compute=False requires reuse_buffers=False "
+                "(deferred partial fluxes need all eight halos resident)"
+            )
+        if self.trans is None:
+            self.trans = Transmissibility(self.mesh, dtype=self.dtype)
+        elif self.trans.mesh is not self.mesh:
+            raise ValueError("trans was built for a different mesh")
+        self.fabric = Fabric(
+            self.mesh.nx,
+            self.mesh.ny,
+            pe_memory_bytes=self.pe_memory_bytes,
+            pe_memory_reserved=self.pe_memory_reserved,
+            vectorized=self.vectorized,
+        )
+        self.colors = ColorAllocator()
+        self._card_color: dict[CardinalChannel, int] = {}
+        self._diag_color: dict[DiagonalChannel, int] = {}
+        self._inv_viscosity = 1.0 / self.fluid.viscosity
+        self._setup_memory()
+        self._setup_routing()
+        self._setup_tasks()
+
+    # ------------------------------------------------------------------ #
+    # Memory (Sec. 5.1)
+    # ------------------------------------------------------------------ #
+    def _setup_memory(self) -> None:
+        mesh = self.mesh
+        trans_fields = padded_trans_fields(mesh, self.trans, self.dtype)
+        elev = mesh.elevation
+        for pe in self.fabric.pes():
+            x, y = pe.coord
+            layout = PEColumnLayout.build(
+                pe.memory,
+                mesh.nz,
+                dtype=self.dtype,
+                reuse_buffers=self.reuse_buffers,
+            )
+            layout.elevation[:] = elev[:, y, x]
+            for conn in ALL_CONNECTIONS:
+                layout.trans[conn][:] = trans_fields[conn][:, y, x]
+            pe.state["layout"] = layout
+            pe.state["expected"] = self._expected_messages(pe)
+
+    def _expected_messages(self, pe: ProcessingElement) -> int:
+        """Data messages the PE receives per application: one per
+        in-bounds X-Y neighbour (Sec. 5.2 items a-b)."""
+        x, y = pe.coord
+        count = 0
+        for conn in XY_CONNECTIONS:
+            dx, dy, _ = conn.offset
+            if self.fabric.contains((x + dx, y + dy)):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Routing (Sec. 5.2, Figs. 5-6)
+    # ------------------------------------------------------------------ #
+    def _setup_routing(self) -> None:
+        w, h = self.fabric.width, self.fabric.height
+        for channel in CARDINAL_CHANNELS:
+            color = self.colors.allocate(channel.name)
+            self._card_color[channel] = color
+
+            def positions_for(coord, _ch=channel):
+                positions, _ = switch_positions_for(coord, _ch, w, h)
+                return positions
+
+            def initial_for(coord, _ch=channel):
+                _, initial = switch_positions_for(coord, _ch, w, h)
+                return initial
+
+            self.fabric.configure_color(
+                color, positions_for, initial_for=initial_for
+            )
+        for channel in DIAGONAL_CHANNELS:
+            color = self.colors.allocate(channel.name)
+            self._diag_color[channel] = color
+            position = static_position(channel)
+            self.fabric.configure_color(color, lambda coord, _p=position: [_p])
+
+    # ------------------------------------------------------------------ #
+    # Tasks
+    # ------------------------------------------------------------------ #
+    def _setup_tasks(self) -> None:
+        for channel in CARDINAL_CHANNELS:
+            color = self._card_color[channel]
+
+            def on_data(rt, pe, msg, _conn=channel.delivers):
+                self._receive_neighbour(pe, msg, _conn)
+
+            def on_ctrl(rt, pe, msg, _ch=channel):
+                self._maybe_send(rt, pe, _ch)
+
+            self.fabric.bind_all(color, on_data)
+            self.fabric.bind_all(color, on_ctrl, control=True)
+        for channel in DIAGONAL_CHANNELS:
+            color = self._diag_color[channel]
+
+            def on_data(rt, pe, msg, _conn=channel.delivers):
+                self._receive_neighbour(pe, msg, _conn)
+
+            self.fabric.bind_all(color, on_data)
+
+    def _receive_neighbour(
+        self, pe: ProcessingElement, msg, conn: Connection
+    ) -> None:
+        """Drain a neighbour's (p, rho) train and compute its partial flux.
+
+        The FMOV from the fabric queue into the receive window is the 16
+        FMOV / 16 fabric loads per cell of Table 4 (2 words per cell per
+        neighbour, 8 neighbours).
+        """
+        layout = pe.state["layout"]
+        buf = layout.recv_buffer(conn)
+        pe.dsd.fmovs(buf.reshape(-1), msg.payload, from_fabric=True)
+        pe.state["received"] = pe.state.get("received", 0) + 1
+        if not self.compute_fluxes:
+            return
+        if self.overlap_compute:
+            self._neighbour_flux(pe, layout, conn)
+        else:
+            pe.state.setdefault("pending_halos", []).append(conn)
+            if pe.state["received"] == pe.state["expected"]:
+                for pending in pe.state["pending_halos"]:
+                    self._neighbour_flux(pe, layout, pending)
+                pe.state["pending_halos"] = []
+
+    def _neighbour_flux(self, pe: ProcessingElement, layout, conn: Connection) -> None:
+        """The partial flux for one received halo."""
+        buf = layout.recv_buffer(conn)
+        compute_face_flux_column(
+            pe.dsd,
+            layout.scratch,
+            layout.pressure,
+            buf[0],
+            layout.elevation,
+            layout.elevation,  # X-Y neighbours share the elevation column
+            layout.density,
+            buf[1],
+            layout.trans[conn],
+            layout.residual,
+            gravity=self.gravity,
+            inv_viscosity=self._inv_viscosity,
+        )
+
+    def _maybe_send(
+        self, rt: EventRuntime, pe: ProcessingElement, channel: CardinalChannel
+    ) -> None:
+        """Transmit this PE's column on *channel* once per application."""
+        color = self._card_color[channel]
+        sent = pe.state.setdefault("sent", set())
+        if color in sent:
+            return
+        sent.add(color)
+        layout = pe.state["layout"]
+        payload = layout.send_train(pe.dsd).reshape(-1)
+        at = rt.pe_send_time(pe)
+        rt.inject(pe.coord, color, payload, at=at)
+        rt.inject(pe.coord, color, kind=KIND_CONTROL, at=at)
+
+    # ------------------------------------------------------------------ #
+    # Per-application driver hooks
+    # ------------------------------------------------------------------ #
+    def load_pressure(self, pressure: np.ndarray) -> None:
+        """Host memcpy of a new pressure field into PE memories.
+
+        Not part of device time (the paper reports device-only timing,
+        Sec. 7.2).
+        """
+        self.mesh.validate_field(pressure, name="pressure")
+        for pe in self.fabric.pes():
+            x, y = pe.coord
+            layout = pe.state["layout"]
+            layout.pressure[:] = pressure[:, y, x]
+
+    def begin_application(self, rt: EventRuntime) -> None:
+        """Schedule one application of Algorithm 1 on runtime *rt*.
+
+        Every PE zeroes its residual, evaluates its density column
+        (Eq. 5), computes the two vertical (in-memory) flux directions,
+        then starts communicating: all diagonal flows plus the step-1
+        cardinal senders.  Step-2 senders are triggered by the control
+        wavelets of the switch protocol.
+        """
+        for pe in self.fabric.pes():
+            pe.state["sent"] = set()
+            pe.state["received"] = 0
+            rt.schedule(0.0, lambda _pe=pe, _rt=rt: self._start_pe(_rt, _pe))
+
+    def _start_pe(self, rt: EventRuntime, pe: ProcessingElement) -> None:
+        layout = pe.state["layout"]
+        start = max(rt.now, pe.busy_until)
+        before = pe.dsd.cycles
+        pe.state["_exec_start"] = start
+        pe.state["_cycles_at_start"] = before
+
+        layout.residual.fill(0.0)
+        evaluate_density_column(
+            pe.dsd,
+            layout.pressure,
+            layout.density,
+            compressibility=self.fluid.compressibility,
+            reference_density=self.fluid.reference_density,
+            reference_pressure=self.fluid.reference_pressure,
+        )
+        if self.compute_fluxes:
+            self._vertical_fluxes(pe, layout)
+
+        # diagonal flows: every PE is a source (Fig. 5b, step 1.b)
+        at = rt.pe_send_time(pe)
+        payload = layout.send_train(pe.dsd).reshape(-1)
+        for channel in DIAGONAL_CHANNELS:
+            rt.inject(pe.coord, self._diag_color[channel], payload, at=at)
+        # cardinal step-1 senders (Fig. 6b, step 1)
+        w, h = self.fabric.width, self.fabric.height
+        for channel in CARDINAL_CHANNELS:
+            if is_step1_sender(pe.coord, channel, w, h):
+                self._maybe_send(rt, pe, channel)
+        pe.busy_until = start + (pe.dsd.cycles - before)
+
+    def _vertical_fluxes(self, pe: ProcessingElement, layout) -> None:
+        """UP and DOWN fluxes: same-PE memory, no fabric traffic (Sec. 5.2c)."""
+        nz = layout.nz
+        if nz < 2:
+            return
+        p, rho, z = layout.pressure, layout.density, layout.elevation
+        compute_face_flux_column(
+            pe.dsd,
+            layout.scratch,
+            p[: nz - 1],
+            p[1:],
+            z[: nz - 1],
+            z[1:],
+            rho[: nz - 1],
+            rho[1:],
+            layout.trans[Connection.UP][: nz - 1],
+            layout.residual[: nz - 1],
+            gravity=self.gravity,
+            inv_viscosity=self._inv_viscosity,
+        )
+        compute_face_flux_column(
+            pe.dsd,
+            layout.scratch,
+            p[1:],
+            p[: nz - 1],
+            z[1:],
+            z[: nz - 1],
+            rho[1:],
+            rho[: nz - 1],
+            layout.trans[Connection.DOWN][1:],
+            layout.residual[1:],
+            gravity=self.gravity,
+            inv_viscosity=self._inv_viscosity,
+        )
+
+    # ------------------------------------------------------------------ #
+    def gather_residual(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Collect every PE's residual column into a (nz, ny, nx) field."""
+        if out is None:
+            out = np.zeros(self.mesh.shape_zyx, dtype=self.dtype)
+        else:
+            self.mesh.validate_field(out, name="out")
+        for pe in self.fabric.pes():
+            x, y = pe.coord
+            out[:, y, x] = pe.state["layout"].residual
+        return out
+
+    def verify_deliveries(self) -> None:
+        """Assert every PE received exactly one message per X-Y neighbour.
+
+        Raises
+        ------
+        RuntimeError
+            On any lost or duplicated delivery (protocol bug).
+        """
+        for pe in self.fabric.pes():
+            got, want = pe.state.get("received", 0), pe.state["expected"]
+            if got != want:
+                raise RuntimeError(
+                    f"PE {pe.coord}: received {got} neighbour columns, "
+                    f"expected {want}"
+                )

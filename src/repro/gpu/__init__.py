@@ -1,0 +1,32 @@
+"""Reference GPU implementations on a simulated A100-class device.
+
+RAJA-like and CUDA-like kernel front-ends (paper Sec. 6) over a device
+model with host/device memory, tiled 3D threadblock launches, and an
+occupancy model matching the paper's Nsight readings.
+"""
+
+from repro.gpu.cuda import CudaLaunchRecord, cuda_kernel, dim3
+from repro.gpu.device import A100_40GB, DeviceSpec, OccupancyModel
+from repro.gpu.launch import PAPER_TILE, Tile, TiledLaunch
+from repro.gpu.memory import DeviceMemoryManager, TransferLog
+from repro.gpu.raja import PAPER_POLICY, KernelPolicy, raja_kernel
+from repro.gpu.reference import GpuFluxComputation, GpuRunResult
+
+__all__ = [
+    "GpuFluxComputation",
+    "GpuRunResult",
+    "DeviceSpec",
+    "A100_40GB",
+    "OccupancyModel",
+    "DeviceMemoryManager",
+    "TransferLog",
+    "TiledLaunch",
+    "Tile",
+    "PAPER_TILE",
+    "KernelPolicy",
+    "PAPER_POLICY",
+    "raja_kernel",
+    "cuda_kernel",
+    "CudaLaunchRecord",
+    "dim3",
+]

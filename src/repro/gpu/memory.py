@@ -1,0 +1,104 @@
+"""Host/device memory management with transfer accounting.
+
+Mirrors the reference implementation's data flow (Sec. 6): allocate on
+host and device, load the mesh host-side, copy everything to the device
+once ("we avoid data domain decomposition and save time from frequent
+data transfer"), run all kernel applications, copy results back.
+
+Transfers are functional (NumPy copies) and costed against the device's
+PCIe bandwidth; device allocations are checked against capacity — the
+paper relies on the 40 GB A100 fitting the full mesh at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.device import A100_40GB, DeviceSpec
+
+__all__ = ["DeviceMemoryManager", "TransferLog"]
+
+
+@dataclass
+class TransferLog:
+    """Accumulated host<->device traffic."""
+
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    h2d_transfers: int = 0
+    d2h_transfers: int = 0
+
+    def transfer_seconds(self, device: DeviceSpec) -> float:
+        """Modelled PCIe time of all transfers so far."""
+        return (self.h2d_bytes + self.d2h_bytes) / device.pcie_bandwidth
+
+
+@dataclass
+class DeviceMemoryManager:
+    """Named device allocations on a simulated GPU.
+
+    Raises :class:`MemoryError` when the device capacity is exceeded —
+    the capacity check the paper implicitly performs by choosing a mesh
+    that fits device memory.
+    """
+
+    device: DeviceSpec = A100_40GB
+    allocated_bytes: int = 0
+    transfers: TransferLog = field(default_factory=TransferLog)
+    _buffers: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def alloc(self, name: str, shape, dtype=np.float32) -> np.ndarray:
+        """Allocate a named device buffer."""
+        if name in self._buffers:
+            raise ValueError(f"device buffer {name!r} already exists")
+        arr = np.zeros(shape, dtype=dtype)
+        if self.allocated_bytes + arr.nbytes > self.device.device_memory_bytes:
+            raise MemoryError(
+                f"device OOM allocating {name!r}: need {arr.nbytes} B, "
+                f"used {self.allocated_bytes} of "
+                f"{self.device.device_memory_bytes} B"
+            )
+        self.allocated_bytes += arr.nbytes
+        self._buffers[name] = arr
+        return arr
+
+    def free(self, name: str) -> None:
+        """Release a named device buffer."""
+        arr = self._buffers.pop(name, None)
+        if arr is None:
+            raise KeyError(f"device buffer {name!r} not found")
+        self.allocated_bytes -= arr.nbytes
+
+    def get(self, name: str) -> np.ndarray:
+        """Look up a device buffer."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise KeyError(f"device buffer {name!r} not found") from None
+
+    # ------------------------------------------------------------------ #
+    def h2d(self, name: str, host_array: np.ndarray) -> None:
+        """Copy host data into a device buffer (cudaMemcpy H2D)."""
+        dev = self.get(name)
+        if dev.shape != host_array.shape:
+            raise ValueError(
+                f"h2d {name!r}: shape {host_array.shape} != device "
+                f"{dev.shape}"
+            )
+        np.copyto(dev, host_array)
+        self.transfers.h2d_bytes += dev.nbytes
+        self.transfers.h2d_transfers += 1
+
+    def d2h(self, name: str, host_array: np.ndarray) -> None:
+        """Copy a device buffer back to host (cudaMemcpy D2H)."""
+        dev = self.get(name)
+        if dev.shape != host_array.shape:
+            raise ValueError(
+                f"d2h {name!r}: host shape {host_array.shape} != device "
+                f"{dev.shape}"
+            )
+        np.copyto(host_array, dev)
+        self.transfers.d2h_bytes += dev.nbytes
+        self.transfers.d2h_transfers += 1

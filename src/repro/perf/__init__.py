@@ -1,0 +1,66 @@
+"""Performance modelling: calibrated timing, rooflines, energy, metrics.
+
+Regenerates the quantitative content of the paper's evaluation section
+(Tables 1-3, Fig. 8, the Sec.-7.2 energy numbers) from a small set of
+documented, calibrated constants — see DESIGN.md Sec. 6.
+"""
+
+from repro.perf.energy import (
+    A100_POWER_W,
+    CS2_POWER_W,
+    EnergyComparison,
+    compare_energy,
+)
+from repro.perf.metrics import (
+    WeakScalingRow,
+    achieved_tflops,
+    speedup,
+    throughput_gcells_per_second,
+    weak_scaling_row,
+)
+from repro.perf.roofline import (
+    KernelPoint,
+    RooflineModel,
+    a100_kernel_point,
+    a100_roofline,
+    cs2_kernel_points,
+    cs2_roofline,
+)
+from repro.perf.timing import (
+    A100_CUDA_TIME_MODEL,
+    A100_RAJA_TIME_MODEL,
+    CS2_TIME_MODEL,
+    PAPER_TABLE1,
+    PAPER_TABLE2_A100_SECONDS,
+    PAPER_TABLE2_CS2_SECONDS,
+    PAPER_TABLE3,
+    Cs2TimeModel,
+    GpuTimeModel,
+)
+
+__all__ = [
+    "Cs2TimeModel",
+    "GpuTimeModel",
+    "CS2_TIME_MODEL",
+    "A100_RAJA_TIME_MODEL",
+    "A100_CUDA_TIME_MODEL",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2_CS2_SECONDS",
+    "PAPER_TABLE2_A100_SECONDS",
+    "PAPER_TABLE3",
+    "RooflineModel",
+    "KernelPoint",
+    "cs2_roofline",
+    "cs2_kernel_points",
+    "a100_roofline",
+    "a100_kernel_point",
+    "EnergyComparison",
+    "compare_energy",
+    "CS2_POWER_W",
+    "A100_POWER_W",
+    "WeakScalingRow",
+    "weak_scaling_row",
+    "throughput_gcells_per_second",
+    "achieved_tflops",
+    "speedup",
+]

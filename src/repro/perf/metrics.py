@@ -1,0 +1,92 @@
+"""Derived performance metrics and table assembly helpers.
+
+Gcell/s throughput (Table 2's metric), TFLOPS, and speedups, plus the
+row builders shared by the benchmark harness so every bench prints
+paper-comparable rows from the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constants import PAPER_ITERATIONS
+from repro.core.kernels import FLOPS_PER_CELL
+from repro.perf.timing import (
+    A100_RAJA_TIME_MODEL,
+    CS2_TIME_MODEL,
+    Cs2TimeModel,
+    GpuTimeModel,
+)
+
+__all__ = [
+    "throughput_gcells_per_second",
+    "achieved_tflops",
+    "speedup",
+    "WeakScalingRow",
+    "weak_scaling_row",
+]
+
+
+def throughput_gcells_per_second(
+    num_cells: int, applications: int, seconds: float
+) -> float:
+    """Cells processed per second, in Gcell/s (Table 2 metric)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return num_cells * applications / seconds / 1e9
+
+
+def achieved_tflops(num_cells: int, applications: int, seconds: float) -> float:
+    """Kernel TFLOPS at 140 FLOPs per cell per application (Sec. 7.3)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return num_cells * applications * FLOPS_PER_CELL / seconds / 1e12
+
+
+def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
+    """Baseline time over accelerated time (204x in Table 1's terms)."""
+    if accelerated_seconds <= 0:
+        raise ValueError("accelerated_seconds must be positive")
+    return baseline_seconds / accelerated_seconds
+
+
+@dataclass(frozen=True)
+class WeakScalingRow:
+    """One row of the Table 2 reproduction."""
+
+    nx: int
+    ny: int
+    nz: int
+    total_cells: int
+    throughput_gcells: float
+    cs2_seconds: float
+    a100_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """A100 time over CS-2 time for this mesh."""
+        return self.a100_seconds / self.cs2_seconds
+
+
+def weak_scaling_row(
+    nx: int,
+    ny: int,
+    nz: int,
+    *,
+    applications: int = PAPER_ITERATIONS,
+    cs2_model: Cs2TimeModel = CS2_TIME_MODEL,
+    gpu_model: GpuTimeModel = A100_RAJA_TIME_MODEL,
+) -> WeakScalingRow:
+    """Model-projected Table 2 row for one mesh size."""
+    cells = nx * ny * nz
+    cs2_s = cs2_model.seconds(nx, ny, nz, applications)
+    a100_s = gpu_model.seconds(nx, ny, nz, applications)
+    return WeakScalingRow(
+        nx=nx,
+        ny=ny,
+        nz=nz,
+        total_cells=cells,
+        throughput_gcells=throughput_gcells_per_second(cells, applications, cs2_s),
+        cs2_seconds=cs2_s,
+        a100_seconds=a100_s,
+    )

@@ -1,0 +1,233 @@
+"""Calibrated analytic time models for CS-2 and A100 (Tables 1-3).
+
+We cannot time the paper's hardware, so absolute seconds come from
+analytic models whose few constants are *fitted to the paper's own
+measurements* and then used predictively across mesh sizes — the model
+must reproduce the shape of every table from structure, not lookup.
+
+CS-2 model (three constants, Sec. 7.2 + Tables 2-3)::
+
+    t_app(nx, ny, nz) = compute + comm + sync
+    compute = C_cell * nz / f          all PEs work in parallel; each
+                                       processes its Z column (Sec. 5.1)
+    comm    = C_word * 16 * nz / f     each PE drains 8 neighbour trains
+                                       of 2*nz words (Sec. 5.2)
+    sync    = C_dim * (nx + ny) / f    coordination wavefront across the
+                                       fabric (the mild growth of Table 2)
+
+``C_cell`` comes from Table 3's compute time (0.0624 s / 1000 apps at
+nz=246), ``C_dim`` from the slope of Table 2's CS-2 column, and
+``C_word`` from Table 3's communication time minus the sync share.
+
+A100 model (two constants)::
+
+    t_app(cells) = t_cell * cells + t_launch
+
+``t_cell`` is least-squares fitted to Table 2's A100 column; the RAJA /
+CUDA distinction is the measured ratio of Table 1.  The model is linear
+in the cell count — the defining contrast with the CS-2's flat weak
+scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constants import (
+    PAPER_ITERATIONS,
+    PAPER_MESH,
+    PAPER_WEAK_SCALING_MESHES,
+)
+
+__all__ = [
+    "Cs2TimeModel",
+    "GpuTimeModel",
+    "CS2_TIME_MODEL",
+    "A100_RAJA_TIME_MODEL",
+    "A100_CUDA_TIME_MODEL",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2_CS2_SECONDS",
+    "PAPER_TABLE2_A100_SECONDS",
+    "PAPER_TABLE3",
+]
+
+#: Paper Table 1: wall-clock seconds for 1000 applications, 750x994x246.
+PAPER_TABLE1 = {
+    "Dataflow/CSL": (0.0823, 0.0000014),
+    "GPU/RAJA": (16.8378, 0.0194403),
+    "GPU/CUDA": (14.6573, 0.0111278),
+}
+
+#: Paper Table 2 CS-2 seconds column, keyed by (nx, ny, nz).
+PAPER_TABLE2_CS2_SECONDS = {
+    (200, 200, 246): 0.0813,
+    (400, 400, 246): 0.0817,
+    (600, 600, 246): 0.0821,
+    (750, 600, 246): 0.0821,
+    (750, 800, 246): 0.0822,
+    (750, 950, 246): 0.0823,
+}
+
+#: Paper Table 2 A100 seconds column.
+PAPER_TABLE2_A100_SECONDS = {
+    (200, 200, 246): 0.9040,
+    (400, 400, 246): 3.2649,
+    (600, 600, 246): 7.2440,
+    (750, 600, 246): 9.6825,
+    (750, 800, 246): 13.2407,
+    (750, 950, 246): 16.8378,
+}
+
+#: Paper Table 3: time split on CS-2 at the largest mesh (seconds, %).
+PAPER_TABLE3 = {
+    "Data Movement": (0.0199, 24.18),
+    "Computation": (0.0624, 75.82),
+    "Total": (0.0823, 100.00),
+}
+
+
+@dataclass(frozen=True)
+class Cs2TimeModel:
+    """Analytic CS-2 time model (see module docstring).
+
+    Attributes
+    ----------
+    clock_hz:
+        Fabric/PE clock (850 MHz on WSE-2).
+    compute_cycles_per_cell:
+        Datapath cycles per mesh cell per application (calibrated).
+    comm_cycles_per_word:
+        Cycles per received fabric word per application (calibrated).
+    sync_cycles_per_dim:
+        Cycles per unit of ``nx + ny`` per application (calibrated).
+    """
+
+    clock_hz: float
+    compute_cycles_per_cell: float
+    comm_cycles_per_word: float
+    sync_cycles_per_dim: float
+
+    @classmethod
+    def calibrated(cls, clock_hz: float = 850e6) -> "Cs2TimeModel":
+        """Fit the three constants to Tables 2-3 (see module docstring)."""
+        nz = PAPER_MESH[2]
+        apps = PAPER_ITERATIONS
+        compute_s = PAPER_TABLE3["Computation"][0] / apps
+        comm_total_s = PAPER_TABLE3["Data Movement"][0] / apps
+        # slope of the CS-2 column of Table 2 against (nx + ny)
+        dims = np.array([nx + ny for (nx, ny, _) in PAPER_WEAK_SCALING_MESHES])
+        times = np.array(
+            [PAPER_TABLE2_CS2_SECONDS[m] / apps for m in PAPER_WEAK_SCALING_MESHES]
+        )
+        slope, _ = np.polyfit(dims, times, 1)
+        sync_cycles_per_dim = slope * clock_hz
+        largest = PAPER_WEAK_SCALING_MESHES[-1]
+        sync_at_largest = sync_cycles_per_dim * (largest[0] + largest[1])
+        comm_word_cycles = (
+            comm_total_s * clock_hz - sync_at_largest
+        ) / (16 * nz)
+        return cls(
+            clock_hz=clock_hz,
+            compute_cycles_per_cell=compute_s * clock_hz / nz,
+            comm_cycles_per_word=comm_word_cycles,
+            sync_cycles_per_dim=sync_cycles_per_dim,
+        )
+
+    # ------------------------------------------------------------------ #
+    def compute_seconds_per_application(self, nz: int) -> float:
+        """Per-application compute time (independent of nx, ny)."""
+        return self.compute_cycles_per_cell * nz / self.clock_hz
+
+    def comm_seconds_per_application(self, nx: int, ny: int, nz: int) -> float:
+        """Per-application communication + synchronization time."""
+        words = 16 * nz
+        return (
+            self.comm_cycles_per_word * words
+            + self.sync_cycles_per_dim * (nx + ny)
+        ) / self.clock_hz
+
+    def seconds_per_application(self, nx: int, ny: int, nz: int) -> float:
+        """Total device time per application of Algorithm 1."""
+        return self.compute_seconds_per_application(
+            nz
+        ) + self.comm_seconds_per_application(nx, ny, nz)
+
+    def seconds(
+        self, nx: int, ny: int, nz: int, applications: int = PAPER_ITERATIONS
+    ) -> float:
+        """Device time for a batch of applications (the tables' metric)."""
+        return applications * self.seconds_per_application(nx, ny, nz)
+
+    def time_split(
+        self, nx: int, ny: int, nz: int, applications: int = PAPER_ITERATIONS
+    ) -> dict[str, tuple[float, float]]:
+        """Table-3-style split: {component: (seconds, percent)}."""
+        comm = applications * self.comm_seconds_per_application(nx, ny, nz)
+        comp = applications * self.compute_seconds_per_application(nz)
+        total = comm + comp
+        return {
+            "Data Movement": (comm, 100.0 * comm / total),
+            "Computation": (comp, 100.0 * comp / total),
+            "Total": (total, 100.0),
+        }
+
+
+@dataclass(frozen=True)
+class GpuTimeModel:
+    """Linear-in-cells GPU kernel time model (see module docstring)."""
+
+    seconds_per_cell: float
+    launch_overhead_seconds: float
+    name: str = "GPU"
+
+    @classmethod
+    def calibrated_raja(cls) -> "GpuTimeModel":
+        """Least-squares fit of Table 2's A100 (RAJA) column."""
+        cells = np.array(
+            [nx * ny * nz for (nx, ny, nz) in PAPER_WEAK_SCALING_MESHES],
+            dtype=float,
+        )
+        times = np.array(
+            [
+                PAPER_TABLE2_A100_SECONDS[m] / PAPER_ITERATIONS
+                for m in PAPER_WEAK_SCALING_MESHES
+            ]
+        )
+        slope, intercept = np.polyfit(cells, times, 1)
+        return cls(
+            seconds_per_cell=float(slope),
+            launch_overhead_seconds=max(0.0, float(intercept)),
+            name="GPU/RAJA",
+        )
+
+    @classmethod
+    def calibrated_cuda(cls) -> "GpuTimeModel":
+        """RAJA model scaled by the measured CUDA/RAJA ratio of Table 1."""
+        raja = cls.calibrated_raja()
+        ratio = PAPER_TABLE1["GPU/CUDA"][0] / PAPER_TABLE1["GPU/RAJA"][0]
+        return cls(
+            seconds_per_cell=raja.seconds_per_cell * ratio,
+            launch_overhead_seconds=raja.launch_overhead_seconds * ratio,
+            name="GPU/CUDA",
+        )
+
+    def seconds_per_application(self, nx: int, ny: int, nz: int) -> float:
+        """Kernel time for one application."""
+        return (
+            self.seconds_per_cell * (nx * ny * nz)
+            + self.launch_overhead_seconds
+        )
+
+    def seconds(
+        self, nx: int, ny: int, nz: int, applications: int = PAPER_ITERATIONS
+    ) -> float:
+        """Kernel time for a batch of applications."""
+        return applications * self.seconds_per_application(nx, ny, nz)
+
+
+#: Module-level calibrated instances (fitting is cheap and deterministic).
+CS2_TIME_MODEL = Cs2TimeModel.calibrated()
+A100_RAJA_TIME_MODEL = GpuTimeModel.calibrated_raja()
+A100_CUDA_TIME_MODEL = GpuTimeModel.calibrated_cuda()

@@ -1,0 +1,155 @@
+"""Matrix-free Krylov solvers: CG and BiCGSTAB (extension, paper Sec. 8).
+
+Implemented from scratch against a ``matvec`` callable so they run
+unchanged on the matrix-free Jacobian operator — the structure the paper
+proposes porting to the dataflow architecture ("developing nonlinear and
+linear solvers on a dataflow architecture", Sec. 9).  Optional left
+preconditioning via a ``psolve`` callable (e.g. Jacobi from
+:meth:`MatrixFreeJacobian.diagonal`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["KrylovResult", "conjugate_gradient", "bicgstab", "jacobi_preconditioner"]
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class KrylovResult:
+    """Solution and convergence history of a Krylov solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    history: list[float] = field(default_factory=list)
+
+
+def jacobi_preconditioner(diagonal: np.ndarray) -> MatVec:
+    """Left Jacobi preconditioner ``M^{-1} r = r / diag``.
+
+    Raises
+    ------
+    ValueError
+        If any diagonal entry vanishes.
+    """
+    d = np.asarray(diagonal, dtype=np.float64).ravel()
+    if np.any(d == 0.0):
+        raise ValueError("Jacobi preconditioner: zero diagonal entry")
+    inv = 1.0 / d
+
+    def psolve(r: np.ndarray) -> np.ndarray:
+        return r * inv
+
+    return psolve
+
+
+def conjugate_gradient(
+    matvec: MatVec,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    rtol: float = 1e-8,
+    atol: float = 0.0,
+    max_iterations: int = 1000,
+    psolve: MatVec | None = None,
+) -> KrylovResult:
+    """Preconditioned conjugate gradients for SPD operators.
+
+    Only valid for symmetric positive definite systems (no gravity/upwind
+    asymmetry); used for the symmetric sub-problems and as a baseline.
+    """
+    b = np.asarray(b, dtype=np.float64).ravel()
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).ravel().copy()
+    r = b - np.asarray(matvec(x)).ravel()
+    z = psolve(r) if psolve else r.copy()
+    p = z.copy()
+    rz = float(r @ z)
+    bnorm = float(np.linalg.norm(b))
+    target = max(rtol * bnorm, atol)
+    history = [float(np.linalg.norm(r))]
+    if history[-1] <= target:
+        return KrylovResult(x, True, 0, history[-1], history)
+    for it in range(1, max_iterations + 1):
+        ap = np.asarray(matvec(p)).ravel()
+        pap = float(p @ ap)
+        if pap <= 0:
+            # operator not SPD along p: report non-convergence honestly
+            return KrylovResult(x, False, it, history[-1], history)
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        rnorm = float(np.linalg.norm(r))
+        history.append(rnorm)
+        if rnorm <= target:
+            return KrylovResult(x, True, it, rnorm, history)
+        z = psolve(r) if psolve else r
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return KrylovResult(x, False, max_iterations, history[-1], history)
+
+
+def bicgstab(
+    matvec: MatVec,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    rtol: float = 1e-8,
+    atol: float = 0.0,
+    max_iterations: int = 1000,
+    psolve: MatVec | None = None,
+) -> KrylovResult:
+    """BiCGSTAB for the nonsymmetric upwinded TPFA Jacobian."""
+    b = np.asarray(b, dtype=np.float64).ravel()
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).ravel().copy()
+    r = b - np.asarray(matvec(x)).ravel()
+    r_hat = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros_like(b)
+    p = np.zeros_like(b)
+    bnorm = float(np.linalg.norm(b))
+    target = max(rtol * bnorm, atol)
+    history = [float(np.linalg.norm(r))]
+    if history[-1] <= target:
+        return KrylovResult(x, True, 0, history[-1], history)
+    for it in range(1, max_iterations + 1):
+        rho_new = float(r_hat @ r)
+        if rho_new == 0.0:
+            return KrylovResult(x, False, it, history[-1], history)
+        beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
+        rho = rho_new
+        p = r + beta * (p - omega * v) if it > 1 else r.copy()
+        phat = psolve(p) if psolve else p
+        v = np.asarray(matvec(phat)).ravel()
+        denom = float(r_hat @ v)
+        if denom == 0.0:
+            return KrylovResult(x, False, it, history[-1], history)
+        alpha = rho / denom
+        s = r - alpha * v
+        snorm = float(np.linalg.norm(s))
+        if snorm <= target:
+            x += alpha * phat
+            history.append(snorm)
+            return KrylovResult(x, True, it, snorm, history)
+        shat = psolve(s) if psolve else s
+        t = np.asarray(matvec(shat)).ravel()
+        tt = float(t @ t)
+        if tt == 0.0:
+            return KrylovResult(x, False, it, snorm, history)
+        omega = float(t @ s) / tt
+        x += alpha * phat + omega * shat
+        r = s - omega * t
+        rnorm = float(np.linalg.norm(r))
+        history.append(rnorm)
+        if rnorm <= target:
+            return KrylovResult(x, True, it, rnorm, history)
+        if omega == 0.0:
+            return KrylovResult(x, False, it, rnorm, history)
+    return KrylovResult(x, False, max_iterations, history[-1], history)

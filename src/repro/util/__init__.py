@@ -1,0 +1,19 @@
+"""Shared utilities: validated array helpers and table reporting."""
+
+from repro.util.arrays import (
+    as_float_array,
+    check_positive,
+    check_shape,
+    ensure_3d,
+)
+from repro.util.reporting import Table, format_seconds, format_si
+
+__all__ = [
+    "as_float_array",
+    "check_positive",
+    "check_shape",
+    "ensure_3d",
+    "Table",
+    "format_seconds",
+    "format_si",
+]

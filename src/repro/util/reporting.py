@@ -1,0 +1,94 @@
+"""Plain-text table rendering shared by the benchmark harness.
+
+Every benchmark in ``benchmarks/`` regenerates one table or figure of the
+paper and prints it through :class:`Table` so the output rows can be
+compared side-by-side with the published numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_seconds", "format_si"]
+
+_SI_PREFIXES = [
+    (1e15, "P"),
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+]
+
+
+def format_si(value: float, unit: str = "", digits: int = 2) -> str:
+    """Format *value* with an SI prefix, e.g. ``311.85 TFLOP/s``."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    if not math.isfinite(value):
+        return f"{value} {unit}".strip()
+    mag = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if mag >= scale:
+            return f"{value / scale:.{digits}f} {prefix}{unit}".strip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}f} {prefix}{unit}".strip()
+
+
+def format_seconds(value: float, digits: int = 4) -> str:
+    """Format a duration in seconds with fixed precision."""
+    return f"{value:.{digits}f}"
+
+
+@dataclass
+class Table:
+    """Minimal monospace table with a title, headers, and footnotes.
+
+    Examples
+    --------
+    >>> t = Table("Table 1", ["Arch/lang", "Avg. [s]"])
+    >>> t.add_row(["Dataflow/CSL", "0.0823"])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    Table 1
+    ...
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, cells: list) -> None:
+        """Append a row; cells are stringified."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote rendered below the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table to a monospace string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: list[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, fmt_row(self.headers), sep]
+        lines.extend(fmt_row(row) for row in self.rows)
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

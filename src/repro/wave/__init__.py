@@ -1,0 +1,24 @@
+"""TTI acoustic wave propagation: the paper's Sec.-8 companion app.
+
+A second physics kernel that needs diagonal neighbour data (the mixed
+derivative of a tilted anisotropic medium), run both as a vectorized
+reference and on the wafer-scale fabric reusing the flux kernel's
+communication channels verbatim.
+"""
+
+from repro.wave.dataflow import WseWavePropagator
+from repro.wave.medium import TTIMedium, stencil_coefficients
+from repro.wave.reference import WavePropagator, ricker_wavelet
+from repro.wave.rtm import RtmResult, SnapshotStore, model_shot, rtm_image
+
+__all__ = [
+    "TTIMedium",
+    "stencil_coefficients",
+    "WavePropagator",
+    "WseWavePropagator",
+    "ricker_wavelet",
+    "SnapshotStore",
+    "model_shot",
+    "rtm_image",
+    "RtmResult",
+]

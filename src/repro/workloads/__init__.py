@@ -1,0 +1,25 @@
+"""Synthetic geomodels and experiment scenarios (workload generators)."""
+
+from repro.workloads.geomodels import (
+    channelized_permeability,
+    layered_permeability,
+    lognormal_permeability,
+    make_geomodel,
+    uniform_permeability,
+)
+from repro.workloads.scenarios import (
+    FluxScenario,
+    InjectionScenario,
+    paper_mesh_scaled,
+)
+
+__all__ = [
+    "uniform_permeability",
+    "layered_permeability",
+    "lognormal_permeability",
+    "channelized_permeability",
+    "make_geomodel",
+    "FluxScenario",
+    "InjectionScenario",
+    "paper_mesh_scaled",
+]

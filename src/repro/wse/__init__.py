@@ -1,0 +1,55 @@
+"""Wafer-scale engine simulator: fabric, routers, PEs, DSD datapath.
+
+This substrate stands in for the Cerebras CS-2 (paper Sec. 4): a 2D mesh
+of processing elements with private single-level memories, connected by a
+low-latency fabric routed per color, programmed by binding tasks to
+colors.  The dataflow TPFA implementation (:mod:`repro.dataflow`) runs on
+top of it.
+"""
+
+from repro.wse.color import MAX_ROUTABLE_COLORS, ColorAllocator
+from repro.wse.dsd import OP_FLOPS, OP_TRAFFIC, DsdEngine, OpTraffic
+from repro.wse.fabric import WSE2_MAX_FABRIC, Fabric
+from repro.wse.geometry import CARDINAL_PORTS, Port, in_bounds, port_for_connection, shift
+from repro.wse.memory import (
+    WSE2_PE_MEMORY_BYTES,
+    Allocation,
+    PEMemoryError,
+    Scratchpad,
+)
+from repro.wse.packet import KIND_CONTROL, KIND_DATA, WORD_BYTES, Message
+from repro.wse.pe import ProcessingElement
+from repro.wse.perf import WSE2, WsePerfModel
+from repro.wse.router import ColorConfig, Router
+from repro.wse.runtime import EventRuntime, RuntimeStats
+
+__all__ = [
+    "ColorAllocator",
+    "MAX_ROUTABLE_COLORS",
+    "DsdEngine",
+    "OpTraffic",
+    "OP_TRAFFIC",
+    "OP_FLOPS",
+    "Fabric",
+    "WSE2_MAX_FABRIC",
+    "Port",
+    "CARDINAL_PORTS",
+    "shift",
+    "in_bounds",
+    "port_for_connection",
+    "Scratchpad",
+    "Allocation",
+    "PEMemoryError",
+    "WSE2_PE_MEMORY_BYTES",
+    "Message",
+    "KIND_DATA",
+    "KIND_CONTROL",
+    "WORD_BYTES",
+    "ProcessingElement",
+    "WsePerfModel",
+    "WSE2",
+    "Router",
+    "ColorConfig",
+    "EventRuntime",
+    "RuntimeStats",
+]

@@ -1,0 +1,77 @@
+"""Color (routing tag) registry.
+
+Each packet carries a color used "for routing and indicating the type of a
+message" (Sec. 4).  The hardware exposes a small fixed budget of routable
+colors; the allocator enforces that budget and gives colors stable names
+so router configurations and task bindings stay readable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ColorAllocator", "MAX_ROUTABLE_COLORS"]
+
+#: Routable color budget per program (WSE-2 exposes 24 routable colors).
+MAX_ROUTABLE_COLORS = 24
+
+
+class ColorAllocator:
+    """Hands out named color ids from the hardware budget.
+
+    Examples
+    --------
+    >>> colors = ColorAllocator()
+    >>> east = colors.allocate("card_east")
+    >>> colors.name_of(east)
+    'card_east'
+    """
+
+    def __init__(self, budget: int = MAX_ROUTABLE_COLORS) -> None:
+        if budget < 1:
+            raise ValueError("color budget must be positive")
+        self.budget = budget
+        self._by_name: dict[str, int] = {}
+        self._by_id: dict[int, str] = {}
+
+    def allocate(self, name: str) -> int:
+        """Reserve the next free color id under *name*.
+
+        Raises
+        ------
+        ValueError
+            If *name* is already allocated or the budget is exhausted.
+        """
+        if name in self._by_name:
+            raise ValueError(f"color {name!r} already allocated")
+        cid = len(self._by_name)
+        if cid >= self.budget:
+            raise ValueError(
+                f"out of routable colors (budget {self.budget}); "
+                f"allocated: {sorted(self._by_name)}"
+            )
+        self._by_name[name] = cid
+        self._by_id[cid] = name
+        return cid
+
+    def lookup(self, name: str) -> int:
+        """Color id previously allocated under *name*."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"color {name!r} not allocated") from None
+
+    def name_of(self, color: int) -> str:
+        """Name of color id *color*."""
+        try:
+            return self._by_id[color]
+        except KeyError:
+            raise KeyError(f"color id {color} not allocated") from None
+
+    def names(self) -> list[str]:
+        """All allocated color names in id order."""
+        return [self._by_id[i] for i in range(len(self._by_id))]
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

@@ -1,0 +1,169 @@
+"""The 2D fabric: a grid of PEs and their routers.
+
+"The WSE ... comes with a 2D-mesh interconnection fabric that connects
+processing elements (PEs) where computations take place" (Sec. 4).  The
+fabric object wires one :class:`Router` to every
+:class:`ProcessingElement` and offers bulk configuration helpers used by
+the dataflow program builder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.wse.dsd import DsdEngine
+from repro.wse.geometry import in_bounds
+from repro.wse.memory import Scratchpad, WSE2_PE_MEMORY_BYTES
+from repro.wse.pe import ProcessingElement
+from repro.wse.router import RoutePosition, Router
+
+__all__ = ["Fabric", "WSE2_MAX_FABRIC"]
+
+#: Largest usable fabric on CS-2 with SDK 0.6.0 (Sec. 7.1): a thin layer
+#: of boundary PEs is reserved by the SDK.
+WSE2_MAX_FABRIC = (750, 994)
+
+
+class Fabric:
+    """A ``width x height`` grid of PEs with routers.
+
+    Parameters
+    ----------
+    width, height:
+        Fabric dimensions in PEs.
+    pe_memory_bytes:
+        Scratchpad capacity per PE.
+    pe_memory_reserved:
+        Bytes reserved for code on each PE.
+    vectorized:
+        Whether PE datapaths use the SIMD/DSD fast path (Sec. 5.3.3);
+        affects cycle accounting only.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        *,
+        pe_memory_bytes: int = WSE2_PE_MEMORY_BYTES,
+        pe_memory_reserved: int = 0,
+        vectorized: bool = True,
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("fabric dimensions must be positive")
+        max_w, max_h = WSE2_MAX_FABRIC
+        if width > max_w or height > max_h:
+            raise ValueError(
+                f"fabric {width}x{height} exceeds the usable WSE-2 fabric "
+                f"{max_w}x{max_h}"
+            )
+        self.width = width
+        self.height = height
+        self._pes: dict[tuple[int, int], ProcessingElement] = {}
+        self._routers: dict[tuple[int, int], Router] = {}
+        for y in range(height):
+            for x in range(width):
+                coord = (x, y)
+                self._pes[coord] = ProcessingElement(
+                    coord=coord,
+                    memory=Scratchpad(
+                        pe_memory_bytes, reserved=pe_memory_reserved
+                    ),
+                    dsd=DsdEngine(vectorized=vectorized),
+                )
+                self._routers[coord] = Router(coord=coord)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pes(self) -> int:
+        """Total PEs on the fabric."""
+        return self.width * self.height
+
+    def pe(self, x: int, y: int) -> ProcessingElement:
+        """PE at coordinate ``(x, y)``."""
+        try:
+            return self._pes[(x, y)]
+        except KeyError:
+            raise IndexError(
+                f"PE ({x}, {y}) outside fabric {self.width}x{self.height}"
+            ) from None
+
+    def router(self, x: int, y: int) -> Router:
+        """Router at coordinate ``(x, y)``."""
+        try:
+            return self._routers[(x, y)]
+        except KeyError:
+            raise IndexError(
+                f"router ({x}, {y}) outside fabric {self.width}x{self.height}"
+            ) from None
+
+    def contains(self, coord: tuple[int, int]) -> bool:
+        """True when *coord* is on the fabric."""
+        return in_bounds(coord, self.width, self.height)
+
+    def pes(self) -> Iterator[ProcessingElement]:
+        """Iterate all PEs in row-major order."""
+        for y in range(self.height):
+            for x in range(self.width):
+                yield self._pes[(x, y)]
+
+    # ------------------------------------------------------------------ #
+    def configure_color(
+        self,
+        color: int,
+        positions_for: Callable[[tuple[int, int]], list[RoutePosition] | None],
+        *,
+        initial_for: Callable[[tuple[int, int]], int] | None = None,
+    ) -> None:
+        """Install routing for *color* on every router.
+
+        Parameters
+        ----------
+        positions_for:
+            Callback mapping a coordinate to that router's switch
+            positions (return None to leave the router unconfigured).
+        initial_for:
+            Optional callback choosing the initial switch position per
+            router (default 0).
+        """
+        for coord, router in self._routers.items():
+            positions = positions_for(coord)
+            if positions is None:
+                continue
+            initial = initial_for(coord) if initial_for is not None else 0
+            router.configure(color, positions, initial=initial)
+
+    def bind_all(self, color: int, handler, *, control: bool = False) -> None:
+        """Bind the same task *handler* to *color* on every PE."""
+        for pe in self.pes():
+            if control:
+                pe.bind_control(color, handler)
+            else:
+                pe.bind(color, handler)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate accounting
+    # ------------------------------------------------------------------ #
+    def total_counts(self) -> dict[str, int]:
+        """Sum of DSD instruction counts over all PEs."""
+        totals: dict[str, int] = {}
+        for pe in self.pes():
+            for op, n in pe.dsd.counts.items():
+                totals[op] = totals.get(op, 0) + n
+        return totals
+
+    def total_flops(self) -> int:
+        """Total floating point operations executed on the fabric."""
+        return sum(pe.dsd.flops for pe in self.pes())
+
+    def max_memory_high_water(self) -> int:
+        """Largest scratchpad high-water mark across PEs (bytes)."""
+        return max(pe.memory.high_water for pe in self.pes())
+
+    def reset_counters(self) -> None:
+        """Zero all PE instruction counters and busy times."""
+        for pe in self.pes():
+            pe.dsd.reset()
+            pe.busy_until = 0.0
+            pe.messages_received = pe.messages_sent = 0
+            pe.words_received = pe.words_sent = 0

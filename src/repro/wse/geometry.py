@@ -1,0 +1,90 @@
+"""Fabric geometry: PE coordinates and router link directions.
+
+The wafer-scale engine is a 2D mesh of processing elements (paper Fig. 2).
+Each PE's router manages five full-duplex links: NORTH, EAST, SOUTH, WEST
+toward neighbouring routers, plus RAMP between the router and its own PE.
+
+Coordinates are ``(x, y)`` with x growing east and y growing south, the
+same convention as the mesh mapping (cell ``(x, y, z) -> PE (x, y)``,
+Sec. 5.1) and the stencil module (NORTH is ``y - 1``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.stencil import Connection
+
+__all__ = ["Port", "CARDINAL_PORTS", "shift", "in_bounds", "port_for_connection"]
+
+
+class Port(enum.Enum):
+    """One of the five router links of a PE (Sec. 4)."""
+
+    NORTH = "N"
+    EAST = "E"
+    SOUTH = "S"
+    WEST = "W"
+    RAMP = "R"
+
+    @property
+    def offset(self) -> tuple[int, int]:
+        """Fabric coordinate offset of the neighbouring router (0,0 for RAMP)."""
+        return _OFFSETS[self]
+
+    @property
+    def opposite(self) -> "Port":
+        """The port on the receiving router that this link arrives on."""
+        return _OPPOSITES[self]
+
+
+_OFFSETS = {
+    Port.NORTH: (0, -1),
+    Port.EAST: (1, 0),
+    Port.SOUTH: (0, 1),
+    Port.WEST: (-1, 0),
+    Port.RAMP: (0, 0),
+}
+
+_OPPOSITES = {
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+    Port.RAMP: Port.RAMP,
+}
+
+#: The four fabric directions (everything but RAMP).
+CARDINAL_PORTS = (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST)
+
+#: Mapping from the mesh's cardinal X-Y connections to fabric ports.
+_PORT_OF_CONNECTION = {
+    Connection.EAST: Port.EAST,
+    Connection.WEST: Port.WEST,
+    Connection.NORTH: Port.NORTH,
+    Connection.SOUTH: Port.SOUTH,
+}
+
+
+def port_for_connection(conn: Connection) -> Port:
+    """Fabric port pointing at the PE that owns the *conn* neighbour column.
+
+    Only defined for the four cardinal X-Y connections; diagonal data has
+    no direct link and travels through an intermediary (Sec. 5.2.2).
+    """
+    try:
+        return _PORT_OF_CONNECTION[conn]
+    except KeyError:
+        raise ValueError(f"{conn} has no direct fabric port") from None
+
+
+def shift(coord: tuple[int, int], port: Port) -> tuple[int, int]:
+    """Coordinate of the router reached by leaving *coord* through *port*."""
+    dx, dy = port.offset
+    return (coord[0] + dx, coord[1] + dy)
+
+
+def in_bounds(coord: tuple[int, int], width: int, height: int) -> bool:
+    """True when *coord* lies on a ``width x height`` fabric."""
+    x, y = coord
+    return 0 <= x < width and 0 <= y < height

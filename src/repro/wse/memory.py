@@ -1,0 +1,168 @@
+"""PE scratchpad memory: a bump allocator with capacity accounting.
+
+Every PE owns a small private local memory (48 KB on WSE-2) holding code,
+cell data, face data, and communication buffers (Sec. 5.3.1).  "Reducing
+the memory consumption on each PE is crucial to fit the largest possible
+problem", and the paper hand-crafts buffer reuse "akin to register
+allocation optimization".
+
+:class:`Scratchpad` provides named allocations backed by NumPy arrays,
+tracks the high-water mark, raises on overflow, and supports *aliasing* —
+deliberately overlaying a new logical buffer on an existing allocation,
+the reuse mechanism quantified by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Scratchpad", "Allocation", "PEMemoryError", "WSE2_PE_MEMORY_BYTES"]
+
+#: Private local memory per WSE-2 processing element.
+WSE2_PE_MEMORY_BYTES = 48 * 1024
+
+
+class PEMemoryError(MemoryError):
+    """Raised when an allocation exceeds the PE's local memory."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One named region of a PE scratchpad."""
+
+    name: str
+    offset: int
+    nbytes: int
+    array: np.ndarray
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.offset + self.nbytes
+
+
+class Scratchpad:
+    """Named bump allocator over a fixed-size private memory.
+
+    Parameters
+    ----------
+    capacity:
+        Usable bytes (default: the full 48 KB of a WSE-2 PE).
+    reserved:
+        Bytes set aside for code/runtime (reduces usable capacity), the
+        "instructions" the paper notes must share PE memory (Sec. 5.3.1).
+    """
+
+    def __init__(
+        self,
+        capacity: int = WSE2_PE_MEMORY_BYTES,
+        *,
+        reserved: int = 0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= reserved < capacity:
+            raise ValueError("reserved must lie in [0, capacity)")
+        self.capacity = int(capacity)
+        self.reserved = int(reserved)
+        self._cursor = self.reserved
+        self._allocations: dict[str, Allocation] = {}
+        self.high_water = self.reserved
+
+    # ------------------------------------------------------------------ #
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated (including the reserved region)."""
+        return self._cursor
+
+    @property
+    def free(self) -> int:
+        """Bytes still available."""
+        return self.capacity - self._cursor
+
+    def alloc_array(self, name: str, shape, dtype=np.float32) -> np.ndarray:
+        """Allocate a named zero-initialized array in PE memory.
+
+        Raises
+        ------
+        PEMemoryError
+            When the region does not fit; the message reports the
+            shortfall, mirroring an SDK out-of-memory compile error.
+        ValueError
+            When *name* is already allocated.
+        """
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        arr = np.zeros(shape, dtype=dtype)
+        nbytes = arr.nbytes
+        if self._cursor + nbytes > self.capacity:
+            raise PEMemoryError(
+                f"PE memory overflow allocating {name!r}: need {nbytes} B, "
+                f"have {self.free} B of {self.capacity} B"
+            )
+        alloc = Allocation(name, self._cursor, nbytes, arr)
+        self._cursor += nbytes
+        self.high_water = max(self.high_water, self._cursor)
+        self._allocations[name] = alloc
+        return arr
+
+    def alias(self, name: str, existing: str) -> np.ndarray:
+        """Overlay logical buffer *name* on the allocation of *existing*.
+
+        This is the paper's hand-crafted buffer reuse (Sec. 5.3.1): the new
+        buffer consumes no additional memory and shares storage with the
+        existing one — callers take responsibility for the lifetime
+        ("overwriting / reusing data buffers eliminates the need for data
+        replication").
+        """
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        base = self.get(existing)
+        alloc = Allocation(name, base.offset, base.nbytes, base.array)
+        self._allocations[name] = alloc
+        return base.array
+
+    def free_allocation(self, name: str) -> None:
+        """Release a named allocation.
+
+        Only the *most recent distinct region* can actually return bytes
+        to the pool (bump allocation); earlier frees merely drop the name.
+        Aliases never return bytes.
+        """
+        alloc = self._allocations.pop(name, None)
+        if alloc is None:
+            raise KeyError(f"allocation {name!r} not found")
+        still_used = any(a.offset == alloc.offset for a in self._allocations.values())
+        if not still_used and alloc.end == self._cursor:
+            self._cursor = alloc.offset
+
+    def get(self, name: str) -> Allocation:
+        """Look up a named allocation."""
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise KeyError(f"allocation {name!r} not found") from None
+
+    def array(self, name: str) -> np.ndarray:
+        """The backing array of a named allocation."""
+        return self.get(name).array
+
+    def names(self) -> list[str]:
+        """All allocation names, in allocation order."""
+        return list(self._allocations)
+
+    def overlap_pairs(self) -> list[tuple[str, str]]:
+        """Pairs of distinct allocations whose byte ranges overlap.
+
+        Non-aliased allocations never overlap (verified by property
+        tests); aliases appear here by construction.
+        """
+        allocs = list(self._allocations.values())
+        out = []
+        for i, a in enumerate(allocs):
+            for b in allocs[i + 1 :]:
+                if a.offset < b.end and b.offset < a.end:
+                    out.append((a.name, b.name))
+        return out

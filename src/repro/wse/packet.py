@@ -1,0 +1,100 @@
+"""Messages on the fabric: data wavelet trains and control wavelets.
+
+On the real hardware every link moves 32-bit packets ("wavelets") tagged
+with a color (Sec. 4).  The simulator transports whole trains of wavelets
+as one :class:`Message` carrying a NumPy payload; cost accounting still
+happens at wavelet (32-bit word) granularity via :attr:`Message.num_words`.
+
+Control wavelets (``KIND_CONTROL``) carry router commands instead of data:
+they advance the switch position of every router they traverse, which is
+how the *Sending*/*Receiving* roles alternate in the cardinal exchange
+(paper Fig. 6b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Message", "KIND_DATA", "KIND_CONTROL", "WORD_BYTES"]
+
+#: Bytes per fabric word: links transfer data in 32-bit packets (Sec. 4).
+WORD_BYTES = 4
+
+#: Payload-carrying wavelet train.
+KIND_DATA = "data"
+
+#: Router command wavelet (advances switch positions along its path).
+KIND_CONTROL = "control"
+
+
+@dataclass
+class Message:
+    """A train of same-color wavelets travelling together.
+
+    Attributes
+    ----------
+    color:
+        Routing color (tag) of every wavelet in the train.
+    payload:
+        1D array of data words; ``None`` for control wavelets.
+    kind:
+        ``KIND_DATA`` or ``KIND_CONTROL``.
+    source:
+        Fabric coordinate of the injecting PE (for tracing/validation).
+    hops:
+        Number of router-to-router links traversed so far (filled in by
+        the runtime; used to assert the two-hop diagonal property).
+    """
+
+    color: int
+    payload: np.ndarray | None = None
+    kind: str = KIND_DATA
+    source: tuple[int, int] | None = None
+    hops: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_DATA, KIND_CONTROL):
+            raise ValueError(f"unknown message kind {self.kind!r}")
+        if self.kind == KIND_DATA:
+            if self.payload is None:
+                raise ValueError("data message requires a payload")
+            self.payload = np.atleast_1d(np.asarray(self.payload))
+            if self.payload.ndim != 1:
+                raise ValueError("payload must be one-dimensional")
+        elif self.payload is not None:
+            raise ValueError("control message must not carry a payload")
+
+    @property
+    def num_words(self) -> int:
+        """Number of 32-bit wavelets in the train.
+
+        Data payloads count one word per element when 32-bit, two when
+        64-bit (the simulator allows float64 payloads for validation runs;
+        the paper's implementation is single precision).  Control wavelets
+        occupy a single word.
+        """
+        if self.kind == KIND_CONTROL:
+            return 1
+        itemsize = self.payload.dtype.itemsize
+        words_per_element = max(1, itemsize // WORD_BYTES)
+        return self.payload.size * words_per_element
+
+    @property
+    def num_bytes(self) -> int:
+        """Fabric traffic in bytes."""
+        return self.num_words * WORD_BYTES
+
+    def fork(self) -> "Message":
+        """Copy for multicast fan-out; payload is shared (read-only by
+        convention: receivers copy into local buffers with FMOV)."""
+        return Message(
+            color=self.color,
+            payload=self.payload,
+            kind=self.kind,
+            source=self.source,
+            hops=self.hops,
+            meta=dict(self.meta),
+        )

@@ -1,0 +1,85 @@
+"""Processing element: private memory, DSD datapath, color-bound tasks.
+
+Each PE owns a :class:`~repro.wse.memory.Scratchpad` (its private local
+memory), a :class:`~repro.wse.dsd.DsdEngine` (its vector datapath with
+instruction accounting), and a set of task handlers bound to colors — the
+CSL programming model in which receiving a wavelet of a color activates
+the task bound to that color.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.wse.dsd import DsdEngine
+from repro.wse.memory import Scratchpad
+from repro.wse.packet import Message
+
+__all__ = ["ProcessingElement"]
+
+#: A data task: ``handler(runtime, pe, message)``.
+Handler = Callable[["object", "ProcessingElement", Message], None]
+
+
+@dataclass
+class ProcessingElement:
+    """One PE of the fabric.
+
+    Attributes
+    ----------
+    coord:
+        Fabric coordinate ``(x, y)``.
+    memory:
+        Private scratchpad (48 KB on WSE-2).
+    dsd:
+        Vector datapath with instruction/traffic/cycle accounting.
+    busy_until:
+        Cycle time until which the PE's datapath is occupied; the runtime
+        serializes task executions behind it (routers and links operate
+        independently of the PE, Sec. 5.3.2).
+    state:
+        Free-form per-program scratch (iteration flags, counters).
+    """
+
+    coord: tuple[int, int]
+    memory: Scratchpad = field(default_factory=Scratchpad)
+    dsd: DsdEngine = field(default_factory=DsdEngine)
+    busy_until: float = 0.0
+    state: dict = field(default_factory=dict)
+    messages_received: int = 0
+    messages_sent: int = 0
+    words_received: int = 0
+    words_sent: int = 0
+    _handlers: dict[int, Handler] = field(default_factory=dict)
+    _control_handlers: dict[int, Handler] = field(default_factory=dict)
+
+    def bind(self, color: int, handler: Handler) -> None:
+        """Bind the data task of *color* (one task per color)."""
+        if color in self._handlers:
+            raise ValueError(f"PE {self.coord}: color {color} already bound")
+        self._handlers[color] = handler
+
+    def bind_control(self, color: int, handler: Handler) -> None:
+        """Bind the control task of *color* (invoked on control wavelets)."""
+        if color in self._control_handlers:
+            raise ValueError(
+                f"PE {self.coord}: control for color {color} already bound"
+            )
+        self._control_handlers[color] = handler
+
+    def handler_for(self, message: Message) -> Handler | None:
+        """Handler to run for *message* (None when nothing is bound)."""
+        from repro.wse.packet import KIND_CONTROL
+
+        if message.kind == KIND_CONTROL:
+            return self._control_handlers.get(message.color)
+        return self._handlers.get(message.color)
+
+    @property
+    def x(self) -> int:
+        return self.coord[0]
+
+    @property
+    def y(self) -> int:
+        return self.coord[1]

@@ -1,0 +1,57 @@
+"""WSE-2 cost model: clocks, link rates, power.
+
+Every quantity used by the discrete-event runtime to turn instruction and
+traffic counts into cycles/seconds lives here, so calibration is explicit
+and testable.  Values marked *calibrated* are fitted to the paper's own
+measurements (DESIGN.md Sec. 6); the rest are WSE-2 hardware parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WsePerfModel", "WSE2"]
+
+
+@dataclass(frozen=True)
+class WsePerfModel:
+    """Cycle/energy cost model of a WSE-2 class fabric.
+
+    Attributes
+    ----------
+    clock_hz:
+        PE and fabric clock (WSE-2: 850 MHz).
+    link_words_per_cycle:
+        Throughput of each directed router-router link (32-bit words per
+        cycle; the fabric moves one packet per link per cycle, Sec. 4).
+    hop_latency_cycles:
+        Router traversal latency per hop.
+    injection_overhead_cycles:
+        Fixed cost for a PE to start an asynchronous send (descriptor
+        setup); small because "the fabric and routers work completely
+        independently from the processing elements" (Sec. 5.3.2).
+    steady_state_power_w:
+        Whole-system power at steady state (23 kW, Sec. 7.2, from [11]).
+    """
+
+    clock_hz: float = 850e6
+    link_words_per_cycle: float = 1.0
+    hop_latency_cycles: float = 1.0
+    injection_overhead_cycles: float = 2.0
+    steady_state_power_w: float = 23_000.0
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds."""
+        return cycles / self.clock_hz
+
+    def transfer_cycles(self, num_words: int) -> float:
+        """Serialization time of a wavelet train over one link."""
+        return num_words / self.link_words_per_cycle
+
+    def energy_joules(self, seconds: float) -> float:
+        """Energy at steady-state power."""
+        return self.steady_state_power_w * seconds
+
+
+#: Default WSE-2 model.
+WSE2 = WsePerfModel()

@@ -1,0 +1,104 @@
+"""Per-PE router: five links, per-color routing rules, switch positions.
+
+"Each PE ... is connected to a router.  The router manages five full
+duplex links" (Sec. 4).  Routing is configured per color: for every input
+port, a set of output ports receives a copy of incoming wavelets (local
+multicast).  A color may define several *switch positions* — alternative
+routing configurations — and a control wavelet advances the position as it
+traverses the router, which is how the cardinal exchange alternates a PE
+between *Sending* and *Receiving* roles (Fig. 6a: "two switch positions
+are defined for each PE for sending and receiving accordingly").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wse.geometry import Port
+
+__all__ = ["Router", "ColorConfig", "RoutePosition"]
+
+#: One routing table: input port -> tuple of output ports.
+RoutePosition = dict[Port, tuple[Port, ...]]
+
+
+@dataclass
+class ColorConfig:
+    """Routing state of one color at one router."""
+
+    positions: list[RoutePosition]
+    position: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise ValueError("a color needs at least one switch position")
+        if not 0 <= self.position < len(self.positions):
+            raise ValueError("initial position out of range")
+        for pos in self.positions:
+            for in_port, outs in pos.items():
+                if in_port in outs:
+                    raise ValueError(
+                        f"routing loop: {in_port} forwards to itself"
+                    )
+
+    def routes(self, in_port: Port) -> tuple[Port, ...]:
+        """Output ports for a wavelet entering via *in_port* (may be empty)."""
+        return self.positions[self.position].get(in_port, ())
+
+    def advance(self) -> None:
+        """Cycle to the next switch position (control-wavelet semantics)."""
+        self.position = (self.position + 1) % len(self.positions)
+
+
+@dataclass
+class Router:
+    """The router of one PE.
+
+    Attributes
+    ----------
+    coord:
+        Fabric coordinate of the owning PE.
+    configs:
+        Per-color routing configurations.
+    """
+
+    coord: tuple[int, int]
+    configs: dict[int, ColorConfig] = field(default_factory=dict)
+
+    def configure(
+        self,
+        color: int,
+        positions: list[RoutePosition],
+        *,
+        initial: int = 0,
+    ) -> None:
+        """Install the switch positions of *color* on this router."""
+        if color in self.configs:
+            raise ValueError(
+                f"router {self.coord}: color {color} already configured"
+            )
+        self.configs[color] = ColorConfig(list(positions), initial)
+
+    def routes(self, color: int, in_port: Port) -> tuple[Port, ...]:
+        """Output ports for a wavelet of *color* entering via *in_port*.
+
+        An unconfigured color drops traffic (empty route), matching
+        hardware behaviour for colors with no routing entry.
+        """
+        cfg = self.configs.get(color)
+        if cfg is None:
+            return ()
+        return cfg.routes(in_port)
+
+    def advance(self, color: int) -> None:
+        """Advance the switch position of *color* (no-op when single-position)."""
+        cfg = self.configs.get(color)
+        if cfg is not None:
+            cfg.advance()
+
+    def position(self, color: int) -> int:
+        """Current switch position of *color*."""
+        cfg = self.configs.get(color)
+        if cfg is None:
+            raise KeyError(f"router {self.coord}: color {color} not configured")
+        return cfg.position

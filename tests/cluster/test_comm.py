@@ -1,0 +1,97 @@
+"""Unit tests for the simulated communicator and rank topology."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import CartGrid, SimComm
+
+
+class TestSimComm:
+    def test_send_recv_roundtrip(self):
+        comm = SimComm(2)
+        data = np.arange(5.0)
+        comm.isend(0, 1, tag=3, array=data)
+        out = comm.recv(1, source=0, tag=3)
+        np.testing.assert_array_equal(out, data)
+        assert comm.pending == 0
+
+    def test_traffic_accounting(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, 0, np.zeros(10, dtype=np.float64))
+        comm.recv(1, 0, 0)
+        assert comm.stats[0].messages_sent == 1
+        assert comm.stats[0].bytes_sent == 80
+        assert comm.stats[1].messages_received == 1
+        assert comm.stats[1].bytes_received == 80
+        assert comm.total_bytes() == 80
+        assert comm.total_messages() == 1
+
+    def test_recv_without_send_is_deadlock(self):
+        comm = SimComm(2)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            comm.recv(1, source=0, tag=0)
+
+    def test_double_send_same_key_rejected(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, 0, np.zeros(1))
+        with pytest.raises(RuntimeError, match="unmatched"):
+            comm.isend(0, 1, 0, np.zeros(1))
+
+    def test_distinct_tags_coexist(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, 0, np.array([1.0]))
+        comm.isend(0, 1, 1, np.array([2.0]))
+        assert comm.recv(1, 0, 1)[0] == 2.0
+        assert comm.recv(1, 0, 0)[0] == 1.0
+
+    def test_rank_bounds(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.isend(0, 2, 0, np.zeros(1))
+        with pytest.raises(ValueError):
+            comm.isend(-1, 0, 0, np.zeros(1))
+
+    def test_rejects_empty_communicator(self):
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+    def test_send_copies_on_contiguity(self):
+        comm = SimComm(2)
+        src = np.arange(6.0).reshape(2, 3)[:, ::2]  # non-contiguous view
+        comm.isend(0, 1, 0, src)
+        out = comm.recv(1, 0, 0)
+        np.testing.assert_array_equal(out, src)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestCartGrid:
+    def test_rank_coord_roundtrip(self):
+        grid = CartGrid(3, 2)
+        for rank in range(grid.size):
+            cx, cy = grid.coords_of(rank)
+            assert grid.rank_of(cx, cy) == rank
+
+    def test_neighbours(self):
+        grid = CartGrid(3, 3)
+        centre = grid.rank_of(1, 1)
+        assert grid.neighbour(centre, 1, 0) == grid.rank_of(2, 1)
+        assert grid.neighbour(centre, -1, -1) == grid.rank_of(0, 0)
+
+    def test_edges_return_none(self):
+        grid = CartGrid(2, 2)
+        assert grid.neighbour(grid.rank_of(0, 0), -1, 0) is None
+        assert grid.neighbour(grid.rank_of(1, 1), 1, 1) is None
+
+    def test_diagonal_is_direct(self):
+        """One lookup, one message: MPI corners need no intermediary."""
+        grid = CartGrid(4, 4)
+        assert grid.neighbour(grid.rank_of(1, 1), 1, 1) == grid.rank_of(2, 2)
+
+    def test_bounds_checks(self):
+        grid = CartGrid(2, 2)
+        with pytest.raises(ValueError):
+            grid.rank_of(2, 0)
+        with pytest.raises(ValueError):
+            grid.coords_of(4)
+        with pytest.raises(ValueError):
+            CartGrid(0, 2)

@@ -1,0 +1,173 @@
+"""Unit tests for the per-face flux kernels (Eqs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FLOPS_PER_CELL,
+    FLOPS_PER_FLUX,
+    FLUXES_PER_CELL,
+    face_flux_array,
+    face_flux_scalar,
+    face_flux_with_derivatives,
+)
+
+G = 9.80665
+MU = 5e-5
+
+
+class TestScalarFlux:
+    def test_no_gravity_simple(self):
+        # dPhi = p_l - p_k = -1e5 < 0 -> upwind rho_l
+        f = face_flux_scalar(
+            p_k=2e7, p_l=1.99e7, z_k=0.0, z_l=0.0,
+            rho_k=700.0, rho_l=710.0, trans=2e-13, gravity=G, viscosity=MU,
+        )
+        expected = 2e-13 * (710.0 / MU) * (-1e5)
+        assert f == pytest.approx(expected, rel=1e-14)
+
+    def test_upwind_switches_with_sign(self):
+        kw = dict(z_k=0.0, z_l=0.0, rho_k=700.0, rho_l=710.0,
+                  trans=1.0, gravity=G, viscosity=1.0)
+        f_pos = face_flux_scalar(p_k=1.0, p_l=2.0, **kw)   # dPhi = +1
+        f_neg = face_flux_scalar(p_k=2.0, p_l=1.0, **kw)   # dPhi = -1
+        assert f_pos == pytest.approx(700.0)   # rho_K
+        assert f_neg == pytest.approx(-710.0)  # rho_L
+
+    def test_gravity_term(self):
+        # equal pressures; dPhi = rho_avg * g * dz
+        f = face_flux_scalar(
+            p_k=1e7, p_l=1e7, z_k=0.0, z_l=10.0,
+            rho_k=700.0, rho_l=700.0, trans=1.0, gravity=G, viscosity=1.0,
+        )
+        dphi = 700.0 * G * 10.0
+        assert f == pytest.approx(700.0 * dphi)
+
+    def test_zero_potential_zero_flux(self):
+        f = face_flux_scalar(
+            p_k=1e7, p_l=1e7, z_k=3.0, z_l=3.0,
+            rho_k=700.0, rho_l=712.0, trans=5.0, gravity=G, viscosity=MU,
+        )
+        assert f == 0.0
+
+    def test_antisymmetry(self):
+        """F_LK computed from L's perspective equals -F_KL exactly."""
+        args = dict(trans=3.3e-13, gravity=G, viscosity=MU)
+        f_kl = face_flux_scalar(1.0e7, 1.2e7, 5.0, 9.0, 701.0, 703.0, **args)
+        f_lk = face_flux_scalar(1.2e7, 1.0e7, 9.0, 5.0, 703.0, 701.0, **args)
+        assert f_lk == -f_kl
+
+    def test_scales_linearly_with_transmissibility(self):
+        kw = dict(p_k=1e7, p_l=1.1e7, z_k=0.0, z_l=1.0,
+                  rho_k=700.0, rho_l=705.0, gravity=G, viscosity=MU)
+        f1 = face_flux_scalar(trans=1e-13, **kw)
+        f2 = face_flux_scalar(trans=2e-13, **kw)
+        assert f2 == pytest.approx(2 * f1, rel=1e-14)
+
+
+class TestArrayFlux:
+    @pytest.fixture
+    def face_data(self):
+        rng = np.random.default_rng(3)
+        n = 257
+        return dict(
+            p_k=1e7 + 1e6 * rng.standard_normal(n),
+            p_l=1e7 + 1e6 * rng.standard_normal(n),
+            z_k=10.0 * rng.random(n),
+            z_l=10.0 * rng.random(n),
+            rho_k=700.0 + rng.random(n),
+            rho_l=700.0 + rng.random(n),
+            trans=1e-13 * (0.5 + rng.random(n)),
+        )
+
+    def test_matches_scalar(self, face_data):
+        out = face_flux_array(**face_data, gravity=G, viscosity=MU)
+        for i in range(0, 257, 17):
+            expected = face_flux_scalar(
+                face_data["p_k"][i], face_data["p_l"][i],
+                face_data["z_k"][i], face_data["z_l"][i],
+                face_data["rho_k"][i], face_data["rho_l"][i],
+                face_data["trans"][i], G, MU,
+            )
+            assert out[i] == pytest.approx(expected, rel=1e-13)
+
+    def test_out_parameter(self, face_data):
+        buf = np.empty(257)
+        result = face_flux_array(**face_data, gravity=G, viscosity=MU, out=buf)
+        assert result is buf
+        np.testing.assert_allclose(
+            buf, face_flux_array(**face_data, gravity=G, viscosity=MU)
+        )
+
+    def test_antisymmetry_vectorized(self, face_data):
+        fwd = face_flux_array(**face_data, gravity=G, viscosity=MU)
+        rev = face_flux_array(
+            p_k=face_data["p_l"], p_l=face_data["p_k"],
+            z_k=face_data["z_l"], z_l=face_data["z_k"],
+            rho_k=face_data["rho_l"], rho_l=face_data["rho_k"],
+            trans=face_data["trans"], gravity=G, viscosity=MU,
+        )
+        np.testing.assert_array_equal(fwd, -rev)
+
+    def test_float32(self, face_data):
+        data32 = {k: v.astype(np.float32) for k, v in face_data.items()}
+        out = face_flux_array(**data32, gravity=G, viscosity=MU)
+        ref = face_flux_array(**face_data, gravity=G, viscosity=MU)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, ref, rtol=2e-4, atol=1e-12)
+
+
+class TestDerivatives:
+    def _fd_check(self, p_k, p_l, z_k, z_l, c_f=1e-9, rho_ref=700.0, p_ref=1e7):
+        def rho(p):
+            return rho_ref * np.exp(c_f * (p - p_ref))
+
+        def flux(pk, pl):
+            f, _, _ = face_flux_with_derivatives(
+                pk, pl, z_k, z_l, rho(pk), rho(pl),
+                trans=2e-13, gravity=G, viscosity=MU, compressibility=c_f,
+            )
+            return f
+
+        _, dk, dl = face_flux_with_derivatives(
+            p_k, p_l, z_k, z_l, rho(p_k), rho(p_l),
+            trans=2e-13, gravity=G, viscosity=MU, compressibility=c_f,
+        )
+        eps = 10.0
+        fd_k = (flux(p_k + eps, p_l) - flux(p_k - eps, p_l)) / (2 * eps)
+        fd_l = (flux(p_k, p_l + eps) - flux(p_k, p_l - eps)) / (2 * eps)
+        return (dk, fd_k), (dl, fd_l)
+
+    def test_derivative_matches_fd_upwind_k(self):
+        (dk, fd_k), (dl, fd_l) = self._fd_check(1.0e7, 1.5e7, 0.0, 2.0)
+        assert dk == pytest.approx(fd_k, rel=1e-6)
+        assert dl == pytest.approx(fd_l, rel=1e-6)
+
+    def test_derivative_matches_fd_upwind_l(self):
+        (dk, fd_k), (dl, fd_l) = self._fd_check(1.5e7, 1.0e7, 0.0, 2.0)
+        assert dk == pytest.approx(fd_k, rel=1e-6)
+        assert dl == pytest.approx(fd_l, rel=1e-6)
+
+    def test_derivative_with_gravity_segregation(self):
+        (dk, fd_k), (dl, fd_l) = self._fd_check(1.0e7, 1.0e7 + 1e5, 0.0, 50.0)
+        assert dk == pytest.approx(fd_k, rel=1e-5)
+        assert dl == pytest.approx(fd_l, rel=1e-5)
+
+    def test_flux_value_matches_plain_kernel(self):
+        rho_k, rho_l = 700.0, 705.0
+        f, _, _ = face_flux_with_derivatives(
+            1e7, 1.2e7, 0.0, 3.0, rho_k, rho_l,
+            trans=1e-13, gravity=G, viscosity=MU, compressibility=1e-9,
+        )
+        expected = face_flux_scalar(
+            1e7, 1.2e7, 0.0, 3.0, rho_k, rho_l, 1e-13, G, MU
+        )
+        assert f == pytest.approx(expected, rel=1e-14)
+
+
+class TestFlopConstants:
+    def test_paper_values(self):
+        # Sec. 7.3: 14 FLOPs per flux, 10 fluxes per cell, 140 per cell
+        assert FLOPS_PER_FLUX == 14
+        assert FLUXES_PER_CELL == 10
+        assert FLOPS_PER_CELL == 140

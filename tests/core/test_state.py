@@ -1,0 +1,95 @@
+"""Unit tests for pressure sequence generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CartesianMesh3D,
+    FluidProperties,
+    PressureSequence,
+    hydrostatic_pressure,
+    random_pressure,
+)
+from repro.core.constants import GRAVITY
+
+
+class TestHydrostatic:
+    def test_gradient(self, small_mesh, fluid):
+        # z is elevation: pressure decreases upward
+        p = hydrostatic_pressure(small_mesh, fluid)
+        dp_dz = (p[1, 0, 0] - p[0, 0, 0]) / small_mesh.dz
+        assert dp_dz == pytest.approx(-fluid.reference_density * GRAVITY)
+
+    def test_respects_origin(self, fluid):
+        m = CartesianMesh3D(2, 2, 2, dz=2.0, origin=(0, 0, 500.0))
+        p = hydrostatic_pressure(m, fluid, pressure_at_origin=3e7)
+        # first cell centre is 1 m above origin regardless of origin z
+        assert p[0, 0, 0] == pytest.approx(
+            3e7 - fluid.reference_density * GRAVITY * 1.0
+        )
+
+    def test_uniform_in_xy(self, small_mesh, fluid):
+        p = hydrostatic_pressure(small_mesh, fluid)
+        assert np.all(p[0] == p[0, 0, 0])
+
+
+class TestRandomPressure:
+    def test_deterministic(self, small_mesh):
+        np.testing.assert_array_equal(
+            random_pressure(small_mesh, seed=9), random_pressure(small_mesh, seed=9)
+        )
+
+    def test_seed_sensitivity(self, small_mesh):
+        a = random_pressure(small_mesh, seed=1)
+        b = random_pressure(small_mesh, seed=2)
+        assert np.abs(a - b).max() > 0
+
+    def test_base_and_amplitude(self, small_mesh):
+        p = random_pressure(small_mesh, seed=0, base=5e7, amplitude=1.0)
+        assert abs(p.mean() - 5e7) < 1.0
+
+    def test_dtype(self, small_mesh):
+        assert random_pressure(small_mesh, dtype=np.float32).dtype == np.float32
+
+
+class TestPressureSequence:
+    def test_length_and_iteration(self, small_mesh):
+        seq = PressureSequence(small_mesh, num_applications=5, seed=1)
+        assert len(seq) == 5
+        fields = list(seq)
+        assert len(fields) == 5
+        for f in fields:
+            assert f.shape == small_mesh.shape_zyx
+
+    def test_reproducible_across_instances(self, small_mesh):
+        a = PressureSequence(small_mesh, num_applications=4, seed=3)
+        b = PressureSequence(small_mesh, num_applications=4, seed=3)
+        for i in range(4):
+            np.testing.assert_array_equal(a.field(i), b.field(i))
+
+    def test_random_access_matches_iteration(self, small_mesh):
+        seq = PressureSequence(small_mesh, num_applications=3, seed=8)
+        iterated = list(seq)
+        for i, f in enumerate(iterated):
+            np.testing.assert_array_equal(f, seq.field(i))
+
+    def test_applications_differ(self, small_mesh):
+        seq = PressureSequence(small_mesh, num_applications=2, seed=0)
+        assert np.abs(seq.field(0) - seq.field(1)).max() > 0
+
+    def test_out_of_range(self, small_mesh):
+        seq = PressureSequence(small_mesh, num_applications=2)
+        with pytest.raises(IndexError):
+            seq.field(2)
+        with pytest.raises(IndexError):
+            seq.field(-1)
+
+    def test_rejects_zero_applications(self, small_mesh):
+        with pytest.raises(ValueError):
+            PressureSequence(small_mesh, num_applications=0)
+
+    def test_fields_finite_and_positive(self, small_mesh):
+        seq = PressureSequence(small_mesh, num_applications=3, seed=4)
+        for f in seq:
+            assert np.all(np.isfinite(f))
+            assert np.all(f > 0)

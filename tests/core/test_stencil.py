@@ -1,0 +1,140 @@
+"""Unit tests for the 10-neighbour stencil."""
+
+import numpy as np
+import pytest
+
+from repro.core.stencil import (
+    ALL_CONNECTIONS,
+    CARDINAL_XY,
+    DIAGONAL_XY,
+    VERTICAL,
+    XY_CONNECTIONS,
+    Connection,
+    interior_slices,
+    iter_neighbours,
+    opposite,
+)
+
+
+class TestConnectionSets:
+    def test_counts(self):
+        assert len(ALL_CONNECTIONS) == 10
+        assert len(CARDINAL_XY) == 4
+        assert len(DIAGONAL_XY) == 4
+        assert len(VERTICAL) == 2
+        assert len(XY_CONNECTIONS) == 8
+
+    def test_partition_is_disjoint_and_complete(self):
+        assert set(ALL_CONNECTIONS) == set(CARDINAL_XY) | set(DIAGONAL_XY) | set(
+            VERTICAL
+        )
+        assert not set(CARDINAL_XY) & set(DIAGONAL_XY)
+
+    def test_paper_direction_conventions(self):
+        # Sec. 5.2.1: east (x+1), west (x-1), north (x, y-1), south (x, y+1)
+        assert Connection.EAST.offset == (1, 0, 0)
+        assert Connection.WEST.offset == (-1, 0, 0)
+        assert Connection.NORTH.offset == (0, -1, 0)
+        assert Connection.SOUTH.offset == (0, 1, 0)
+        assert Connection.UP.offset == (0, 0, 1)
+
+    def test_classification_flags(self):
+        assert Connection.EAST.is_cardinal_xy
+        assert not Connection.EAST.is_diagonal
+        assert Connection.NORTHEAST.is_diagonal
+        assert not Connection.NORTHEAST.is_vertical
+        assert Connection.UP.is_vertical
+        assert not Connection.UP.is_cardinal_xy
+
+    def test_offsets_unique(self):
+        offsets = {c.offset for c in ALL_CONNECTIONS}
+        assert len(offsets) == 10
+
+
+class TestOpposite:
+    @pytest.mark.parametrize("conn", ALL_CONNECTIONS)
+    def test_involution(self, conn):
+        assert opposite(opposite(conn)) is conn
+
+    @pytest.mark.parametrize("conn", ALL_CONNECTIONS)
+    def test_offset_negation(self, conn):
+        assert tuple(-d for d in conn.offset) == opposite(conn).offset
+
+
+class TestInteriorSlices:
+    @pytest.mark.parametrize("conn", ALL_CONNECTIONS)
+    def test_alignment(self, conn):
+        """arr[neigh] - arr[local] equals the flat-index offset of conn."""
+        shape = (4, 5, 6)  # (nz, ny, nx)
+        nz, ny, nx = shape
+        idx = np.arange(nz * ny * nx).reshape(shape)
+        local, neigh = interior_slices(shape, conn)
+        dx, dy, dz = conn.offset
+        expected = dx + dy * nx + dz * nx * ny
+        diff = idx[neigh] - idx[local]
+        assert np.all(diff == expected)
+
+    @pytest.mark.parametrize("conn", ALL_CONNECTIONS)
+    def test_shapes_match(self, conn):
+        shape = (4, 5, 6)
+        arr = np.zeros(shape)
+        local, neigh = interior_slices(shape, conn)
+        assert arr[local].shape == arr[neigh].shape
+
+    def test_east_drops_last_x_column(self):
+        local, neigh = interior_slices((2, 3, 4), Connection.EAST)
+        arr = np.zeros((2, 3, 4))
+        assert arr[local].shape == (2, 3, 3)
+
+    def test_diagonal_drops_both_axes(self):
+        local, _ = interior_slices((2, 3, 4), Connection.NORTHEAST)
+        arr = np.zeros((2, 3, 4))
+        assert arr[local].shape == (2, 2, 3)
+
+    @pytest.mark.parametrize("conn", ALL_CONNECTIONS)
+    def test_views_not_copies(self, conn):
+        arr = np.zeros((3, 3, 3))
+        local, _ = interior_slices(arr.shape, conn)
+        view = arr[local]
+        assert view.base is arr
+
+
+class TestIterNeighbours:
+    def test_interior_cell_has_ten(self):
+        shape = (5, 5, 5)
+        neighbours = list(iter_neighbours(2, 2, 2, shape))
+        assert len(neighbours) == 10
+        conns = [c for c, _ in neighbours]
+        assert set(conns) == set(ALL_CONNECTIONS)
+
+    def test_corner_cell(self):
+        # (0,0,0) of a big mesh: EAST, SOUTH, SOUTHEAST, UP exist
+        found = dict(iter_neighbours(0, 0, 0, (5, 5, 5)))
+        assert set(found) == {
+            Connection.EAST,
+            Connection.SOUTH,
+            Connection.SOUTHEAST,
+            Connection.UP,
+        }
+        assert found[Connection.SOUTHEAST] == (1, 1, 0)
+
+    def test_single_cell_mesh_has_none(self):
+        assert list(iter_neighbours(0, 0, 0, (1, 1, 1))) == []
+
+    def test_coordinates_in_bounds(self):
+        shape = (3, 4, 2)
+        for x in range(3):
+            for y in range(4):
+                for z in range(2):
+                    for _, (xx, yy, zz) in iter_neighbours(x, y, z, shape):
+                        assert 0 <= xx < 3 and 0 <= yy < 4 and 0 <= zz < 2
+
+    def test_reciprocity(self):
+        """If L is K's neighbour via c, K is L's neighbour via opposite(c)."""
+        shape = (4, 3, 3)
+        for x in range(4):
+            for y in range(3):
+                for z in range(3):
+                    for conn, (xx, yy, zz) in iter_neighbours(x, y, z, shape):
+                        back = dict(iter_neighbours(xx, yy, zz, shape))
+                        assert back[opposite(conn)] == (x, y, z)

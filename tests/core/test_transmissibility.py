@@ -1,0 +1,151 @@
+"""Unit tests for TPFA transmissibilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D, Connection, interior_slices
+from repro.core.transmissibility import CANONICAL_CONNECTIONS, Transmissibility
+
+
+class TestHomogeneous:
+    def test_axis_values(self):
+        m = CartesianMesh3D(3, 3, 3, dx=10.0, dy=10.0, dz=2.0, permeability=1e-13)
+        t = Transmissibility(m)
+        # EAST: A = dy*dz = 20, d_half = 5 -> T_half = 1e-13*4; harmonic = 2e-13
+        assert t.face_array(Connection.EAST)[0, 0, 0] == pytest.approx(2e-13)
+        # UP: A = dx*dy = 100, d_half = 1 -> T_half = 1e-11; harmonic = 5e-12
+        assert t.face_array(Connection.UP)[0, 0, 0] == pytest.approx(5e-12)
+
+    def test_opposite_shares_array(self):
+        m = CartesianMesh3D(3, 3, 3)
+        t = Transmissibility(m)
+        assert t.face_array(Connection.EAST) is t.face_array(Connection.WEST)
+        assert t.face_array(Connection.NORTHEAST) is t.face_array(
+            Connection.SOUTHWEST
+        )
+        assert t.face_array(Connection.UP) is t.face_array(Connection.DOWN)
+
+    def test_face_array_shapes(self):
+        m = CartesianMesh3D(4, 3, 2)
+        t = Transmissibility(m)
+        assert t.face_array(Connection.EAST).shape == (2, 3, 3)
+        assert t.face_array(Connection.SOUTH).shape == (2, 2, 4)
+        assert t.face_array(Connection.UP).shape == (1, 3, 4)
+        assert t.face_array(Connection.SOUTHEAST).shape == (2, 2, 3)
+
+    def test_total_faces(self):
+        m = CartesianMesh3D(4, 3, 2)
+        t = Transmissibility(m)
+        expected = (
+            3 * 3 * 2  # EAST faces
+            + 4 * 2 * 2  # SOUTH faces
+            + 3 * 2 * 2 * 2  # two diagonal families
+            + 4 * 3 * 1  # UP faces
+        )
+        assert t.total_faces() == expected
+
+    def test_all_positive(self):
+        m = CartesianMesh3D(3, 3, 3)
+        t = Transmissibility(m)
+        for conn in CANONICAL_CONNECTIONS:
+            assert np.all(t.face_array(conn) > 0)
+
+
+class TestDiagonalWeight:
+    def test_zero_weight_disables_diagonals(self):
+        m = CartesianMesh3D(3, 3, 3)
+        t = Transmissibility(m, diagonal_weight=0.0)
+        assert np.all(t.face_array(Connection.NORTHEAST) == 0.0)
+        assert np.all(t.face_array(Connection.EAST) > 0.0)
+
+    def test_weight_scales_linearly(self):
+        m = CartesianMesh3D(3, 3, 3)
+        t1 = Transmissibility(m, diagonal_weight=1.0)
+        t2 = Transmissibility(m, diagonal_weight=0.5)
+        np.testing.assert_allclose(
+            t2.face_array(Connection.SOUTHEAST),
+            0.5 * t1.face_array(Connection.SOUTHEAST),
+        )
+
+    def test_negative_weight_rejected(self):
+        m = CartesianMesh3D(2, 2, 2)
+        with pytest.raises(ValueError, match="non-negative"):
+            Transmissibility(m, diagonal_weight=-1.0)
+
+
+class TestHeterogeneous:
+    def test_harmonic_mean(self):
+        kappa = np.ones((1, 1, 2))
+        kappa[0, 0, 0] = 1e-13
+        kappa[0, 0, 1] = 3e-13
+        m = CartesianMesh3D(2, 1, 1, dx=10.0, dy=10.0, dz=2.0, permeability=kappa)
+        t = Transmissibility(m)
+        geom = (10.0 * 2.0) / 5.0  # A/d_half = 4
+        t_k, t_l = 1e-13 * geom, 3e-13 * geom
+        expected = t_k * t_l / (t_k + t_l)
+        assert t.face_array(Connection.EAST)[0, 0, 0] == pytest.approx(expected)
+
+    def test_harmonic_dominated_by_small(self, hetero_mesh, hetero_trans):
+        """Harmonic mean never exceeds twice the smaller half-transmissibility."""
+        kappa = hetero_mesh.permeability
+        local, neigh = interior_slices(hetero_mesh.shape_zyx, Connection.EAST)
+        geom = (hetero_mesh.dy * hetero_mesh.dz) / (hetero_mesh.dx / 2)
+        t_min = np.minimum(kappa[local], kappa[neigh]) * geom
+        ups = hetero_trans.face_array(Connection.EAST)
+        assert np.all(ups <= t_min + 1e-30)
+
+    def test_symmetry_under_permeability_swap(self):
+        """Upsilon_KL is invariant when the two cells swap permeabilities."""
+        k1 = np.ones((1, 1, 2)) * 1e-13
+        k1[0, 0, 1] = 5e-13
+        k2 = k1[:, :, ::-1].copy()
+        m1 = CartesianMesh3D(2, 1, 1, permeability=k1)
+        m2 = CartesianMesh3D(2, 1, 1, permeability=k2)
+        v1 = Transmissibility(m1).face_array(Connection.EAST)[0, 0, 0]
+        v2 = Transmissibility(m2).face_array(Connection.EAST)[0, 0, 0]
+        assert v1 == pytest.approx(v2)
+
+
+class TestForCell:
+    def test_matches_face_arrays(self, hetero_mesh, hetero_trans):
+        """for_cell agrees with face_array for every cell and connection."""
+        nx, ny, nz = hetero_mesh.shape_xyz
+        for x in range(nx):
+            for y in range(ny):
+                for z in range(nz):
+                    per_cell = hetero_trans.for_cell(x, y, z)
+                    for conn, value in per_cell.items():
+                        dx, dy, dz = conn.offset
+                        xx, yy, zz = x + dx, y + dy, z + dz
+                        in_bounds = (
+                            0 <= xx < nx and 0 <= yy < ny and 0 <= zz < nz
+                        )
+                        if not in_bounds:
+                            assert value == 0.0
+                        else:
+                            assert value > 0.0
+
+    def test_boundary_cell_zeros(self, small_trans):
+        vals = small_trans.for_cell(0, 0, 0)
+        assert vals[Connection.WEST] == 0.0
+        assert vals[Connection.NORTH] == 0.0
+        assert vals[Connection.DOWN] == 0.0
+        assert vals[Connection.NORTHWEST] == 0.0
+        assert vals[Connection.EAST] > 0.0
+
+    def test_reciprocal_cells_agree(self, hetero_trans, hetero_mesh):
+        """T for (K, conn) equals T for (L, opposite(conn))."""
+        from repro.core import opposite
+
+        t_k = hetero_trans.for_cell(2, 2, 2)
+        for conn, value in t_k.items():
+            dx, dy, dz = conn.offset
+            t_l = hetero_trans.for_cell(2 + dx, 2 + dy, 2 + dz)
+            assert t_l[opposite(conn)] == pytest.approx(value)
+
+
+class TestValidation:
+    def test_dtype(self):
+        m = CartesianMesh3D(2, 2, 2)
+        t = Transmissibility(m, dtype=np.float32)
+        assert t.face_array(Connection.EAST).dtype == np.float32

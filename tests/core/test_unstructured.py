@@ -1,0 +1,193 @@
+"""Tests for the unstructured-topology TPFA (paper Sec. 3 / Sec. 9)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import (
+    CartesianMesh3D,
+    FluidProperties,
+    Transmissibility,
+    compute_flux_residual,
+    random_pressure,
+)
+from repro.core.unstructured import (
+    UnstructuredMesh,
+    delaunay_mesh_2d,
+    from_cartesian,
+    from_graph,
+    unstructured_flux_residual,
+)
+
+
+class TestFromCartesian:
+    def test_matches_structured_reference(self, hetero_mesh, fluid, hetero_trans):
+        umesh = from_cartesian(hetero_mesh, hetero_trans)
+        p = random_pressure(hetero_mesh, seed=3)
+        r_u = unstructured_flux_residual(umesh, fluid, p.ravel())
+        r_s = compute_flux_residual(hetero_mesh, fluid, p, hetero_trans)
+        scale = np.abs(r_s).max()
+        np.testing.assert_allclose(
+            r_u.reshape(hetero_mesh.shape_zyx), r_s, atol=1e-12 * scale
+        )
+
+    def test_connection_count(self, small_mesh, small_trans):
+        umesh = from_cartesian(small_mesh, small_trans)
+        assert umesh.num_connections == small_trans.total_faces()
+        assert umesh.num_cells == small_mesh.num_cells
+
+    def test_interior_degree_is_ten(self):
+        mesh = CartesianMesh3D(3, 3, 3)
+        umesh = from_cartesian(mesh)
+        centre = mesh.flat_index(1, 1, 1)
+        assert umesh.degree()[centre] == 10
+
+    def test_centroids_match(self, small_mesh):
+        umesh = from_cartesian(small_mesh)
+        i = small_mesh.flat_index(2, 1, 3)
+        np.testing.assert_allclose(
+            umesh.centroids[i], small_mesh.cell_centre(2, 1, 3)
+        )
+
+    def test_volumes(self, small_mesh):
+        umesh = from_cartesian(small_mesh)
+        assert np.all(umesh.volumes == small_mesh.cell_volume)
+
+    def test_rejects_foreign_trans(self, small_mesh, hetero_mesh):
+        with pytest.raises(ValueError, match="different mesh"):
+            from_cartesian(small_mesh, Transmissibility(hetero_mesh))
+
+
+class TestValidation:
+    def _basic(self, **overrides):
+        kw = dict(
+            volumes=np.ones(3),
+            centroids=np.zeros((3, 3)),
+            cell_a=np.array([0, 1]),
+            cell_b=np.array([1, 2]),
+            trans=np.ones(2),
+        )
+        kw.update(overrides)
+        return UnstructuredMesh(**kw)
+
+    def test_valid(self):
+        mesh = self._basic()
+        assert mesh.num_cells == 3
+        assert mesh.num_connections == 2
+
+    def test_rejects_self_connection(self):
+        with pytest.raises(ValueError, match="self-connection"):
+            self._basic(cell_a=np.array([0, 1]), cell_b=np.array([0, 2]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="beyond"):
+            self._basic(cell_b=np.array([1, 5]))
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError, match="negative"):
+            self._basic(cell_a=np.array([-1, 1]))
+
+    def test_rejects_negative_trans(self):
+        with pytest.raises(ValueError, match="transmissibility"):
+            self._basic(trans=np.array([1.0, -1.0]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            self._basic(trans=np.ones(3))
+
+    def test_rejects_bad_centroids(self):
+        with pytest.raises(ValueError, match="centroids"):
+            self._basic(centroids=np.zeros((3, 2)))
+
+    def test_validate_vector(self):
+        mesh = self._basic()
+        with pytest.raises(ValueError, match="pfield"):
+            mesh.validate_vector(np.zeros(4), name="pfield")
+
+
+class TestResidualProperties:
+    def test_mass_balance_delaunay(self, fluid):
+        mesh = delaunay_mesh_2d(150, seed=5)
+        rng = np.random.default_rng(1)
+        p = 1e7 + 1e5 * rng.standard_normal(mesh.num_cells)
+        r = unstructured_flux_residual(mesh, fluid, p, gravity=0.0)
+        assert abs(r.sum()) < 1e-10 * np.abs(r).max() * mesh.num_cells
+
+    def test_uniform_pressure_zero(self, fluid):
+        mesh = delaunay_mesh_2d(80, seed=2)
+        r = unstructured_flux_residual(
+            mesh, fluid, np.full(mesh.num_cells, 1.5e7), gravity=0.0
+        )
+        np.testing.assert_array_equal(r, 0.0)
+
+    def test_gravity_uses_centroid_z(self, fluid):
+        """Two stacked cells at equal pressure: gravity drives a flux."""
+        mesh = UnstructuredMesh(
+            volumes=np.ones(2),
+            centroids=np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 10.0]]),
+            cell_a=np.array([0]),
+            cell_b=np.array([1]),
+            trans=np.array([1e-13]),
+        )
+        r = unstructured_flux_residual(mesh, fluid, np.full(2, 1e7))
+        assert r[0] > 0  # dPhi = rho g dz > 0 toward the lower cell
+        assert r[0] == pytest.approx(-r[1])
+
+
+class TestFromGraph:
+    def test_path_graph(self, fluid):
+        g = nx.Graph()
+        for i in range(4):
+            g.add_node(i, pos=(float(i), 0.0, 0.0), volume=2.0)
+        for i in range(3):
+            g.add_edge(i, i + 1, trans=1e-13)
+        mesh = from_graph(g)
+        assert mesh.num_cells == 4
+        assert mesh.num_connections == 3
+        assert np.all(mesh.volumes == 2.0)
+        p = np.array([1e7, 1.1e7, 1.2e7, 1.3e7])
+        r = unstructured_flux_residual(mesh, fluid, p, gravity=0.0)
+        assert abs(r.sum()) < 1e-10 * np.abs(r).max()
+
+    def test_missing_pos(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError, match="pos"):
+            from_graph(g)
+
+    def test_missing_trans(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0.0, 0.0, 0.0))
+        g.add_node(1, pos=(1.0, 0.0, 0.0))
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="trans"):
+            from_graph(g)
+
+    def test_default_volume(self):
+        g = nx.Graph()
+        g.add_node("a", pos=(0.0, 0.0, 0.0))
+        mesh = from_graph(g, default_volume=5.0)
+        assert mesh.volumes[0] == 5.0
+
+
+class TestDelaunay:
+    def test_deterministic(self):
+        a = delaunay_mesh_2d(60, seed=9)
+        b = delaunay_mesh_2d(60, seed=9)
+        np.testing.assert_array_equal(a.cell_a, b.cell_a)
+        np.testing.assert_array_equal(a.trans, b.trans)
+
+    def test_connected(self):
+        mesh = delaunay_mesh_2d(60, seed=1)
+        g = nx.Graph()
+        g.add_nodes_from(range(mesh.num_cells))
+        g.add_edges_from(zip(mesh.cell_a.tolist(), mesh.cell_b.tolist()))
+        assert nx.is_connected(g)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            delaunay_mesh_2d(2)
+
+    def test_positive_trans(self):
+        mesh = delaunay_mesh_2d(40, seed=3)
+        assert np.all(mesh.trans > 0)

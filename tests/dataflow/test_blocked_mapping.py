@@ -1,0 +1,103 @@
+"""Tests for the blocked cell mapping (meshes wider than the fabric)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D
+from repro.dataflow.mapping import BlockedCellMapping
+
+
+class TestBlockGeometry:
+    def test_block_of_one_when_mesh_fits(self):
+        mesh = CartesianMesh3D(100, 100, 10)
+        m = BlockedCellMapping(mesh, fabric_shape=(750, 994))
+        assert m.block_xy == (1, 1)
+        assert m.columns_per_pe == 1
+        assert m.cells_per_pe == 10
+
+    def test_blocking_when_mesh_exceeds_fabric(self):
+        mesh = CartesianMesh3D(1500, 1988, 10)
+        m = BlockedCellMapping(mesh, fabric_shape=(750, 994))
+        assert m.block_xy == (2, 2)
+        assert m.columns_per_pe == 4
+
+    def test_ceil_division(self):
+        mesh = CartesianMesh3D(751, 994, 10)
+        m = BlockedCellMapping(mesh, fabric_shape=(750, 994))
+        assert m.block_xy == (2, 1)
+
+    def test_rejects_bad_fabric(self):
+        mesh = CartesianMesh3D(4, 4, 2)
+        with pytest.raises(ValueError):
+            BlockedCellMapping(mesh, fabric_shape=(0, 5))
+
+
+class TestMemoryAndTraffic:
+    def test_unit_block_matches_unblocked_layout(self):
+        """block 1x1: words = per-cell layout + the 8-column halo ring."""
+        from repro.dataflow.halos import layout_words_per_cell
+
+        mesh = CartesianMesh3D(10, 10, 12)
+        m = BlockedCellMapping(mesh, fabric_shape=(10, 10))
+        own = layout_words_per_cell(reuse_buffers=True) * 12
+        halo = 8 * 12 * 2
+        assert m.words_per_pe() == own + halo
+
+    def test_paper_mesh_fits_at_unit_block(self):
+        mesh = CartesianMesh3D(750, 994, 246)
+        m = BlockedCellMapping(mesh)
+        assert m.block_xy == (1, 1)
+        # the shared-window layout (words_per_pe counts dedicated halo
+        # columns; the paper's reuse keeps one window) is the tight case:
+        assert m.cells_per_pe * 20 * 4 <= 48 * 1024 - 2048
+
+    def test_double_paper_mesh_does_not_fit_at_full_nz(self):
+        """2x the paper plane needs 2x2 blocks, which overflow a 48 KB
+        PE at Nz = 246 — the real scaling wall of the architecture."""
+        mesh = CartesianMesh3D(1500, 1988, 246)
+        m = BlockedCellMapping(mesh)
+        assert m.block_xy == (2, 2)
+        assert not m.fits_memory()
+
+    def test_double_paper_mesh_fits_with_shallower_columns(self):
+        mesh = CartesianMesh3D(1500, 1988, 100)
+        m = BlockedCellMapping(mesh)
+        assert m.fits_memory()
+
+    def test_traffic_grows_with_perimeter_not_area(self):
+        nz = 10
+        small = BlockedCellMapping(CartesianMesh3D(100, 100, nz), fabric_shape=(50, 50))
+        large = BlockedCellMapping(CartesianMesh3D(400, 400, nz), fabric_shape=(50, 50))
+        # 2x2 vs 8x8 blocks: 16x the cells, only ~3x the halo words
+        assert large.cells_per_pe == 16 * small.cells_per_pe
+        ratio = (
+            large.fabric_words_per_pe_per_application()
+            / small.fabric_words_per_pe_per_application()
+        )
+        assert ratio < 4.0
+
+    def test_surface_to_volume_improves_with_block_size(self):
+        nz = 10
+        b2 = BlockedCellMapping(CartesianMesh3D(100, 100, nz), fabric_shape=(50, 50))
+        b8 = BlockedCellMapping(CartesianMesh3D(400, 400, nz), fabric_shape=(50, 50))
+        assert b8.surface_to_volume() < b2.surface_to_volume()
+
+    def test_functional_equivalent_is_cluster_decomposition(self):
+        """The blocked mapping's numerics are exactly the halo-exchange
+        decomposition (one rank per PE): validated against the global
+        reference there."""
+        from repro.cluster import ClusterFluxComputation
+        from repro.core import (
+            FluidProperties,
+            compute_flux_residual,
+            random_pressure,
+        )
+
+        mesh = CartesianMesh3D(8, 6, 3)
+        fluid = FluidProperties()
+        p = random_pressure(mesh, seed=9)
+        ref = compute_flux_residual(mesh, fluid, p)
+        # a 4x3 'fabric' with 2x2 blocks
+        result = ClusterFluxComputation(mesh, fluid, px=4, py=3).run_single(p)
+        scale = np.abs(ref).max()
+        np.testing.assert_allclose(result.residual, ref, atol=1e-11 * scale)

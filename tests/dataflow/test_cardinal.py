@@ -1,0 +1,115 @@
+"""Unit tests for the cardinal exchange protocol building blocks."""
+
+import pytest
+
+from repro.core.stencil import Connection
+from repro.dataflow.cardinal import (
+    CARDINAL_CHANNELS,
+    channel_for_flow,
+    is_step1_sender,
+    switch_positions_for,
+)
+from repro.wse.geometry import Port
+
+
+class TestChannels:
+    def test_four_channels(self):
+        assert len(CARDINAL_CHANNELS) == 4
+        flows = {ch.flow for ch in CARDINAL_CHANNELS}
+        assert flows == {Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH}
+
+    def test_delivery_semantics(self):
+        """Eastward flow delivers the west neighbour's data."""
+        east = channel_for_flow(Port.EAST)
+        assert east.delivers is Connection.WEST
+        assert east.receive_port is Port.WEST
+
+    def test_all_deliveries_consistent(self):
+        for ch in CARDINAL_CHANNELS:
+            # data flowing through port P arrives from the neighbour in
+            # the opposite mesh direction
+            dx, dy = ch.flow.offset
+            assert ch.delivers.offset == (-dx, -dy, 0)
+
+    def test_channel_names_unique(self):
+        names = {ch.name for ch in CARDINAL_CHANNELS}
+        assert len(names) == 4
+
+
+class TestStep1Senders:
+    def test_eastward_seeded_from_west_edge(self):
+        ch = channel_for_flow(Port.EAST)
+        assert is_step1_sender((0, 0), ch, 5, 5)
+        assert not is_step1_sender((1, 0), ch, 5, 5)
+        assert is_step1_sender((2, 0), ch, 5, 5)
+
+    def test_westward_seeded_from_east_edge(self):
+        ch = channel_for_flow(Port.WEST)
+        assert is_step1_sender((4, 0), ch, 5, 5)
+        assert not is_step1_sender((3, 0), ch, 5, 5)
+
+    def test_westward_even_width(self):
+        """Even width: the east edge must still be a step-1 sender."""
+        ch = channel_for_flow(Port.WEST)
+        assert is_step1_sender((5, 0), ch, 6, 5)
+        assert not is_step1_sender((4, 0), ch, 6, 5)
+
+    def test_southward_seeded_from_north_edge(self):
+        ch = channel_for_flow(Port.SOUTH)
+        assert is_step1_sender((0, 0), ch, 5, 5)
+        assert not is_step1_sender((0, 1), ch, 5, 5)
+
+    def test_northward_seeded_from_south_edge(self):
+        ch = channel_for_flow(Port.NORTH)
+        assert is_step1_sender((0, 4), ch, 5, 5)
+        assert not is_step1_sender((0, 3), ch, 5, 5)
+
+    def test_every_pe_is_sender_in_exactly_one_step(self):
+        """Step-1 and step-2 senders partition each row/column."""
+        for ch in CARDINAL_CHANNELS:
+            step1 = {
+                (x, y)
+                for x in range(6)
+                for y in range(4)
+                if is_step1_sender((x, y), ch, 6, 4)
+            }
+            step2 = {
+                (x, y) for x in range(6) for y in range(4)
+            } - step1
+            assert step1 and step2
+            assert len(step1) + len(step2) == 24
+
+
+class TestSwitchPositions:
+    def test_interior_has_two_roles(self):
+        ch = channel_for_flow(Port.EAST)
+        positions, initial = switch_positions_for((2, 0), ch, 6, 4)
+        assert len(positions) == 2
+        assert positions[0] == {Port.RAMP: (Port.EAST,)}
+        assert positions[1] == {Port.WEST: (Port.RAMP,)}
+        assert initial == 0  # even distance: starts Sending
+
+    def test_odd_distance_starts_receiving(self):
+        ch = channel_for_flow(Port.EAST)
+        _, initial = switch_positions_for((3, 0), ch, 6, 4)
+        assert initial == 1
+
+    def test_seed_edge_both_sending(self):
+        """The seed-edge PE never receives; both positions are Sending."""
+        ch = channel_for_flow(Port.EAST)
+        positions, initial = switch_positions_for((0, 2), ch, 6, 4)
+        assert initial == 0
+        assert positions[0] == positions[1] == {Port.RAMP: (Port.EAST,)}
+
+    def test_westward_seed_edge(self):
+        ch = channel_for_flow(Port.WEST)
+        positions, _ = switch_positions_for((5, 0), ch, 6, 4)
+        assert positions[0] == positions[1] == {Port.RAMP: (Port.WEST,)}
+
+    def test_positions_never_route_input_to_itself(self):
+        for ch in CARDINAL_CHANNELS:
+            for coord in [(0, 0), (1, 1), (5, 3)]:
+                positions, _ = switch_positions_for(coord, ch, 6, 4)
+                for pos in positions:
+                    for in_port, outs in pos.items():
+                        assert in_port not in outs

@@ -1,0 +1,128 @@
+"""Tests for fabric broadcast/reduction collectives (paper Sec. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.collectives import FabricCollectives
+from repro.wse.color import ColorAllocator
+from repro.wse.fabric import Fabric
+
+
+def make_engine(w, h, root=(0, 0), length=1):
+    fabric = Fabric(w, h)
+    colors = ColorAllocator()
+    return FabricCollectives(fabric, colors, root=root, length=length)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("w,h", [(1, 1), (4, 1), (1, 5), (4, 3), (5, 5)])
+    def test_reaches_every_pe(self, w, h):
+        eng = make_engine(w, h, length=3)
+        value = np.array([1.5, -2.0, 7.0])
+        eng.broadcast(value)
+        for pe in eng.fabric.pes():
+            np.testing.assert_array_equal(pe.state["coll_value"], value)
+
+    def test_off_centre_root(self):
+        eng = make_engine(5, 4, root=(3, 2), length=2)
+        value = np.array([9.0, 4.0])
+        eng.broadcast(value)
+        for pe in eng.fabric.pes():
+            np.testing.assert_array_equal(pe.state["coll_value"], value)
+
+    def test_rejects_bad_shape(self):
+        eng = make_engine(2, 2, length=3)
+        with pytest.raises(ValueError, match="shape"):
+            eng.broadcast(np.zeros(2))
+
+    def test_hop_cost_is_grid_diameter(self):
+        """Broadcast latency is O(w + h) hops, not O(w*h)."""
+        eng = make_engine(6, 6)
+        rt = eng.broadcast(np.array([1.0]))
+        assert rt.stats.max_hops_seen <= 6 + 6
+
+
+class TestReduceSum:
+    @pytest.mark.parametrize("w,h", [(1, 1), (3, 1), (1, 4), (4, 3), (5, 5)])
+    def test_sums_all_contributions(self, w, h):
+        eng = make_engine(w, h, length=2)
+        rng = np.random.default_rng(0)
+        contrib = rng.standard_normal((h, w, 2))
+        result = eng.reduce_sum(contrib)
+        np.testing.assert_allclose(result, contrib.sum(axis=(0, 1)), rtol=1e-12)
+
+    def test_off_centre_root(self):
+        eng = make_engine(4, 5, root=(2, 3), length=1)
+        contrib = np.arange(20.0).reshape(5, 4, 1)
+        result = eng.reduce_sum(contrib)
+        assert result[0] == pytest.approx(contrib.sum())
+
+    def test_repeatable(self):
+        """Buffers reset correctly: two reductions give two right answers."""
+        eng = make_engine(3, 3, length=1)
+        ones = np.ones((3, 3, 1))
+        assert eng.reduce_sum(ones)[0] == pytest.approx(9.0)
+        twos = 2 * np.ones((3, 3, 1))
+        assert eng.reduce_sum(twos)[0] == pytest.approx(18.0)
+
+    def test_rejects_bad_shape(self):
+        eng = make_engine(2, 2)
+        with pytest.raises(ValueError, match="shape"):
+            eng.reduce_sum(np.zeros((2, 3, 1)))
+
+    def test_vector_payload(self):
+        """One reduction folds a whole column of values elementwise."""
+        eng = make_engine(3, 2, length=4)
+        contrib = np.arange(24.0).reshape(2, 3, 4)
+        np.testing.assert_allclose(
+            eng.reduce_sum(contrib), contrib.sum(axis=(0, 1))
+        )
+
+
+class TestDot:
+    def test_matches_numpy(self):
+        eng = make_engine(4, 4, length=1)
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((4, 4, 1))
+        b = rng.standard_normal((4, 4, 1))
+        assert eng.dot(a, b) == pytest.approx(float((a * b).sum()), rel=1e-12)
+
+    def test_requires_scalar_engine(self):
+        eng = make_engine(2, 2, length=3)
+        with pytest.raises(ValueError, match="length 1"):
+            eng.dot(np.zeros((2, 2, 3)), np.zeros((2, 2, 3)))
+
+
+class TestComposition:
+    def test_coexists_with_flux_colors(self):
+        """Collectives fit alongside the flux kernel's 8 colors."""
+        from repro.core import CartesianMesh3D, FluidProperties, random_pressure
+        from repro.dataflow.program import FluxProgram
+        from repro.wse.runtime import EventRuntime
+
+        mesh = CartesianMesh3D(4, 4, 3)
+        program = FluxProgram(mesh, FluidProperties(), dtype=np.float64)
+        eng = FabricCollectives(program.fabric, program.colors, length=1)
+        assert len(program.colors) == 12  # 8 flux + 4 collective
+
+        # flux application still works with the extra colors configured
+        p = random_pressure(mesh, seed=0)
+        rt = EventRuntime(program.fabric)
+        program.load_pressure(p)
+        program.begin_application(rt)
+        rt.run()
+        program.verify_deliveries()
+
+        # and a reduction over the fabric still sums correctly
+        ones = np.ones((4, 4, 1))
+        assert eng.reduce_sum(ones)[0] == pytest.approx(16.0)
+
+    def test_root_validation(self):
+        fabric = Fabric(2, 2)
+        with pytest.raises(ValueError, match="root"):
+            FabricCollectives(fabric, ColorAllocator(), root=(5, 5))
+
+    def test_length_validation(self):
+        fabric = Fabric(2, 2)
+        with pytest.raises(ValueError, match="length"):
+            FabricCollectives(fabric, ColorAllocator(), length=0)

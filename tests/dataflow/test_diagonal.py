@@ -1,0 +1,139 @@
+"""Unit tests for the two-hop diagonal exchange (Sec. 5.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stencil import DIAGONAL_XY, Connection
+from repro.dataflow.diagonal import DIAGONAL_CHANNELS, static_position
+from repro.wse.fabric import Fabric
+from repro.wse.geometry import Port, shift
+from repro.wse.runtime import EventRuntime
+
+
+class TestChannelDefinitions:
+    def test_four_flows_cover_all_diagonals(self):
+        delivered = {ch.delivers for ch in DIAGONAL_CHANNELS}
+        assert delivered == set(DIAGONAL_XY)
+
+    def test_rotation_is_clockwise(self):
+        """First hop then 90-degree clockwise turn for every flow."""
+        clockwise_next = {
+            Port.EAST: Port.SOUTH,
+            Port.SOUTH: Port.WEST,
+            Port.WEST: Port.NORTH,
+            Port.NORTH: Port.EAST,
+        }
+        for ch in DIAGONAL_CHANNELS:
+            assert clockwise_next[ch.first_hop] is ch.second_hop
+
+    def test_distinct_intermediaries(self):
+        """Each flow uses a different first hop (its own intermediary)."""
+        hops = {ch.first_hop for ch in DIAGONAL_CHANNELS}
+        assert len(hops) == 4
+
+    def test_two_hops_reach_the_diagonal(self):
+        """first_hop + second_hop lands on the delivers-opposite cell."""
+        for ch in DIAGONAL_CHANNELS:
+            end = shift(shift((0, 0), ch.first_hop), ch.second_hop)
+            # source's destination == opposite of what the target receives
+            dx, dy, _ = ch.delivers.offset
+            assert end == (-dx, -dy)
+
+    def test_static_position_three_rules(self):
+        for ch in DIAGONAL_CHANNELS:
+            pos = static_position(ch)
+            assert set(pos) == {
+                Port.RAMP,
+                ch.first_hop.opposite,
+                ch.second_hop.opposite,
+            }
+            assert pos[Port.RAMP] == (ch.first_hop,)
+            assert pos[ch.second_hop.opposite] == (Port.RAMP,)
+
+    def test_no_self_routing(self):
+        for ch in DIAGONAL_CHANNELS:
+            for in_port, outs in static_position(ch).items():
+                assert in_port not in outs
+
+
+class TestExecutedFlows:
+    """Run each diagonal flow on a real fabric and check deliveries."""
+
+    @pytest.mark.parametrize("channel", DIAGONAL_CHANNELS, ids=lambda c: c.name)
+    def test_every_pe_receives_from_its_diagonal(self, channel):
+        fabric = Fabric(4, 4)
+        rt = EventRuntime(fabric)
+        color = 0
+        pos = static_position(channel)
+        fabric.configure_color(color, lambda c: [pos])
+        received: dict[tuple, float] = {}
+
+        def on_data(r, pe, msg):
+            assert pe.coord not in received, "duplicate delivery"
+            assert msg.hops == 2, "diagonal data must take exactly two hops"
+            received[pe.coord] = float(msg.payload[0])
+
+        fabric.bind_all(color, on_data)
+        for pe in fabric.pes():
+            x, y = pe.coord
+            rt.inject(
+                pe.coord, color, np.array([x * 10.0 + y], dtype=np.float32)
+            )
+        rt.run()
+
+        dx, dy, _ = channel.delivers.offset
+        for y in range(4):
+            for x in range(4):
+                sx, sy = x + dx, y + dy
+                if 0 <= sx < 4 and 0 <= sy < 4:
+                    assert (x, y) in received, f"PE ({x},{y}) missed delivery"
+                    assert received[(x, y)] == sx * 10.0 + sy
+                else:
+                    assert (x, y) not in received
+
+    def test_all_four_flows_concurrently(self):
+        """The rotating schedule lets all diagonals run on separate colors
+        without interference (Sec. 5.2.2)."""
+        fabric = Fabric(3, 3)
+        rt = EventRuntime(fabric)
+        received: dict[tuple, dict[str, float]] = {}
+        for color, channel in enumerate(DIAGONAL_CHANNELS):
+            pos = static_position(channel)
+            fabric.configure_color(color, lambda c, _p=pos: [_p])
+
+            def on_data(r, pe, msg, _name=channel.name):
+                received.setdefault(pe.coord, {})[_name] = float(msg.payload[0])
+
+            fabric.bind_all(color, on_data)
+        for pe in fabric.pes():
+            x, y = pe.coord
+            for color in range(4):
+                rt.inject(pe.coord, color, np.array([x + 10.0 * y], dtype=np.float32))
+        rt.run()
+        # the centre PE has all four diagonal neighbours
+        centre = received[(1, 1)]
+        assert len(centre) == 4
+        for channel in DIAGONAL_CHANNELS:
+            dx, dy, _ = channel.delivers.offset
+            assert centre[channel.name] == (1 + dx) + 10.0 * (1 + dy)
+
+    def test_corner_pe_receives_one_diagonal(self):
+        """Corner (0,0) only has a SE neighbour: exactly one delivery."""
+        fabric = Fabric(3, 3)
+        rt = EventRuntime(fabric)
+        got = []
+        for color, channel in enumerate(DIAGONAL_CHANNELS):
+            pos = static_position(channel)
+            fabric.configure_color(color, lambda c, _p=pos: [_p])
+
+            def on_data(r, pe, msg, _n=channel.name):
+                if pe.coord == (0, 0):
+                    got.append(_n)
+
+            fabric.bind_all(color, on_data)
+        for pe in fabric.pes():
+            for color in range(4):
+                rt.inject(pe.coord, color, np.zeros(1, dtype=np.float32))
+        rt.run()
+        # SE neighbour's data flows north-west: the diag_nw channel
+        assert got == ["diag_nw"]

@@ -1,0 +1,112 @@
+"""Unit tests for the per-PE memory layout and buffer-reuse planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.stencil import XY_CONNECTIONS, Connection
+from repro.dataflow.halos import (
+    PEColumnLayout,
+    layout_words_per_cell,
+    max_nz_for_memory,
+)
+from repro.wse.dsd import DsdEngine
+from repro.wse.memory import PEMemoryError, Scratchpad, WSE2_PE_MEMORY_BYTES
+
+
+class TestLayoutWords:
+    def test_reuse_smaller(self):
+        assert layout_words_per_cell(reuse_buffers=True) < layout_words_per_cell(
+            reuse_buffers=False
+        )
+
+    def test_known_values(self):
+        # 4 state + 10 trans + shared recv 2 + scratch 4
+        assert layout_words_per_cell(reuse_buffers=True) == 20
+        # 4 state + 10 trans + 16 recv + 2 send + 4 scratch
+        assert layout_words_per_cell(reuse_buffers=False) == 36
+
+
+class TestMaxNz:
+    def test_paper_nz_fits_wse2(self):
+        """The paper's Nz = 246 must fit a 48 KB PE either way."""
+        assert max_nz_for_memory(WSE2_PE_MEMORY_BYTES, reuse_buffers=True) >= 246
+        assert max_nz_for_memory(WSE2_PE_MEMORY_BYTES, reuse_buffers=False) >= 246
+
+    def test_reuse_fits_larger_problems(self):
+        """The Sec. 5.3.1 claim: reuse lets larger problems fit."""
+        lean = max_nz_for_memory(WSE2_PE_MEMORY_BYTES, reuse_buffers=True)
+        fat = max_nz_for_memory(WSE2_PE_MEMORY_BYTES, reuse_buffers=False)
+        assert lean > 1.5 * fat
+
+    def test_zero_when_reserved_consumes_all(self):
+        assert max_nz_for_memory(1024, reserved_bytes=1024) == 0
+
+    def test_consistent_with_actual_allocation(self):
+        """A layout at the predicted max Nz allocates; max+1 overflows."""
+        cap, reserved = 16 * 1024, 2048
+        for reuse in (True, False):
+            nz = max_nz_for_memory(cap, reserved_bytes=reserved, reuse_buffers=reuse)
+            pad = Scratchpad(cap, reserved=reserved)
+            PEColumnLayout.build(pad, nz, reuse_buffers=reuse)
+            pad2 = Scratchpad(cap, reserved=reserved)
+            with pytest.raises(PEMemoryError):
+                PEColumnLayout.build(pad2, nz + 1, reuse_buffers=reuse)
+
+
+class TestPEColumnLayout:
+    @pytest.fixture
+    def layout(self):
+        pad = Scratchpad(WSE2_PE_MEMORY_BYTES)
+        return PEColumnLayout.build(pad, 8, reuse_buffers=True)
+
+    def test_columns_have_nz(self, layout):
+        assert layout.pressure.shape == (8,)
+        assert layout.density.shape == (8,)
+        assert layout.residual.shape == (8,)
+        assert layout.elevation.shape == (8,)
+
+    def test_ten_transmissibilities(self, layout):
+        assert len(layout.trans) == 10
+        for conn in Connection:
+            assert layout.trans[conn].shape == (8,)
+
+    def test_shared_recv_window(self, layout):
+        bufs = {id(layout.recv_buffer(c)) for c in XY_CONNECTIONS}
+        assert len(bufs) == 1  # one window reused for all 8 neighbours
+
+    def test_separate_recv_without_reuse(self):
+        pad = Scratchpad(WSE2_PE_MEMORY_BYTES)
+        layout = PEColumnLayout.build(pad, 8, reuse_buffers=False)
+        bufs = {id(layout.recv_buffer(c)) for c in XY_CONNECTIONS}
+        assert len(bufs) == 8
+
+    def test_send_train_is_view_with_reuse(self, layout):
+        layout.pressure[:] = 3.0
+        layout.density[:] = 4.0
+        train = layout.send_train()
+        np.testing.assert_array_equal(train[0], 3.0)
+        np.testing.assert_array_equal(train[1], 4.0)
+        layout.pressure[0] = 9.0
+        assert train[0, 0] == 9.0  # zero-copy: live view
+
+    def test_send_train_staged_without_reuse(self):
+        pad = Scratchpad(WSE2_PE_MEMORY_BYTES)
+        layout = PEColumnLayout.build(pad, 4, reuse_buffers=False)
+        layout.pressure[:] = 1.0
+        layout.density[:] = 2.0
+        engine = DsdEngine()
+        train = layout.send_train(engine)
+        np.testing.assert_array_equal(train[0], 1.0)
+        layout.pressure[0] = 7.0
+        assert train[0, 0] == 1.0  # staged copy, not a view
+        assert engine.counts["FMOV_LOCAL"] == 8  # two column moves
+
+    def test_overflow_raises_with_context(self):
+        pad = Scratchpad(1024)
+        with pytest.raises(PEMemoryError, match="reuse_buffers=True"):
+            PEColumnLayout.build(pad, 1000, reuse_buffers=True)
+
+    def test_float64_layout(self):
+        pad = Scratchpad(WSE2_PE_MEMORY_BYTES)
+        layout = PEColumnLayout.build(pad, 8, dtype=np.float64)
+        assert layout.pressure.dtype == np.float64

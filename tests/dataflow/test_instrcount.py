@@ -1,0 +1,78 @@
+"""Unit tests for the Table 4 instruction accounting."""
+
+import pytest
+
+from repro.dataflow.instrcount import (
+    CellInstructionTable,
+    interior_cell_table,
+    measure_flux_instruction_mix,
+)
+
+
+class TestMeasuredMix:
+    def test_per_flux_counts(self):
+        mix = measure_flux_instruction_mix()
+        assert mix["FMUL"] == 6
+        assert mix["FSUB"] == 4
+        assert mix["FADD"] == 1
+        assert mix["FMA"] == 1
+        assert mix["FNEG"] == 1
+
+    def test_mix_independent_of_probe_length(self):
+        assert measure_flux_instruction_mix(n=8) == measure_flux_instruction_mix(
+            n=256
+        )
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def table(self) -> CellInstructionTable:
+        return interior_cell_table()
+
+    def test_paper_instruction_counts(self, table):
+        """The exact counts of paper Table 4."""
+        assert table.count("FMUL") == 60
+        assert table.count("FSUB") == 40
+        assert table.count("FNEG") == 10
+        assert table.count("FADD") == 10
+        assert table.count("FMA") == 10
+        assert table.count("FMOV") == 16
+
+    def test_flops_per_cell(self, table):
+        assert table.flops_per_cell == 140
+
+    def test_memory_accesses(self, table):
+        """406 loads and stores per cell (Sec. 7.3)."""
+        assert table.memory_accesses_per_cell == 406
+
+    def test_fabric_loads(self, table):
+        assert table.fabric_loads_per_cell == 16
+
+    def test_arithmetic_intensities(self, table):
+        assert table.arithmetic_intensity_memory == pytest.approx(0.0862, abs=5e-5)
+        assert table.arithmetic_intensity_fabric == pytest.approx(2.1875)
+
+    def test_row_order_matches_paper(self, table):
+        assert [r.op for r in table.rows] == [
+            "FMUL",
+            "FSUB",
+            "FNEG",
+            "FADD",
+            "FMA",
+            "FMOV",
+        ]
+
+    def test_mem_traffic_labels(self, table):
+        labels = {r.op: r.mem_traffic_label for r in table.rows}
+        assert labels["FMUL"] == "2 loads, 1 store"
+        assert labels["FNEG"] == "1 load, 1 store"
+        assert labels["FMA"] == "3 loads, 1 store"
+        assert labels["FMOV"] == "1 store"
+
+    def test_unknown_op_rejected(self, table):
+        with pytest.raises(KeyError):
+            table.count("FSQRT")
+
+    def test_bytes_per_cell(self, table):
+        assert table.memory_bytes_per_cell == 406 * 4
+        assert table.fabric_bytes_per_cell == 64

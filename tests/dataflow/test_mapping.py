@@ -1,0 +1,115 @@
+"""Unit tests for problem-to-fabric mappings (Fig. 3)."""
+
+import pytest
+
+from repro.core import CartesianMesh3D
+from repro.dataflow.mapping import (
+    CellBasedMapping,
+    FaceBasedMapping,
+    compare_mappings,
+)
+
+
+@pytest.fixture
+def mesh():
+    return CartesianMesh3D(6, 4, 5)
+
+
+class TestCellBased:
+    def test_fabric_shape(self, mesh):
+        m = CellBasedMapping(mesh)
+        assert m.fabric_shape == (6, 4)
+        assert m.num_pes == 24
+
+    def test_pe_for_cell_drops_z(self, mesh):
+        m = CellBasedMapping(mesh)
+        assert m.pe_for_cell(2, 3, 0) == (2, 3)
+        assert m.pe_for_cell(2, 3, 4) == (2, 3)
+
+    def test_whole_column_per_pe(self, mesh):
+        m = CellBasedMapping(mesh)
+        assert m.cells_per_pe() == 5
+
+    def test_validates_coordinates(self, mesh):
+        m = CellBasedMapping(mesh)
+        with pytest.raises(IndexError):
+            m.pe_for_cell(6, 0, 0)
+
+    def test_words_per_pe(self, mesh):
+        # 8 neighbours x 2 values x nz (Sec. 5.2)
+        assert CellBasedMapping(mesh).words_received_per_pe_per_iteration() == 80
+
+    def test_bijective_over_plane(self, mesh):
+        m = CellBasedMapping(mesh)
+        seen = set()
+        for x in range(6):
+            for y in range(4):
+                seen.add(m.pe_for_cell(x, y, 0))
+        assert len(seen) == m.num_pes
+
+
+class TestFaceBased:
+    def test_staggered_fabric(self, mesh):
+        m = FaceBasedMapping(mesh)
+        assert m.fabric_shape == (11, 7)
+        assert m.num_pes == 77
+
+    def test_cell_positions_even(self, mesh):
+        m = FaceBasedMapping(mesh)
+        assert m.pe_for_cell(0, 0, 0) == (0, 0)
+        assert m.pe_for_cell(2, 3, 1) == (4, 6)
+
+    def test_face_positions_odd(self, mesh):
+        m = FaceBasedMapping(mesh)
+        assert m.pe_for_x_face(0, 0) == (1, 0)
+        assert m.pe_for_y_face(0, 0) == (0, 1)
+
+    def test_face_between_cells(self, mesh):
+        """The X-face PE sits between its two cell PEs on the fabric."""
+        m = FaceBasedMapping(mesh)
+        fx = m.pe_for_x_face(2, 1)
+        left = m.pe_for_cell(2, 1, 0)
+        right = m.pe_for_cell(3, 1, 0)
+        assert fx[0] == left[0] + 1 == right[0] - 1
+        assert fx[1] == left[1] == right[1]
+
+    def test_face_bounds(self, mesh):
+        m = FaceBasedMapping(mesh)
+        with pytest.raises(IndexError):
+            m.pe_for_x_face(5, 0)  # no face beyond the last cell
+        with pytest.raises(IndexError):
+            m.pe_for_y_face(0, 3)
+
+    def test_no_collisions(self, mesh):
+        """Cells, X-faces, and Y-faces occupy distinct PEs."""
+        m = FaceBasedMapping(mesh)
+        coords = set()
+        for x in range(6):
+            for y in range(4):
+                coords.add(m.pe_for_cell(x, y, 0))
+        for x in range(5):
+            for y in range(4):
+                assert m.pe_for_x_face(x, y) not in coords
+        for x in range(6):
+            for y in range(3):
+                assert m.pe_for_y_face(x, y) not in coords
+
+
+class TestComparison:
+    def test_cell_based_wins_on_pes(self, mesh):
+        cmp = compare_mappings(mesh)
+        assert cmp.pe_overhead_factor > 3.0
+        assert cmp.face_num_pes > cmp.cell_num_pes
+
+    def test_cell_based_wins_on_max_mesh(self, mesh):
+        cmp = compare_mappings(mesh, fabric_shape=(750, 994))
+        cw, ch = cmp.cell_max_mesh_on_fabric
+        fw, fh = cmp.face_max_mesh_on_fabric
+        assert cw * ch > fw * fh
+        assert (cw, ch) == (750, 994)
+        assert (fw, fh) == (375, 497)
+
+    def test_face_based_moves_more_data(self, mesh):
+        cmp = compare_mappings(mesh)
+        assert cmp.traffic_overhead_factor > 1.0
+        assert cmp.face_total_words > cmp.cell_total_words

@@ -1,0 +1,115 @@
+"""Tests for the arbitrary-topology fabric embedding analysis (Sec. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D
+from repro.core.unstructured import delaunay_mesh_2d, from_cartesian
+from repro.dataflow.unstructured_map import (
+    CommAnalysis,
+    GridEmbedding,
+    analyze_embedding,
+)
+
+
+@pytest.fixture(scope="module")
+def dmesh():
+    return delaunay_mesh_2d(120, seed=4)
+
+
+class TestGridEmbedding:
+    def test_fits_smallest_square(self, dmesh):
+        emb = GridEmbedding.build(dmesh)
+        assert emb.width * emb.height >= dmesh.num_cells
+        assert emb.width <= 11 and emb.height <= 11
+
+    def test_one_cell_per_pe(self, dmesh):
+        emb = GridEmbedding.build(dmesh)
+        keys = {(int(x), int(y)) for x, y in emb.coords}
+        assert len(keys) == dmesh.num_cells
+
+    @pytest.mark.parametrize("strategy", ["spatial", "bfs", "random"])
+    def test_all_strategies_valid(self, dmesh, strategy):
+        emb = GridEmbedding.build(dmesh, strategy=strategy)
+        assert emb.strategy == strategy
+        assert emb.coords.shape == (dmesh.num_cells, 2)
+
+    def test_unknown_strategy(self, dmesh):
+        with pytest.raises(ValueError, match="strategy"):
+            GridEmbedding.build(dmesh, strategy="teleport")
+
+    def test_rejects_duplicate_assignment(self):
+        with pytest.raises(ValueError, match="two cells"):
+            GridEmbedding(
+                width=2, height=2,
+                coords=np.array([[0, 0], [0, 0]]),
+                strategy="spatial",
+            )
+
+    def test_rejects_off_fabric(self):
+        with pytest.raises(ValueError, match="off the fabric"):
+            GridEmbedding(
+                width=2, height=2,
+                coords=np.array([[0, 0], [2, 0]]),
+                strategy="spatial",
+            )
+
+    def test_random_deterministic_by_seed(self, dmesh):
+        a = GridEmbedding.build(dmesh, strategy="random", seed=5)
+        b = GridEmbedding.build(dmesh, strategy="random", seed=5)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+
+class TestAnalysis:
+    def test_structured_grid_embeds_at_unit_hops(self):
+        """A Cartesian plane embedded spatially: cardinal connections at
+        1 hop, diagonals at 2 — the structured pattern recovered."""
+        mesh = CartesianMesh3D(6, 6, 1)
+        umesh = from_cartesian(mesh)
+        emb = GridEmbedding.build(umesh, strategy="spatial")
+        analysis = analyze_embedding(umesh, emb)
+        assert analysis.max_hops == 2
+        assert analysis.within_two_hops_fraction == 1.0
+
+    def test_unstructured_needs_multi_hop(self, dmesh):
+        """The Sec. 9 motivation: arbitrary topologies exceed 2 hops."""
+        emb = GridEmbedding.build(dmesh, strategy="spatial")
+        analysis = analyze_embedding(dmesh, emb)
+        assert analysis.max_hops > 2
+        assert analysis.within_two_hops_fraction < 1.0
+        assert analysis.mean_hops > 1.0
+
+    def test_locality_aware_beats_random(self, dmesh):
+        spatial = analyze_embedding(dmesh, GridEmbedding.build(dmesh, strategy="spatial"))
+        rand = analyze_embedding(dmesh, GridEmbedding.build(dmesh, strategy="random"))
+        assert spatial.mean_hops < rand.mean_hops
+
+    def test_bfs_beats_random(self, dmesh):
+        bfs = analyze_embedding(dmesh, GridEmbedding.build(dmesh, strategy="bfs"))
+        rand = analyze_embedding(dmesh, GridEmbedding.build(dmesh, strategy="random"))
+        assert bfs.mean_hops < rand.mean_hops
+
+    def test_connection_count_preserved(self, dmesh):
+        emb = GridEmbedding.build(dmesh)
+        analysis = analyze_embedding(dmesh, emb)
+        assert analysis.num_connections == dmesh.num_connections
+
+    def test_structured_overhead_metric(self, dmesh):
+        emb = GridEmbedding.build(dmesh, strategy="spatial")
+        analysis = analyze_embedding(dmesh, emb)
+        assert analysis.structured_overhead > 1.0
+
+    def test_empty_connection_list(self):
+        from repro.core.unstructured import UnstructuredMesh
+
+        mesh = UnstructuredMesh(
+            volumes=np.ones(2),
+            centroids=np.zeros((2, 3)),
+            cell_a=np.array([], dtype=np.int64),
+            cell_b=np.array([], dtype=np.int64),
+            trans=np.array([]),
+        )
+        emb = GridEmbedding.build(mesh)
+        analysis = analyze_embedding(mesh, emb)
+        assert analysis.num_connections == 0
+        assert analysis.mean_hops == 0.0

@@ -1,0 +1,55 @@
+"""Unit tests for the device spec and occupancy model."""
+
+import pytest
+
+from repro.gpu.device import A100_40GB, DeviceSpec, OccupancyModel
+
+
+class TestDeviceSpec:
+    def test_a100_parameters(self):
+        assert A100_40GB.num_sms == 108
+        assert A100_40GB.device_memory_bytes == 40 * 1024**3
+        assert A100_40GB.max_threads_per_block == 1024
+        assert A100_40GB.tdp_watts == 250.0
+
+    def test_max_warps(self):
+        assert A100_40GB.max_warps_per_sm == 64
+
+
+class TestOccupancyModel:
+    def test_paper_launch_numbers(self):
+        """Sec. 7.2: 30.79/32 warps, 48.11% of 50% occupancy."""
+        occ = OccupancyModel(A100_40GB)
+        assert occ.blocks_per_sm == 1
+        assert occ.theoretical_warps_per_sm == 32
+        assert occ.theoretical_occupancy == pytest.approx(0.50)
+        assert occ.achieved_warps_per_sm == pytest.approx(30.79, abs=0.01)
+        assert occ.achieved_occupancy == pytest.approx(0.4811, abs=1e-4)
+
+    def test_register_limit_binds(self):
+        """At 64 regs/thread, registers (not threads) cap residency."""
+        occ = OccupancyModel(A100_40GB, registers_per_thread=64)
+        by_threads = A100_40GB.max_threads_per_sm // 1024  # 2 blocks
+        assert occ.blocks_per_sm == 1 < by_threads
+
+    def test_lighter_kernel_fills_sm(self):
+        occ = OccupancyModel(A100_40GB, registers_per_thread=32)
+        assert occ.blocks_per_sm == 2
+        assert occ.theoretical_occupancy == pytest.approx(1.0)
+
+    def test_smaller_blocks(self):
+        occ = OccupancyModel(A100_40GB, threads_per_block=256, registers_per_thread=32)
+        assert occ.blocks_per_sm == 8
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(ValueError, match="exceeds device"):
+            OccupancyModel(A100_40GB, threads_per_block=2048)
+
+    def test_rejects_non_warp_multiple(self):
+        with pytest.raises(ValueError, match="warp"):
+            OccupancyModel(A100_40GB, threads_per_block=1000)
+
+    def test_impossible_kernel_zero_blocks(self):
+        occ = OccupancyModel(A100_40GB, registers_per_thread=100)
+        assert occ.blocks_per_sm == 0
+        assert occ.theoretical_occupancy == 0.0

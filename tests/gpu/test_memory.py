@@ -1,0 +1,91 @@
+"""Unit tests for the simulated device memory manager."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import A100_40GB, DeviceSpec
+from repro.gpu.memory import DeviceMemoryManager
+
+
+def small_device(mem_bytes=1024) -> DeviceSpec:
+    from dataclasses import replace
+
+    return replace(A100_40GB, device_memory_bytes=mem_bytes)
+
+
+class TestAllocation:
+    def test_alloc_and_get(self):
+        mgr = DeviceMemoryManager()
+        arr = mgr.alloc("a", (2, 3), np.float32)
+        assert arr.shape == (2, 3)
+        assert mgr.get("a") is arr
+        assert mgr.allocated_bytes == 24
+
+    def test_oom(self):
+        mgr = DeviceMemoryManager(small_device(100))
+        with pytest.raises(MemoryError, match="device OOM"):
+            mgr.alloc("big", 100, np.float32)
+
+    def test_duplicate_name(self):
+        mgr = DeviceMemoryManager()
+        mgr.alloc("a", 2)
+        with pytest.raises(ValueError):
+            mgr.alloc("a", 2)
+
+    def test_free_returns_capacity(self):
+        mgr = DeviceMemoryManager(small_device(100))
+        mgr.alloc("a", 20, np.float32)
+        mgr.free("a")
+        assert mgr.allocated_bytes == 0
+        mgr.alloc("b", 25, np.float32)  # fits again
+
+    def test_free_missing(self):
+        mgr = DeviceMemoryManager()
+        with pytest.raises(KeyError):
+            mgr.free("ghost")
+
+    def test_get_missing(self):
+        mgr = DeviceMemoryManager()
+        with pytest.raises(KeyError):
+            mgr.get("ghost")
+
+    def test_paper_mesh_fits_a100(self):
+        """The full 750x994x246 working set fits 40 GB (Sec. 6 claim)."""
+        cells = 750 * 994 * 246
+        fields = 4 + 10  # p, rho, residual, z + 10 trans
+        assert cells * fields * 4 < A100_40GB.device_memory_bytes
+
+
+class TestTransfers:
+    def test_h2d_copies_and_accounts(self):
+        mgr = DeviceMemoryManager()
+        mgr.alloc("a", 4, np.float32)
+        host = np.arange(4, dtype=np.float32)
+        mgr.h2d("a", host)
+        np.testing.assert_array_equal(mgr.get("a"), host)
+        assert mgr.transfers.h2d_bytes == 16
+        assert mgr.transfers.h2d_transfers == 1
+
+    def test_d2h_copies_and_accounts(self):
+        mgr = DeviceMemoryManager()
+        dev = mgr.alloc("a", 4, np.float32)
+        dev[:] = 7.0
+        host = np.zeros(4, dtype=np.float32)
+        mgr.d2h("a", host)
+        np.testing.assert_array_equal(host, 7.0)
+        assert mgr.transfers.d2h_bytes == 16
+
+    def test_shape_mismatch(self):
+        mgr = DeviceMemoryManager()
+        mgr.alloc("a", 4, np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            mgr.h2d("a", np.zeros(5, dtype=np.float32))
+        with pytest.raises(ValueError, match="shape"):
+            mgr.d2h("a", np.zeros((2, 3), dtype=np.float32))
+
+    def test_transfer_seconds_model(self):
+        mgr = DeviceMemoryManager()
+        mgr.alloc("a", 1024, np.float32)
+        mgr.h2d("a", np.zeros(1024, dtype=np.float32))
+        t = mgr.transfers.transfer_seconds(mgr.device)
+        assert t == pytest.approx(4096 / mgr.device.pcie_bandwidth)

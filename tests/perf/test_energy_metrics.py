@@ -1,0 +1,82 @@
+"""Tests of the energy comparison and derived metrics."""
+
+import pytest
+
+from repro.core.constants import PAPER_ITERATIONS, PAPER_MESH
+from repro.perf.energy import A100_POWER_W, CS2_POWER_W, compare_energy
+from repro.perf.metrics import (
+    achieved_tflops,
+    speedup,
+    throughput_gcells_per_second,
+    weak_scaling_row,
+)
+
+
+class TestEnergy:
+    def test_paper_powers(self):
+        assert CS2_POWER_W == 23_000.0
+        assert A100_POWER_W == 250.0
+
+    def test_efficiency_ratio_near_2_2(self):
+        """Sec. 7.2: 'a 2.2x energy efficiency ... in aggregate'."""
+        cmp = compare_energy()
+        assert cmp.energy_efficiency_ratio == pytest.approx(2.2, rel=0.10)
+
+    def test_cs2_gflops_per_watt(self):
+        """Sec. 7.2: 13.67 GFLOP/W (we land within 2%)."""
+        cmp = compare_energy()
+        assert cmp.cs2_gflops_per_watt == pytest.approx(13.67, rel=0.02)
+
+    def test_joules(self):
+        cmp = compare_energy()
+        assert cmp.cs2_joules == pytest.approx(
+            cmp.cs2_seconds * CS2_POWER_W
+        )
+        assert cmp.a100_joules > cmp.cs2_joules
+
+    def test_total_flops(self):
+        cmp = compare_energy()
+        nx, ny, nz = PAPER_MESH
+        assert cmp.total_flops == nx * ny * nz * 140 * PAPER_ITERATIONS
+
+    def test_custom_mesh(self):
+        cmp = compare_energy(mesh=(100, 100, 50), applications=10)
+        assert cmp.applications == 10
+        assert cmp.cs2_joules > 0
+
+
+class TestMetrics:
+    def test_throughput(self):
+        # paper row 1: 9.84 Mcells, 1000 apps, 0.0813 s -> 121.01 Gcell/s
+        thr = throughput_gcells_per_second(9_840_000, 1000, 0.0813)
+        assert thr == pytest.approx(121.01, rel=1e-3)
+
+    def test_achieved_tflops(self):
+        nx, ny, nz = PAPER_MESH
+        t = achieved_tflops(nx * ny * nz, 1000, 0.0823)
+        assert t == pytest.approx(311.85, rel=1e-3)
+
+    def test_speedup(self):
+        assert speedup(16.8378, 0.0823) == pytest.approx(204.6, rel=1e-3)
+
+    def test_speedup_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_throughput_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            throughput_gcells_per_second(1, 1, 0.0)
+
+
+class TestWeakScalingRow:
+    def test_row_fields(self):
+        row = weak_scaling_row(200, 200, 246)
+        assert row.total_cells == 9_840_000
+        assert row.throughput_gcells == pytest.approx(121.0, rel=5e-3)
+        assert row.cs2_seconds == pytest.approx(0.0813, rel=5e-3)
+        assert row.speedup > 10
+
+    def test_throughput_grows_with_mesh(self):
+        small = weak_scaling_row(200, 200, 246)
+        large = weak_scaling_row(750, 950, 246)
+        assert large.throughput_gcells > 15 * small.throughput_gcells

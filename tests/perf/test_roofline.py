@@ -1,0 +1,102 @@
+"""Tests of the roofline models (Fig. 8)."""
+
+import pytest
+
+from repro.perf.roofline import (
+    KernelPoint,
+    RooflineModel,
+    a100_kernel_point,
+    a100_roofline,
+    cs2_kernel_points,
+    cs2_roofline,
+)
+
+
+class TestRooflineModel:
+    def test_attainable_bandwidth_bound(self):
+        rl = RooflineModel("m", peak_flops=100.0, bandwidths={"mem": 10.0})
+        assert rl.attainable(2.0, "mem") == 20.0
+
+    def test_attainable_compute_bound(self):
+        rl = RooflineModel("m", peak_flops=100.0, bandwidths={"mem": 10.0})
+        assert rl.attainable(50.0, "mem") == 100.0
+
+    def test_ridge_point(self):
+        rl = RooflineModel("m", peak_flops=100.0, bandwidths={"mem": 10.0})
+        assert rl.ridge_point("mem") == 10.0
+        assert rl.is_compute_bound(10.0, "mem")
+        assert not rl.is_compute_bound(9.9, "mem")
+
+    def test_rejects_nonpositive_ai(self):
+        rl = RooflineModel("m", peak_flops=1.0, bandwidths={"mem": 1.0})
+        with pytest.raises(ValueError):
+            rl.attainable(0.0, "mem")
+
+    def test_efficiency(self):
+        rl = RooflineModel("m", peak_flops=100.0, bandwidths={"mem": 10.0})
+        pt = KernelPoint("k", "mem", 2.0, achieved_flops=10.0)
+        assert rl.efficiency(pt) == pytest.approx(0.5)
+
+
+class TestCs2Roofline:
+    def test_kernel_achieves_311_tflops(self):
+        mem_pt, fabric_pt = cs2_kernel_points()
+        assert mem_pt.achieved_flops == pytest.approx(311.85e12, rel=1e-3)
+        assert fabric_pt.achieved_flops == mem_pt.achieved_flops
+
+    def test_arithmetic_intensities(self):
+        mem_pt, fabric_pt = cs2_kernel_points()
+        assert mem_pt.arithmetic_intensity == pytest.approx(0.0862, abs=5e-5)
+        assert fabric_pt.arithmetic_intensity == pytest.approx(2.1875)
+
+    def test_memory_bandwidth_bound(self):
+        """The paper: bandwidth-bound for memory access."""
+        rl = cs2_roofline()
+        mem_pt, _ = cs2_kernel_points()
+        assert not rl.is_compute_bound(mem_pt.arithmetic_intensity, "memory")
+        # sitting exactly on the slope: efficiency 1 by calibration
+        assert rl.efficiency(mem_pt) == pytest.approx(1.0)
+
+    def test_fabric_compute_bound(self):
+        """The paper: compute-bound for fabric access."""
+        rl = cs2_roofline()
+        _, fabric_pt = cs2_kernel_points()
+        assert rl.is_compute_bound(fabric_pt.arithmetic_intensity, "fabric")
+
+    def test_memory_balance_matches_paper(self):
+        """Ridge at 0.0892 FLOP/Byte — 'nearly compute-bound'."""
+        rl = cs2_roofline()
+        assert rl.ridge_point("memory") == pytest.approx(0.0892)
+        mem_pt, _ = cs2_kernel_points()
+        # the kernel AI is close to, but below, the balance point
+        assert 0.9 < mem_pt.arithmetic_intensity / rl.ridge_point("memory") < 1.0
+
+
+class TestA100Roofline:
+    def test_kernel_point(self):
+        pt = a100_kernel_point()
+        assert pt.arithmetic_intensity == 2.11
+        assert pt.achieved_flops == 6012e9
+
+    def test_memory_bound_at_76_percent(self):
+        """The paper: memory-bound at 76% of attainable."""
+        rl = a100_roofline()
+        pt = a100_kernel_point()
+        assert not rl.is_compute_bound(pt.arithmetic_intensity, "l2")
+        assert rl.efficiency(pt) == pytest.approx(0.76)
+
+    def test_hbm_ceiling_present(self):
+        rl = a100_roofline()
+        assert rl.bandwidths["hbm"] == pytest.approx(1555e9)
+        assert rl.bandwidths["l2"] > rl.bandwidths["hbm"]
+
+    def test_peak_is_fp32(self):
+        assert a100_roofline().peak_flops == pytest.approx(19.5e12)
+
+
+class TestCrossMachine:
+    def test_cs2_kernel_beats_a100_kernel(self):
+        """The 311.85 TFLOPS vs 6012 GFLOPS contrast of Fig. 8."""
+        mem_pt, _ = cs2_kernel_points()
+        a_pt = a100_kernel_point()
+        assert mem_pt.achieved_flops / a_pt.achieved_flops > 50

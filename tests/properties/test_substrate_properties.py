@@ -1,0 +1,168 @@
+"""Property-based tests of the WSE substrate invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.perf.roofline import RooflineModel
+from repro.wse.dsd import OP_FLOPS, OP_TRAFFIC, DsdEngine
+from repro.wse.memory import PEMemoryError, Scratchpad
+
+
+class TestScratchpadProperties:
+    @settings(max_examples=50)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=20)
+    )
+    def test_distinct_allocations_never_overlap(self, sizes):
+        pad = Scratchpad(64 * 1024)
+        for i, n in enumerate(sizes):
+            pad.alloc_array(f"b{i}", n, np.float32)
+        assert pad.overlap_pairs() == []
+
+    @settings(max_examples=50)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=20)
+    )
+    def test_used_equals_sum_of_sizes(self, sizes):
+        pad = Scratchpad(64 * 1024)
+        for i, n in enumerate(sizes):
+            pad.alloc_array(f"b{i}", n, np.float32)
+        assert pad.used == 4 * sum(sizes)
+        assert pad.high_water == pad.used
+
+    @settings(max_examples=30)
+    @given(
+        capacity=st.integers(min_value=16, max_value=4096),
+        n=st.integers(min_value=1, max_value=2048),
+    )
+    def test_overflow_iff_capacity_exceeded(self, capacity, n):
+        pad = Scratchpad(capacity)
+        nbytes = 4 * n
+        if nbytes <= capacity:
+            pad.alloc_array("a", n, np.float32)
+            assert pad.free == capacity - nbytes
+        else:
+            try:
+                pad.alloc_array("a", n, np.float32)
+                raise AssertionError("expected PEMemoryError")
+            except PEMemoryError:
+                pass
+
+
+float_arrays = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=128),
+    elements=st.floats(min_value=-1e6, max_value=1e6),
+)
+
+
+class TestDsdEquivalence:
+    """Every DSD op computes exactly what the matching NumPy ufunc does."""
+
+    @given(float_arrays, st.floats(min_value=-10, max_value=10))
+    def test_fmuls(self, a, s):
+        engine = DsdEngine()
+        dst = np.empty_like(a)
+        engine.fmuls(dst, a, s)
+        np.testing.assert_array_equal(dst, a * s)
+
+    @given(float_arrays)
+    def test_fsubs(self, a):
+        engine = DsdEngine()
+        dst = np.empty_like(a)
+        engine.fsubs(dst, a, 1.5)
+        np.testing.assert_array_equal(dst, a - 1.5)
+
+    @given(float_arrays)
+    def test_fnegs_involution(self, a):
+        engine = DsdEngine()
+        dst = np.empty_like(a)
+        engine.fnegs(dst, a)
+        engine.fnegs(dst, dst)
+        np.testing.assert_array_equal(dst, a)
+
+    @given(float_arrays, st.floats(min_value=-5, max_value=5))
+    def test_fmacs(self, a, s):
+        engine = DsdEngine()
+        dst = np.empty_like(a)
+        engine.fmacs(dst, a, s, a)
+        np.testing.assert_array_equal(dst, a * s + a)
+
+    @given(float_arrays)
+    def test_select_partition(self, a):
+        """select(mask, a, b) takes every element from exactly one source."""
+        engine = DsdEngine()
+        dst = np.empty_like(a)
+        mask = a > 0
+        engine.select(dst, mask, a, -1.0)
+        assert np.all((dst == a) | (dst == -1.0))
+        np.testing.assert_array_equal(dst[mask], a[mask])
+
+    @given(
+        st.lists(
+            st.sampled_from(["FMUL", "FSUB", "FADD", "FNEG", "FMA"]),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_accounting_additivity(self, ops, n):
+        """FLOPs and traffic are exact sums of the per-op tables."""
+        engine = DsdEngine()
+        dst = np.zeros(n)
+        a = np.ones(n)
+        for op in ops:
+            if op == "FMUL":
+                engine.fmuls(dst, a, 2.0)
+            elif op == "FSUB":
+                engine.fsubs(dst, a, 1.0)
+            elif op == "FADD":
+                engine.fadds(dst, a, 1.0)
+            elif op == "FNEG":
+                engine.fnegs(dst, a)
+            elif op == "FMA":
+                engine.fmacs(dst, a, 2.0, a)
+        expected_flops = sum(OP_FLOPS[op] for op in ops) * n
+        expected_loads = sum(OP_TRAFFIC[op].loads for op in ops) * n
+        expected_stores = sum(OP_TRAFFIC[op].stores for op in ops) * n
+        assert engine.flops == expected_flops
+        assert engine.loads == expected_loads
+        assert engine.stores == expected_stores
+
+
+class TestRooflineProperties:
+    @given(
+        peak=st.floats(min_value=1e9, max_value=1e16),
+        bw=st.floats(min_value=1e9, max_value=1e16),
+        ai=st.floats(min_value=1e-4, max_value=1e4),
+    )
+    def test_attainable_is_min(self, peak, bw, ai):
+        rl = RooflineModel("m", peak_flops=peak, bandwidths={"mem": bw})
+        att = rl.attainable(ai, "mem")
+        assert att == min(peak, ai * bw)
+        assert att <= peak
+        assert att <= ai * bw * (1 + 1e-12)
+
+    @given(
+        peak=st.floats(min_value=1e9, max_value=1e15),
+        bw=st.floats(min_value=1e9, max_value=1e15),
+        ai1=st.floats(min_value=1e-3, max_value=1e3),
+        ai2=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    def test_attainable_monotone_in_ai(self, peak, bw, ai1, ai2):
+        rl = RooflineModel("m", peak_flops=peak, bandwidths={"mem": bw})
+        lo, hi = min(ai1, ai2), max(ai1, ai2)
+        assert rl.attainable(lo, "mem") <= rl.attainable(hi, "mem")
+
+    @given(
+        peak=st.floats(min_value=1e9, max_value=1e15),
+        bw=st.floats(min_value=1e9, max_value=1e15),
+    )
+    def test_ridge_point_boundary(self, peak, bw):
+        rl = RooflineModel("m", peak_flops=peak, bandwidths={"mem": bw})
+        ridge = rl.ridge_point("mem")
+        assert rl.attainable(ridge, "mem") <= peak * (1 + 1e-12)
+        assert rl.is_compute_bound(ridge * 1.01, "mem")
+        assert not rl.is_compute_bound(ridge * 0.99, "mem")

@@ -1,0 +1,142 @@
+"""Tests for the from-scratch Krylov solvers."""
+
+import numpy as np
+import pytest
+
+from repro.solver.krylov import bicgstab, conjugate_gradient, jacobi_preconditioner
+
+
+def make_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    A = A @ A.T + n * np.eye(n)
+    return A
+
+
+def make_nonsymmetric(n, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n)) * 0.3 + np.diag(2.0 + rng.random(n)) * n**0.5
+    return A
+
+
+class TestConjugateGradient:
+    def test_solves_spd(self):
+        A = make_spd(30)
+        x_true = np.arange(30.0)
+        res = conjugate_gradient(lambda v: A @ v, A @ x_true, rtol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8, atol=1e-10)
+
+    def test_identity_converges_immediately(self):
+        b = np.ones(5)
+        res = conjugate_gradient(lambda v: v, b)
+        assert res.converged
+        assert res.iterations <= 1
+
+    def test_zero_rhs(self):
+        A = make_spd(5)
+        res = conjugate_gradient(lambda v: A @ v, np.zeros(5))
+        assert res.converged
+        assert res.iterations == 0
+        np.testing.assert_array_equal(res.x, 0.0)
+
+    def test_history_monotone_overall(self):
+        A = make_spd(40, seed=2)
+        b = np.ones(40)
+        res = conjugate_gradient(lambda v: A @ v, b, rtol=1e-10)
+        assert res.history[-1] < res.history[0]
+
+    def test_preconditioner_reduces_iterations(self):
+        n = 60
+        rng = np.random.default_rng(1)
+        # badly scaled diagonal-dominant SPD system
+        d = 10.0 ** rng.uniform(0, 6, n)
+        A = np.diag(d) + 0.01 * make_spd(n, seed=3)
+        b = rng.standard_normal(n)
+        plain = conjugate_gradient(lambda v: A @ v, b, rtol=1e-10, max_iterations=5000)
+        pre = conjugate_gradient(
+            lambda v: A @ v,
+            b,
+            rtol=1e-10,
+            max_iterations=5000,
+            psolve=jacobi_preconditioner(np.diag(A)),
+        )
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_non_spd_detected(self):
+        A = -np.eye(4)
+        res = conjugate_gradient(lambda v: A @ v, np.ones(4))
+        assert not res.converged
+
+    def test_max_iterations_respected(self):
+        A = make_spd(50, seed=5)
+        res = conjugate_gradient(lambda v: A @ v, np.ones(50), rtol=1e-16, max_iterations=2)
+        assert res.iterations == 2
+
+    def test_x0_initial_guess(self):
+        A = make_spd(10)
+        x_true = np.ones(10)
+        res = conjugate_gradient(lambda v: A @ v, A @ x_true, x0=x_true.copy())
+        assert res.converged
+        assert res.iterations == 0
+
+
+class TestBicgstab:
+    def test_solves_nonsymmetric(self):
+        A = make_nonsymmetric(40)
+        x_true = np.linspace(-1, 1, 40)
+        res = bicgstab(lambda v: A @ v, A @ x_true, rtol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-6, atol=1e-10)
+
+    def test_solves_spd_too(self):
+        A = make_spd(25, seed=7)
+        x_true = np.ones(25)
+        res = bicgstab(lambda v: A @ v, A @ x_true, rtol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-7)
+
+    def test_zero_rhs(self):
+        A = make_nonsymmetric(5)
+        res = bicgstab(lambda v: A @ v, np.zeros(5))
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_preconditioned(self):
+        n = 50
+        rng = np.random.default_rng(2)
+        d = 10.0 ** rng.uniform(0, 5, n)
+        A = np.diag(d) + rng.standard_normal((n, n)) * 0.05
+        b = rng.standard_normal(n)
+        pre = bicgstab(
+            lambda v: A @ v,
+            b,
+            rtol=1e-10,
+            max_iterations=2000,
+            psolve=jacobi_preconditioner(np.diag(A)),
+        )
+        assert pre.converged
+        np.testing.assert_allclose(A @ pre.x, b, rtol=1e-6, atol=1e-8)
+
+    def test_max_iterations(self):
+        A = make_nonsymmetric(30, seed=9)
+        res = bicgstab(lambda v: A @ v, np.ones(30), rtol=1e-16, max_iterations=1)
+        assert not res.converged
+
+    def test_final_residual_consistent(self):
+        A = make_nonsymmetric(20, seed=4)
+        b = np.ones(20)
+        res = bicgstab(lambda v: A @ v, b, rtol=1e-10)
+        true_norm = np.linalg.norm(b - A @ res.x)
+        assert true_norm <= max(2 * res.residual_norm, 1e-9 * np.linalg.norm(b))
+
+
+class TestJacobiPreconditioner:
+    def test_divides_by_diagonal(self):
+        psolve = jacobi_preconditioner(np.array([2.0, 4.0]))
+        np.testing.assert_allclose(psolve(np.array([2.0, 4.0])), [1.0, 1.0])
+
+    def test_rejects_zero_diagonal(self):
+        with pytest.raises(ValueError, match="zero diagonal"):
+            jacobi_preconditioner(np.array([1.0, 0.0]))

@@ -1,0 +1,151 @@
+"""Tests for Newton's method and the implicit flow simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CartesianMesh3D,
+    FluidProperties,
+    hydrostatic_pressure,
+)
+from repro.solver import (
+    FlowResidual,
+    SinglePhaseFlowSimulator,
+    Well,
+    newton_solve,
+)
+from repro.workloads import make_geomodel
+
+
+class TestNewton:
+    def test_steady_state_converges_in_zero_iterations(self, fluid):
+        mesh = CartesianMesh3D(4, 4, 2)
+        res = FlowResidual(mesh, fluid, dt=100.0, gravity=0.0)
+        p = mesh.full(1.5e7)
+        result = newton_solve(res, p)
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_relaxation_to_equilibrium(self, fluid):
+        """A perturbed field relaxes: Newton converges each step and the
+        pressure spread shrinks."""
+        mesh = CartesianMesh3D(5, 5, 3)
+        res = FlowResidual(mesh, fluid, dt=3600.0, gravity=0.0)
+        rng = np.random.default_rng(0)
+        p0 = 1.5e7 + 1e5 * rng.standard_normal(mesh.shape_zyx)
+        result = newton_solve(res, p0)
+        assert result.converged
+        assert result.pressure.std() < p0.std()
+
+    def test_residual_history_decreases(self, fluid):
+        mesh = CartesianMesh3D(4, 4, 2)
+        res = FlowResidual(mesh, fluid, dt=3600.0, gravity=0.0)
+        rng = np.random.default_rng(1)
+        p0 = 1.5e7 + 5e5 * rng.standard_normal(mesh.shape_zyx)
+        result = newton_solve(res, p0)
+        assert result.converged
+        assert result.residual_history[-1] < result.residual_history[0]
+        assert result.linear_iterations > 0
+
+    def test_source_raises_pressure(self, fluid):
+        mesh = CartesianMesh3D(5, 5, 2)
+        src = mesh.zeros()
+        src[1, 2, 2] = 3.0
+        res = FlowResidual(mesh, fluid, dt=3600.0, gravity=0.0, source=src)
+        p0 = mesh.full(1.5e7)
+        result = newton_solve(res, p0)
+        assert result.converged
+        assert result.pressure.mean() > 1.5e7
+        # pressure peaks at the injector
+        peak = np.unravel_index(np.argmax(result.pressure), mesh.shape_zyx)
+        assert peak == (1, 2, 2)
+
+    def test_gravity_equilibration(self, fluid):
+        """Starting uniform with gravity, the solve moves toward a
+        hydrostatic-like vertical gradient (pressure decreasing upward)."""
+        mesh = CartesianMesh3D(3, 3, 6)
+        res = FlowResidual(mesh, fluid, dt=1e7)
+        p0 = mesh.full(1.5e7)
+        result = newton_solve(res, p0)
+        assert result.converged
+        column = result.pressure[:, 1, 1]
+        assert np.all(np.diff(column) < 0)
+
+
+class TestSimulator:
+    def test_mass_conservation_with_injection(self, fluid):
+        """Injected mass == mass-in-place change (global balance)."""
+        mesh = make_geomodel(6, 6, 3, kind="layered", seed=2)
+        sim = SinglePhaseFlowSimulator(
+            mesh, fluid, wells=[Well(3, 3, 1, rate=4.0)], gravity=0.0
+        )
+        m0 = sim.mass_in_place()
+        sim.run(num_steps=4, dt=7200.0, rtol=1e-10)
+        injected = 4.0 * 4 * 7200.0
+        assert sim.mass_in_place() - m0 == pytest.approx(injected, rel=1e-6)
+
+    def test_no_wells_conserves_mass(self, fluid):
+        mesh = CartesianMesh3D(4, 4, 3)
+        rng = np.random.default_rng(3)
+        p0 = 1.5e7 + 1e5 * rng.standard_normal(mesh.shape_zyx)
+        sim = SinglePhaseFlowSimulator(
+            mesh, fluid, gravity=0.0, initial_pressure=p0
+        )
+        m0 = sim.mass_in_place()
+        sim.run(num_steps=3, dt=3600.0, rtol=1e-10)
+        assert sim.mass_in_place() == pytest.approx(m0, rel=1e-10)
+
+    def test_production_reduces_pressure(self, fluid):
+        mesh = CartesianMesh3D(5, 5, 2)
+        sim = SinglePhaseFlowSimulator(
+            mesh, fluid, wells=[Well(2, 2, 0, rate=-2.0)], gravity=0.0
+        )
+        p0 = sim.pressure.mean()
+        sim.run(num_steps=2, dt=3600.0)
+        assert sim.pressure.mean() < p0
+
+    def test_reports_accumulate(self, fluid):
+        mesh = CartesianMesh3D(4, 4, 2)
+        sim = SinglePhaseFlowSimulator(
+            mesh, fluid, wells=[Well(1, 1, 0, rate=1.0)], gravity=0.0
+        )
+        reports = sim.run(num_steps=3, dt=100.0)
+        assert [r.time for r in reports] == pytest.approx([100.0, 200.0, 300.0])
+        assert sim.reports == reports
+        assert all(r.newton.converged for r in reports)
+
+    def test_hydrostatic_initial_state_is_stable(self, fluid):
+        mesh = CartesianMesh3D(4, 4, 5)
+        p0 = hydrostatic_pressure(mesh, fluid)
+        sim = SinglePhaseFlowSimulator(mesh, fluid, initial_pressure=p0)
+        sim.step(dt=3600.0)
+        # near-equilibrium: pressure changes stay tiny
+        assert np.abs(sim.pressure - p0).max() < 1e-2 * np.abs(p0).max()
+
+    def test_injected_rate_property(self, fluid):
+        mesh = CartesianMesh3D(4, 4, 2)
+        sim = SinglePhaseFlowSimulator(
+            mesh,
+            fluid,
+            wells=[Well(0, 0, 0, rate=2.0), Well(3, 3, 1, rate=-0.5)],
+        )
+        assert sim.injected_rate == pytest.approx(1.5)
+
+    def test_rejects_bad_num_steps(self, fluid):
+        sim = SinglePhaseFlowSimulator(CartesianMesh3D(2, 2, 2), fluid)
+        with pytest.raises(ValueError):
+            sim.run(num_steps=0, dt=1.0)
+
+    def test_well_outside_mesh_rejected(self, fluid):
+        mesh = CartesianMesh3D(3, 3, 2)
+        with pytest.raises(IndexError):
+            SinglePhaseFlowSimulator(mesh, fluid, wells=[Well(5, 0, 0, rate=1.0)])
+
+    def test_heterogeneous_channelized_case_converges(self, fluid):
+        """Strong transmissibility contrasts: the solver still converges."""
+        mesh = make_geomodel(8, 8, 3, kind="channelized", seed=4)
+        sim = SinglePhaseFlowSimulator(
+            mesh, fluid, wells=[Well(4, 4, 1, rate=2.0)], gravity=0.0
+        )
+        report = sim.step(dt=3600.0)
+        assert report.newton.converged

@@ -1,0 +1,70 @@
+"""Unit tests for repro.util.reporting."""
+
+import math
+
+import pytest
+
+from repro.util.reporting import Table, format_seconds, format_si
+
+
+class TestFormatSi:
+    def test_tera(self):
+        assert format_si(311.85e12, "FLOP/s") == "311.85 TFLOP/s"
+
+    def test_giga(self):
+        assert format_si(6.012e12, "FLOP/s") == "6.01 TFLOP/s"
+
+    def test_plain(self):
+        assert format_si(5.0, "s") == "5.00 s"
+
+    def test_zero(self):
+        assert format_si(0.0, "s") == "0 s"
+
+    def test_milli(self):
+        assert format_si(0.0823, "s") == "82.30 ms"
+
+    def test_negative(self):
+        assert format_si(-2e9, "B") == "-2.00 GB"
+
+    def test_nonfinite(self):
+        assert "inf" in format_si(math.inf, "s")
+
+    def test_tiny_clamps_to_smallest_prefix(self):
+        assert format_si(1e-12, "s", digits=3) == "0.001 ns"
+
+
+class TestFormatSeconds:
+    def test_default_digits(self):
+        assert format_seconds(0.08234567) == "0.0823"
+
+    def test_custom_digits(self):
+        assert format_seconds(1.5, digits=1) == "1.5"
+
+
+class TestTable:
+    def test_render_contains_rows(self):
+        t = Table("Table 1", ["Arch", "Avg."])
+        t.add_row(["Dataflow/CSL", 0.0823])
+        t.add_row(["GPU/RAJA", 16.8378])
+        text = t.render()
+        assert "Table 1" in text
+        assert "Dataflow/CSL" in text
+        assert "16.8378" in text
+
+    def test_alignment(self):
+        t = Table("T", ["a", "b"])
+        t.add_row(["xxxx", "y"])
+        lines = t.render().splitlines()
+        # header and row lines have the same width
+        assert len(lines[1]) == len(lines[3])
+
+    def test_wrong_cell_count(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row(["only-one"])
+
+    def test_notes(self):
+        t = Table("T", ["a"])
+        t.add_row(["1"])
+        t.add_note("calibrated model")
+        assert "note: calibrated model" in t.render()

@@ -1,0 +1,154 @@
+"""Tests for the RTM workflow (paper Sec. 8 intermediate results)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D
+from repro.wave import TTIMedium
+from repro.wave.reference import WavePropagator, ricker_wavelet
+from repro.wave.rtm import SnapshotStore, model_shot, rtm_image
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """2D x-z section with a velocity anomaly at depth."""
+    nx, nz = 48, 32
+    mesh = CartesianMesh3D(nx, 1, nz, dx=10.0, dy=10.0, dz=10.0)
+    medium = TTIMedium(velocity=2000.0, epsilon=0.0, theta=0.0)
+    v0 = np.full(mesh.shape_zyx, 2000.0)
+    v_true = v0.copy()
+    scatterer = (12, 24)  # (z, x)
+    v_true[11:13, 0, 22:26] = 2600.0
+    dt = 0.7 * TTIMedium(velocity=2600.0).max_stable_dt(10.0, 10.0, 10.0)
+    wavelet = ricker_wavelet(220, dt, peak_frequency=25.0)
+    src, rz = (24, 0, 28), 28
+    observed = model_shot(
+        mesh, medium, v_true, source=src, receiver_z=rz, wavelet=wavelet, dt=dt
+    )
+    return mesh, medium, v0, observed, src, rz, wavelet, dt, scatterer
+
+
+class TestSnapshotStore:
+    def test_full_storage(self):
+        store = SnapshotStore(decimation=1)
+        for i in range(5):
+            store.offer(i, np.full((2, 2), float(i)))
+        assert store.count == 5
+        assert store.nearest(3)[0, 0] == 3.0
+
+    def test_decimated_storage(self):
+        store = SnapshotStore(decimation=4)
+        for i in range(10):
+            store.offer(i, np.full(3, float(i)))
+        assert store.count == 3  # steps 0, 4, 8
+        assert store.nearest(5)[0] == 4.0
+        assert store.nearest(7)[0] == 8.0
+
+    def test_bytes_accounting(self):
+        store = SnapshotStore()
+        store.offer(0, np.zeros(10))
+        store.offer(1, np.zeros(10))
+        assert store.bytes_stored == 160
+
+    def test_empty_store(self):
+        with pytest.raises(KeyError):
+            SnapshotStore().nearest(0)
+
+    def test_rejects_bad_decimation(self):
+        with pytest.raises(ValueError):
+            SnapshotStore(decimation=0)
+
+
+class TestHeterogeneousPropagation:
+    def test_velocity_field_changes_solution(self, setup):
+        mesh, medium, v0, *_ = setup
+        dt = 0.5 * medium.max_stable_dt(10.0, 10.0, 10.0)
+        wavelet = ricker_wavelet(30, dt, peak_frequency=25.0)
+        a = WavePropagator(mesh, medium, dt, source=(24, 0, 16))
+        b = WavePropagator(
+            mesh, medium, dt, source=(24, 0, 16),
+            velocity_field=np.full(mesh.shape_zyx, 1500.0),
+        )
+        a.run(wavelet)
+        b.run(wavelet)
+        assert np.abs(a.u_curr - b.u_curr).max() > 0
+
+    def test_cfl_uses_maximum_velocity(self, setup):
+        mesh, medium, v0, *_ = setup
+        fast = v0.copy()
+        fast[0] = 5000.0
+        dt_ok_for_background = 0.9 * medium.max_stable_dt(10.0, 10.0, 10.0)
+        with pytest.raises(ValueError, match="CFL"):
+            WavePropagator(mesh, medium, dt_ok_for_background, velocity_field=fast)
+
+    def test_rejects_nonpositive_velocity(self, setup):
+        mesh, medium, v0, *_ = setup
+        bad = v0.copy()
+        bad[0, 0, 0] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            WavePropagator(mesh, medium, 1e-4, velocity_field=bad)
+
+
+class TestRtmImaging:
+    def test_scatterer_localized(self, setup):
+        mesh, medium, v0, observed, src, rz, wavelet, dt, scatterer = setup
+        result = rtm_image(
+            mesh, medium, v0, observed,
+            source=src, receiver_z=rz, wavelet=wavelet, dt=dt,
+        )
+        img = np.abs(result.image[:, 0, :])
+        img[rz - 3 :, :] = 0.0  # mute source/receiver region
+        peak_z, peak_x = np.unravel_index(np.argmax(img), img.shape)
+        sz, sx = scatterer
+        assert abs(int(peak_z) - sz) <= 2
+        assert abs(int(peak_x) - sx) <= 2
+
+    def test_no_anomaly_no_image(self, setup):
+        """Observed == background modelling -> zero reflections."""
+        mesh, medium, v0, _, src, rz, wavelet, dt, _ = setup
+        observed = model_shot(
+            mesh, medium, v0, source=src, receiver_z=rz, wavelet=wavelet, dt=dt
+        )
+        result = rtm_image(
+            mesh, medium, v0, observed,
+            source=src, receiver_z=rz, wavelet=wavelet, dt=dt,
+        )
+        np.testing.assert_allclose(result.image, 0.0, atol=1e-25)
+
+    def test_decimation_saves_memory_keeps_image(self, setup):
+        mesh, medium, v0, observed, src, rz, wavelet, dt, scatterer = setup
+        full = rtm_image(
+            mesh, medium, v0, observed,
+            source=src, receiver_z=rz, wavelet=wavelet, dt=dt, decimation=1,
+        )
+        lean = rtm_image(
+            mesh, medium, v0, observed,
+            source=src, receiver_z=rz, wavelet=wavelet, dt=dt, decimation=4,
+        )
+        assert lean.snapshot_bytes < 0.3 * full.snapshot_bytes
+        assert lean.memory_saving > 0.7
+        # the decimated image still localizes the scatterer
+        img = np.abs(lean.image[:, 0, :])
+        img[rz - 3 :, :] = 0.0
+        peak_z, peak_x = np.unravel_index(np.argmax(img), img.shape)
+        sz, sx = scatterer
+        assert abs(int(peak_z) - sz) <= 3
+        assert abs(int(peak_x) - sx) <= 3
+
+    def test_accounting_fields(self, setup):
+        mesh, medium, v0, observed, src, rz, wavelet, dt, _ = setup
+        result = rtm_image(
+            mesh, medium, v0, observed,
+            source=src, receiver_z=rz, wavelet=wavelet, dt=dt, decimation=2,
+        )
+        assert result.steps == len(wavelet)
+        assert result.snapshots == (len(wavelet) + 1) // 2
+        assert result.full_history_bytes == len(wavelet) * result.image.nbytes
+
+    def test_shape_validation(self, setup):
+        mesh, medium, v0, _, src, rz, wavelet, dt, _ = setup
+        with pytest.raises(ValueError, match="observed"):
+            rtm_image(
+                mesh, medium, v0, np.zeros((3, mesh.nx)),
+                source=src, receiver_z=rz, wavelet=wavelet, dt=dt,
+            )

@@ -1,0 +1,222 @@
+"""Tests for the TTI acoustic wave application (paper Sec. 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D
+from repro.core.stencil import DIAGONAL_XY, Connection
+from repro.wave import (
+    TTIMedium,
+    WavePropagator,
+    WseWavePropagator,
+    ricker_wavelet,
+    stencil_coefficients,
+)
+
+
+@pytest.fixture
+def mesh():
+    return CartesianMesh3D(8, 7, 6, dx=10.0, dy=10.0, dz=10.0)
+
+
+@pytest.fixture
+def medium():
+    return TTIMedium(velocity=3000.0, epsilon=0.2, theta=math.pi / 5)
+
+
+class TestMedium:
+    def test_isotropic_limit(self):
+        m = TTIMedium(epsilon=0.0, theta=0.7)
+        assert m.wxx == pytest.approx(1.0)
+        assert m.wyy == pytest.approx(1.0)
+        assert m.wxy == pytest.approx(0.0)
+
+    def test_untilted_no_cross_term(self):
+        m = TTIMedium(epsilon=0.3, theta=0.0)
+        assert m.wxy == pytest.approx(0.0)
+        assert m.wxx == pytest.approx(1.6)
+        assert m.wyy == pytest.approx(1.0)
+
+    def test_tilt_rotates_weights(self):
+        a = TTIMedium(epsilon=0.3, theta=0.0)
+        b = TTIMedium(epsilon=0.3, theta=math.pi / 2)
+        assert a.wxx == pytest.approx(b.wyy)
+        assert a.wyy == pytest.approx(b.wxx)
+
+    def test_cross_term_maximised_at_45_degrees(self):
+        m45 = TTIMedium(epsilon=0.3, theta=math.pi / 4)
+        m30 = TTIMedium(epsilon=0.3, theta=math.pi / 6)
+        assert abs(m45.wxy) > abs(m30.wxy)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TTIMedium(velocity=0.0)
+        with pytest.raises(ValueError):
+            TTIMedium(epsilon=-0.6)
+
+    def test_cfl_decreases_with_velocity(self):
+        slow = TTIMedium(velocity=1500.0)
+        fast = TTIMedium(velocity=4000.0)
+        assert fast.max_stable_dt(10, 10, 10) < slow.max_stable_dt(10, 10, 10)
+
+
+class TestStencilCoefficients:
+    def test_diagonal_signs_form_cross_derivative(self, medium):
+        coeffs = stencil_coefficients(medium, 10.0, 10.0, 10.0)
+        wd = medium.wxy / 400.0
+        assert coeffs[Connection.SOUTHEAST][0] == pytest.approx(wd)
+        assert coeffs[Connection.NORTHWEST][0] == pytest.approx(wd)
+        assert coeffs[Connection.NORTHEAST][0] == pytest.approx(-wd)
+        assert coeffs[Connection.SOUTHWEST][0] == pytest.approx(-wd)
+
+    def test_diagonal_coefficients_sum_to_zero(self, medium):
+        coeffs = stencil_coefficients(medium, 10.0, 10.0, 10.0)
+        total = sum(coeffs[c][0] for c in DIAGONAL_XY)
+        assert total == pytest.approx(0.0, abs=1e-18)
+
+    def test_constant_field_annihilated_interior(self, medium, mesh):
+        """L(const) == 0 on interior cells (full diagonal cross present;
+        boundary cells lose members of the +/- cross and pick up a
+        Dirichlet-edge contribution, as any truncated stencil does)."""
+        dt = 0.5 * medium.max_stable_dt(mesh.dx, mesh.dy, mesh.dz)
+        prop = WavePropagator(mesh, medium, dt)
+        lap = prop.laplacian(mesh.full(3.7))
+        np.testing.assert_allclose(lap[1:-1, 1:-1, 1:-1], 0.0, atol=1e-12)
+
+    def test_quadratic_field_gives_constant_laplacian(self, medium):
+        """L(x^2) == 2 wxx on interior cells (consistency order check)."""
+        mesh = CartesianMesh3D(9, 9, 3, dx=2.0, dy=2.0, dz=2.0)
+        dt = 0.5 * medium.max_stable_dt(2.0, 2.0, 2.0)
+        prop = WavePropagator(mesh, medium, dt)
+        x = np.arange(9) * 2.0
+        field = np.broadcast_to(x**2, mesh.shape_zyx).copy()
+        lap = prop.laplacian(field)
+        interior = lap[1:-1, 1:-1, 1:-1]
+        np.testing.assert_allclose(interior, 2.0 * medium.wxx, rtol=1e-10)
+
+
+class TestReferencePropagator:
+    def test_cfl_enforced(self, mesh, medium):
+        limit = medium.max_stable_dt(mesh.dx, mesh.dy, mesh.dz)
+        with pytest.raises(ValueError, match="CFL"):
+            WavePropagator(mesh, medium, 1.5 * limit)
+        with pytest.raises(ValueError):
+            WavePropagator(mesh, medium, 0.0)
+
+    def test_zero_field_stays_zero(self, mesh, medium):
+        dt = 0.5 * medium.max_stable_dt(mesh.dx, mesh.dy, mesh.dz)
+        prop = WavePropagator(mesh, medium, dt)
+        for _ in range(5):
+            prop.step()
+        assert prop.max_amplitude() == 0.0
+
+    def test_source_injects_energy(self, mesh, medium):
+        dt = 0.5 * medium.max_stable_dt(mesh.dx, mesh.dy, mesh.dz)
+        prop = WavePropagator(mesh, medium, dt, source=(4, 3, 3))
+        prop.step(source_amplitude=1.0)
+        assert prop.max_amplitude() > 0.0
+        # the injection is local at first
+        u = prop.u_curr
+        assert np.count_nonzero(u) == 1
+
+    def test_wave_propagates_outward(self, medium):
+        mesh = CartesianMesh3D(15, 15, 3, dx=10.0, dy=10.0, dz=10.0)
+        dt = 0.5 * medium.max_stable_dt(10.0, 10.0, 10.0)
+        prop = WavePropagator(mesh, medium, dt, source=(7, 7, 1))
+        wavelet = ricker_wavelet(30, dt, peak_frequency=40.0)
+        prop.run(wavelet)
+        u = prop.u_curr[1]
+        assert abs(u[7, 10]) > 0  # energy reached 3 cells away
+        assert prop.step_count == 30
+
+    def test_stable_under_cfl(self, medium):
+        """Long run at 0.9 CFL stays bounded (no blow-up)."""
+        mesh = CartesianMesh3D(10, 10, 4, dx=10.0, dy=10.0, dz=10.0)
+        dt = 0.9 * medium.max_stable_dt(10.0, 10.0, 10.0)
+        prop = WavePropagator(mesh, medium, dt, source=(5, 5, 2))
+        wavelet = ricker_wavelet(20, dt, peak_frequency=40.0)
+        prop.run(wavelet)
+        peak_after_source = prop.max_amplitude()
+        for _ in range(150):
+            prop.step()
+        assert prop.max_amplitude() < 50 * peak_after_source
+
+    def test_untilted_symmetric_source_symmetric_field(self):
+        """theta = 0, centred source: the field keeps x/y mirror symmetry."""
+        medium = TTIMedium(epsilon=0.2, theta=0.0)
+        mesh = CartesianMesh3D(11, 11, 3, dx=10.0, dy=10.0, dz=10.0)
+        dt = 0.5 * medium.max_stable_dt(10.0, 10.0, 10.0)
+        prop = WavePropagator(mesh, medium, dt, source=(5, 5, 1))
+        prop.run(ricker_wavelet(25, dt, peak_frequency=40.0))
+        u = prop.u_curr
+        np.testing.assert_allclose(u, u[:, :, ::-1], atol=1e-18)
+        np.testing.assert_allclose(u, u[:, ::-1, :], atol=1e-18)
+
+    def test_ricker_wavelet_shape(self):
+        w = ricker_wavelet(100, 1e-3, peak_frequency=25.0)
+        assert w.shape == (100,)
+        assert w.max() == pytest.approx(1.0, abs=1e-6)  # peak at t = t0
+        with pytest.raises(ValueError):
+            ricker_wavelet(10, 1e-3, peak_frequency=0.0)
+
+
+class TestDataflowPropagator:
+    def test_matches_reference(self, medium):
+        mesh = CartesianMesh3D(6, 5, 4, dx=10.0, dy=10.0, dz=10.0)
+        dt = 0.7 * medium.max_stable_dt(10.0, 10.0, 10.0)
+        wavelet = ricker_wavelet(10, dt, peak_frequency=40.0)
+        ref = WavePropagator(mesh, medium, dt, source=(3, 2, 2))
+        u_ref = ref.run(wavelet)
+        wse = WseWavePropagator(mesh, medium, dt, source=(3, 2, 2))
+        u_wse = wse.run(wavelet)
+        scale = np.abs(u_ref).max()
+        np.testing.assert_allclose(u_wse, u_ref, atol=1e-13 * scale)
+
+    def test_matches_reference_isotropic(self):
+        medium = TTIMedium(epsilon=0.0, theta=0.0)
+        mesh = CartesianMesh3D(5, 5, 3, dx=10.0, dy=10.0, dz=10.0)
+        dt = 0.7 * medium.max_stable_dt(10.0, 10.0, 10.0)
+        wavelet = ricker_wavelet(8, dt, peak_frequency=40.0)
+        u_ref = WavePropagator(mesh, medium, dt, source=(2, 2, 1)).run(wavelet)
+        u_wse = WseWavePropagator(mesh, medium, dt, source=(2, 2, 1)).run(wavelet)
+        scale = max(np.abs(u_ref).max(), 1e-30)
+        np.testing.assert_allclose(u_wse, u_ref, atol=1e-13 * scale)
+
+    def test_reuses_flux_channel_definitions(self, medium):
+        """The wave program binds the exact flux-kernel channels."""
+        mesh = CartesianMesh3D(4, 4, 3)
+        dt = 0.5 * medium.max_stable_dt(mesh.dx, mesh.dy, mesh.dz)
+        wse = WseWavePropagator(mesh, medium, dt)
+        names = {wse.colors.name_of(c) for c in range(len(wse.colors))}
+        assert names == {
+            "card_east", "card_west", "card_south", "card_north",
+            "diag_se", "diag_sw", "diag_nw", "diag_ne",
+        }
+
+    def test_single_pe_fabric(self, medium):
+        """1x1: vertical-only physics, zero fabric traffic."""
+        mesh = CartesianMesh3D(1, 1, 6, dx=10.0, dy=10.0, dz=10.0)
+        dt = 0.5 * medium.max_stable_dt(10.0, 10.0, 10.0)
+        wavelet = ricker_wavelet(6, dt, peak_frequency=40.0)
+        u_ref = WavePropagator(mesh, medium, dt, source=(0, 0, 3)).run(wavelet)
+        u_wse = WseWavePropagator(mesh, medium, dt, source=(0, 0, 3)).run(wavelet)
+        scale = max(np.abs(u_ref).max(), 1e-30)
+        np.testing.assert_allclose(u_wse, u_ref, atol=1e-13 * scale)
+
+    def test_cfl_enforced(self, mesh, medium):
+        limit = medium.max_stable_dt(mesh.dx, mesh.dy, mesh.dz)
+        with pytest.raises(ValueError):
+            WseWavePropagator(mesh, medium, 2 * limit)
+
+    def test_variable_layering_rejected(self, medium):
+        """The wave stencil assumes uniform spacing: a variable-dz mesh
+        must be refused, not silently mis-discretized."""
+        lmesh = CartesianMesh3D(
+            4, 4, 3, dx=10.0, dy=10.0, dz_layers=np.array([1.0, 2.0, 4.0])
+        )
+        with pytest.raises(ValueError, match="dz_layers"):
+            WavePropagator(lmesh, medium, 1e-4)
+        with pytest.raises(ValueError, match="dz_layers"):
+            WseWavePropagator(lmesh, medium, 1e-4)

@@ -1,0 +1,89 @@
+"""Unit tests for experiment scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core.constants import PAPER_MESH
+from repro.workloads.scenarios import (
+    FluxScenario,
+    InjectionScenario,
+    paper_mesh_scaled,
+)
+
+
+class TestPaperMeshScaled:
+    def test_full_scale(self):
+        assert paper_mesh_scaled(1) == PAPER_MESH
+
+    def test_scaled_down(self):
+        nx, ny, nz = paper_mesh_scaled(50)
+        assert (nx, ny, nz) == (15, 19, 4)
+
+    def test_never_zero(self):
+        assert all(d >= 1 for d in paper_mesh_scaled(10_000))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            paper_mesh_scaled(0)
+
+
+class TestFluxScenario:
+    def test_build(self):
+        sc = FluxScenario(nx=6, ny=5, nz=4, applications=3, seed=1)
+        mesh = sc.build_mesh()
+        assert mesh.shape_xyz == (6, 5, 4)
+        seq = sc.pressure_sequence(mesh)
+        assert len(seq) == 3
+
+    def test_reproducible(self):
+        a = FluxScenario(nx=4, ny=4, nz=2, seed=7)
+        b = FluxScenario(nx=4, ny=4, nz=2, seed=7)
+        np.testing.assert_array_equal(
+            a.build_mesh().permeability, b.build_mesh().permeability
+        )
+        np.testing.assert_array_equal(
+            a.pressure_sequence(a.build_mesh()).field(0),
+            b.pressure_sequence(b.build_mesh()).field(0),
+        )
+
+    def test_geomodel_kind_used(self):
+        sc = FluxScenario(nx=4, ny=4, nz=3, geomodel="uniform")
+        k = sc.build_mesh().permeability
+        assert np.all(k == k.flat[0])
+
+
+class TestInjectionScenario:
+    def test_defaults_consistent(self):
+        sc = InjectionScenario()
+        mesh = sc.build_mesh()
+        wells = sc.wells()
+        assert len(wells) == 1
+        w = wells[0]
+        assert 0 <= w.x < sc.nx and 0 <= w.y < sc.ny and 0 <= w.z < sc.nz
+        assert w.rate > 0
+
+    def test_initial_pressure_hydrostatic(self):
+        sc = InjectionScenario(nz=8)
+        mesh = sc.build_mesh()
+        p = sc.initial_pressure(mesh)
+        assert p.shape == mesh.shape_zyx
+        column = p[:, 0, 0]
+        assert np.all(np.diff(column) < 0)  # decreases upward
+
+    def test_runs_end_to_end(self):
+        from repro.solver import SinglePhaseFlowSimulator
+
+        sc = InjectionScenario(nx=6, ny=6, nz=3, num_steps=2, dt=3600.0)
+        mesh = sc.build_mesh()
+        sim = SinglePhaseFlowSimulator(
+            mesh,
+            sc.fluid,
+            wells=sc.wells(),
+            initial_pressure=sc.initial_pressure(mesh),
+        )
+        reports = sim.run(num_steps=sc.num_steps, dt=sc.dt)
+        assert all(r.newton.converged for r in reports)
+        # injection raises pressure near the well
+        w = sc.wells()[0]
+        p_well = sim.pressure[mesh.cell_index(w.x, w.y, w.z)]
+        assert p_well > sc.initial_pressure(mesh)[mesh.cell_index(w.x, w.y, w.z)]

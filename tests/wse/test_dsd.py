@@ -1,0 +1,145 @@
+"""Unit tests for the DSD instruction engine and its accounting."""
+
+import numpy as np
+import pytest
+
+from repro.wse.dsd import OP_FLOPS, OP_TRAFFIC, DsdEngine
+
+
+@pytest.fixture
+def engine():
+    return DsdEngine()
+
+
+class TestArithmetic:
+    def test_fmuls(self, engine):
+        dst = np.empty(4)
+        engine.fmuls(dst, np.arange(4.0), 2.0)
+        np.testing.assert_array_equal(dst, [0, 2, 4, 6])
+
+    def test_fsubs(self, engine):
+        dst = np.empty(3)
+        engine.fsubs(dst, np.array([5.0, 5, 5]), np.array([1.0, 2, 3]))
+        np.testing.assert_array_equal(dst, [4, 3, 2])
+
+    def test_fadds(self, engine):
+        dst = np.empty(2)
+        engine.fadds(dst, np.array([1.0, 2]), np.array([3.0, 4]))
+        np.testing.assert_array_equal(dst, [4, 6])
+
+    def test_fnegs(self, engine):
+        dst = np.empty(2)
+        engine.fnegs(dst, np.array([1.0, -2]))
+        np.testing.assert_array_equal(dst, [-1, 2])
+
+    def test_fmacs(self, engine):
+        dst = np.empty(2)
+        engine.fmacs(dst, np.array([2.0, 3]), np.array([4.0, 5]), np.array([1.0, 1]))
+        np.testing.assert_array_equal(dst, [9, 16])
+
+    def test_in_place_destination(self, engine):
+        a = np.array([1.0, 2.0])
+        engine.fmuls(a, a, 3.0)
+        np.testing.assert_array_equal(a, [3, 6])
+
+    def test_fmovs(self, engine):
+        dst = np.empty(3)
+        engine.fmovs(dst, np.array([7.0, 8, 9]))
+        np.testing.assert_array_equal(dst, [7, 8, 9])
+
+    def test_select(self, engine):
+        dst = np.empty(3)
+        mask = np.array([True, False, True])
+        engine.select(dst, mask, np.array([1.0, 1, 1]), np.array([2.0, 2, 2]))
+        np.testing.assert_array_equal(dst, [1, 2, 1])
+
+    def test_rejects_non_array_dst(self, engine):
+        with pytest.raises(TypeError):
+            engine.fmuls([0.0], 1.0, 2.0)
+
+
+class TestAccounting:
+    def test_counts_per_element(self, engine):
+        engine.fmuls(np.empty(7), 1.0, 2.0)
+        assert engine.counts["FMUL"] == 7
+
+    def test_flops(self, engine):
+        engine.fmuls(np.empty(5), 1.0, 2.0)  # 5 FLOPs
+        engine.fmacs(np.empty(5), 1.0, 2.0, 3.0)  # 10 FLOPs (2 each)
+        assert engine.flops == 15
+
+    def test_memory_traffic_matches_table(self, engine):
+        n = 4
+        engine.fmuls(np.empty(n), 1.0, 2.0)
+        assert engine.loads == OP_TRAFFIC["FMUL"].loads * n
+        assert engine.stores == OP_TRAFFIC["FMUL"].stores * n
+
+    def test_fma_three_loads(self, engine):
+        engine.fmacs(np.empty(2), 1.0, 2.0, 3.0)
+        assert engine.loads == 6
+        assert engine.stores == 2
+
+    def test_fmov_fabric(self, engine):
+        engine.fmovs(np.empty(3), 1.0, from_fabric=True)
+        assert engine.fabric_loads == 3
+        assert engine.stores == 3
+        assert engine.loads == 0
+        assert engine.counts["FMOV"] == 3
+
+    def test_fmov_local_no_fabric(self, engine):
+        engine.fmovs(np.empty(3), 1.0, from_fabric=False)
+        assert engine.fabric_loads == 0
+        assert engine.counts.get("FMOV", 0) == 0
+        assert engine.counts["FMOV_LOCAL"] == 3
+
+    def test_select_no_flops(self, engine):
+        engine.select(np.empty(4), np.array([True] * 4), 1.0, 2.0)
+        assert engine.flops == 0
+        assert engine.cycles > 0
+
+    def test_byte_properties(self, engine):
+        engine.fadds(np.empty(2), 1.0, 2.0)
+        assert engine.memory_bytes == (engine.loads + engine.stores) * 4
+
+    def test_flop_constants_match_paper(self):
+        assert OP_FLOPS["FMA"] == 2
+        assert all(OP_FLOPS[op] == 1 for op in ("FMUL", "FSUB", "FNEG", "FADD"))
+        assert OP_FLOPS["FMOV"] == 0
+
+
+class TestCycles:
+    def test_vectorized_cheaper_than_scalar(self):
+        fast = DsdEngine(vectorized=True)
+        slow = DsdEngine(vectorized=False)
+        fast.fmuls(np.empty(100), 1.0, 2.0)
+        slow.fmuls(np.empty(100), 1.0, 2.0)
+        assert fast.cycles < slow.cycles
+
+    def test_linear_in_length(self, engine):
+        engine.fmuls(np.empty(10), 1.0, 2.0)
+        c10 = engine.cycles
+        engine.fmuls(np.empty(20), 1.0, 2.0)
+        assert engine.cycles - c10 == pytest.approx(2 * c10)
+
+    def test_aux_adds_cycles_not_flops(self, engine):
+        engine.aux("FEXP", 5, cycles_per_element=10.0)
+        assert engine.cycles == 50.0
+        assert engine.flops == 0
+        assert engine.counts["AUX_FEXP"] == 5
+
+
+class TestSnapshotReset:
+    def test_snapshot_is_copy(self, engine):
+        engine.fadds(np.empty(2), 1.0, 2.0)
+        snap = engine.snapshot()
+        engine.fadds(np.empty(2), 1.0, 2.0)
+        assert snap["counts"]["FADD"] == 2
+        assert engine.counts["FADD"] == 4
+
+    def test_reset(self, engine):
+        engine.fmacs(np.empty(2), 1.0, 2.0, 3.0)
+        engine.reset()
+        assert engine.flops == 0
+        assert engine.cycles == 0
+        assert engine.counts == {}
+        assert engine.loads == engine.stores == engine.fabric_loads == 0

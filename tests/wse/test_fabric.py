@@ -1,0 +1,136 @@
+"""Unit tests for the fabric (PE + router grid)."""
+
+import numpy as np
+import pytest
+
+from repro.wse.fabric import WSE2_MAX_FABRIC, Fabric
+from repro.wse.geometry import Port
+from repro.wse.packet import Message
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        f = Fabric(4, 3)
+        assert f.width == 4
+        assert f.height == 3
+        assert f.num_pes == 12
+
+    def test_pe_and_router_lookup(self):
+        f = Fabric(2, 2)
+        pe = f.pe(1, 0)
+        assert pe.coord == (1, 0)
+        assert f.router(1, 0).coord == (1, 0)
+
+    def test_out_of_range(self):
+        f = Fabric(2, 2)
+        with pytest.raises(IndexError):
+            f.pe(2, 0)
+        with pytest.raises(IndexError):
+            f.router(0, -1)
+
+    def test_contains(self):
+        f = Fabric(3, 2)
+        assert f.contains((2, 1))
+        assert not f.contains((3, 0))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Fabric(0, 3)
+
+    def test_rejects_oversized(self):
+        w, h = WSE2_MAX_FABRIC
+        with pytest.raises(ValueError, match="usable WSE-2 fabric"):
+            Fabric(w + 1, h)
+
+    def test_max_fabric_constant(self):
+        assert WSE2_MAX_FABRIC == (750, 994)
+
+    def test_pes_iteration_row_major(self):
+        f = Fabric(2, 2)
+        coords = [pe.coord for pe in f.pes()]
+        assert coords == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_per_pe_memory_configurable(self):
+        f = Fabric(1, 1, pe_memory_bytes=1000, pe_memory_reserved=100)
+        pe = f.pe(0, 0)
+        assert pe.memory.capacity == 1000
+        assert pe.memory.used == 100
+
+    def test_vectorized_flag_propagates(self):
+        f = Fabric(1, 1, vectorized=False)
+        assert not f.pe(0, 0).dsd.vectorized
+
+
+class TestColorConfiguration:
+    def test_configure_all(self):
+        f = Fabric(2, 2)
+        f.configure_color(0, lambda coord: [{Port.RAMP: (Port.EAST,)}])
+        for y in range(2):
+            for x in range(2):
+                assert f.router(x, y).routes(0, Port.RAMP) == (Port.EAST,)
+
+    def test_selective_configuration(self):
+        f = Fabric(2, 1)
+        f.configure_color(
+            0,
+            lambda coord: [{Port.RAMP: (Port.EAST,)}] if coord == (0, 0) else None,
+        )
+        assert f.router(0, 0).routes(0, Port.RAMP) == (Port.EAST,)
+        assert f.router(1, 0).routes(0, Port.RAMP) == ()
+
+    def test_initial_position_callback(self):
+        f = Fabric(2, 1)
+        positions = [{Port.RAMP: (Port.EAST,)}, {Port.WEST: (Port.RAMP,)}]
+        f.configure_color(
+            0,
+            lambda coord: positions,
+            initial_for=lambda coord: coord[0] % 2,
+        )
+        assert f.router(0, 0).position(0) == 0
+        assert f.router(1, 0).position(0) == 1
+
+
+class TestBindAll:
+    def test_data_binding(self):
+        f = Fabric(2, 1)
+        hits = []
+        f.bind_all(0, lambda rt, pe, msg: hits.append(pe.coord))
+        msg = Message(color=0, payload=np.zeros(1, dtype=np.float32))
+        f.pe(0, 0).handler_for(msg)(None, f.pe(0, 0), msg)
+        assert hits == [(0, 0)]
+
+    def test_control_binding_separate(self):
+        from repro.wse.packet import KIND_CONTROL
+
+        f = Fabric(1, 1)
+        f.bind_all(0, lambda rt, pe, msg: None)
+        f.bind_all(0, lambda rt, pe, msg: None, control=True)
+        pe = f.pe(0, 0)
+        ctrl = Message(color=0, kind=KIND_CONTROL)
+        assert pe.handler_for(ctrl) is not None
+
+
+class TestAggregates:
+    def test_total_counts_and_flops(self):
+        f = Fabric(2, 1)
+        f.pe(0, 0).dsd.fmuls(np.empty(3), 1.0, 2.0)
+        f.pe(1, 0).dsd.fmacs(np.empty(2), 1.0, 2.0, 3.0)
+        totals = f.total_counts()
+        assert totals == {"FMUL": 3, "FMA": 2}
+        assert f.total_flops() == 3 + 4
+
+    def test_memory_high_water(self):
+        f = Fabric(2, 1, pe_memory_bytes=1024)
+        f.pe(1, 0).memory.alloc_array("x", 32, np.float32)
+        assert f.max_memory_high_water() == 128
+
+    def test_reset_counters(self):
+        f = Fabric(1, 1)
+        pe = f.pe(0, 0)
+        pe.dsd.fmuls(np.empty(2), 1.0, 2.0)
+        pe.busy_until = 99.0
+        pe.messages_received = 5
+        f.reset_counters()
+        assert pe.dsd.flops == 0
+        assert pe.busy_until == 0.0
+        assert pe.messages_received == 0

@@ -1,0 +1,86 @@
+"""Unit tests for fabric geometry."""
+
+import pytest
+
+from repro.core.stencil import Connection
+from repro.wse.geometry import (
+    CARDINAL_PORTS,
+    Port,
+    in_bounds,
+    port_for_connection,
+    shift,
+)
+
+
+class TestPort:
+    def test_five_links(self):
+        assert len(Port) == 5
+        assert len(CARDINAL_PORTS) == 4
+        assert Port.RAMP not in CARDINAL_PORTS
+
+    def test_offsets(self):
+        assert Port.EAST.offset == (1, 0)
+        assert Port.WEST.offset == (-1, 0)
+        assert Port.NORTH.offset == (0, -1)
+        assert Port.SOUTH.offset == (0, 1)
+        assert Port.RAMP.offset == (0, 0)
+
+    @pytest.mark.parametrize("port", list(Port))
+    def test_opposite_involution(self, port):
+        assert port.opposite.opposite is port
+
+    def test_opposite_pairs(self):
+        assert Port.EAST.opposite is Port.WEST
+        assert Port.NORTH.opposite is Port.SOUTH
+        assert Port.RAMP.opposite is Port.RAMP
+
+
+class TestShift:
+    def test_east(self):
+        assert shift((3, 4), Port.EAST) == (4, 4)
+
+    def test_north_decreases_y(self):
+        assert shift((3, 4), Port.NORTH) == (3, 3)
+
+    def test_ramp_stays(self):
+        assert shift((3, 4), Port.RAMP) == (3, 4)
+
+    @pytest.mark.parametrize("port", CARDINAL_PORTS)
+    def test_round_trip(self, port):
+        assert shift(shift((5, 5), port), port.opposite) == (5, 5)
+
+
+class TestInBounds:
+    def test_inside(self):
+        assert in_bounds((0, 0), 3, 3)
+        assert in_bounds((2, 2), 3, 3)
+
+    def test_outside(self):
+        assert not in_bounds((-1, 0), 3, 3)
+        assert not in_bounds((3, 0), 3, 3)
+        assert not in_bounds((0, 3), 3, 3)
+
+
+class TestPortForConnection:
+    def test_cardinal_mapping(self):
+        assert port_for_connection(Connection.EAST) is Port.EAST
+        assert port_for_connection(Connection.NORTH) is Port.NORTH
+
+    def test_consistent_offsets(self):
+        """Fabric port offsets agree with mesh connection offsets."""
+        for conn in (
+            Connection.EAST,
+            Connection.WEST,
+            Connection.NORTH,
+            Connection.SOUTH,
+        ):
+            port = port_for_connection(conn)
+            assert port.offset == conn.offset[:2]
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(ValueError, match="no direct fabric port"):
+            port_for_connection(Connection.NORTHEAST)
+
+    def test_vertical_rejected(self):
+        with pytest.raises(ValueError, match="no direct fabric port"):
+            port_for_connection(Connection.UP)

@@ -1,0 +1,149 @@
+"""Unit tests for the PE scratchpad allocator."""
+
+import numpy as np
+import pytest
+
+from repro.wse.memory import (
+    WSE2_PE_MEMORY_BYTES,
+    PEMemoryError,
+    Scratchpad,
+)
+
+
+class TestAllocation:
+    def test_capacity_default(self):
+        pad = Scratchpad()
+        assert pad.capacity == WSE2_PE_MEMORY_BYTES == 48 * 1024
+
+    def test_alloc_array_zeroed(self):
+        pad = Scratchpad(1024)
+        arr = pad.alloc_array("a", 10, np.float32)
+        assert arr.shape == (10,)
+        assert np.all(arr == 0)
+        assert pad.used == 40
+
+    def test_reserved_reduces_capacity(self):
+        pad = Scratchpad(1024, reserved=1000)
+        with pytest.raises(PEMemoryError):
+            pad.alloc_array("a", 10, np.float32)  # 40 B > 24 B free
+
+    def test_overflow_message(self):
+        pad = Scratchpad(100)
+        with pytest.raises(PEMemoryError, match="overflow allocating 'big'"):
+            pad.alloc_array("big", 100, np.float32)
+
+    def test_duplicate_name(self):
+        pad = Scratchpad(1024)
+        pad.alloc_array("a", 2)
+        with pytest.raises(ValueError, match="already exists"):
+            pad.alloc_array("a", 2)
+
+    def test_free_and_used(self):
+        pad = Scratchpad(1000)
+        pad.alloc_array("a", 10, np.float32)
+        assert pad.free == 960
+        assert pad.used == 40
+
+    def test_high_water_tracks_peak(self):
+        pad = Scratchpad(1000)
+        pad.alloc_array("a", 50, np.float32)  # 200 B
+        pad.free_allocation("a")
+        assert pad.used == 0
+        assert pad.high_water == 200
+
+    def test_2d_allocation(self):
+        pad = Scratchpad(1024)
+        arr = pad.alloc_array("m", (2, 8), np.float32)
+        assert arr.shape == (2, 8)
+        assert pad.used == 64
+
+    def test_exact_fit(self):
+        pad = Scratchpad(40)
+        pad.alloc_array("a", 10, np.float32)
+        assert pad.free == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Scratchpad(0)
+        with pytest.raises(ValueError):
+            Scratchpad(10, reserved=10)
+
+
+class TestAlias:
+    def test_alias_shares_storage(self):
+        pad = Scratchpad(1024)
+        a = pad.alloc_array("a", 8, np.float32)
+        b = pad.alias("b", "a")
+        assert b is a
+        assert pad.used == 32  # no extra memory
+
+    def test_alias_appears_in_overlaps(self):
+        pad = Scratchpad(1024)
+        pad.alloc_array("a", 8)
+        pad.alias("b", "a")
+        assert ("a", "b") in pad.overlap_pairs()
+
+    def test_alias_of_missing(self):
+        pad = Scratchpad(1024)
+        with pytest.raises(KeyError):
+            pad.alias("b", "nope")
+
+    def test_alias_duplicate_name(self):
+        pad = Scratchpad(1024)
+        pad.alloc_array("a", 4)
+        with pytest.raises(ValueError):
+            pad.alias("a", "a")
+
+
+class TestFree:
+    def test_free_last_returns_bytes(self):
+        pad = Scratchpad(1024)
+        pad.alloc_array("a", 8, np.float32)
+        pad.alloc_array("b", 8, np.float32)
+        pad.free_allocation("b")
+        assert pad.used == 32
+
+    def test_free_middle_keeps_cursor(self):
+        pad = Scratchpad(1024)
+        pad.alloc_array("a", 8, np.float32)
+        pad.alloc_array("b", 8, np.float32)
+        pad.free_allocation("a")
+        assert pad.used == 64  # bump allocator: middle hole not reclaimed
+
+    def test_free_missing(self):
+        pad = Scratchpad(1024)
+        with pytest.raises(KeyError):
+            pad.free_allocation("ghost")
+
+    def test_free_aliased_region_keeps_bytes(self):
+        pad = Scratchpad(1024)
+        pad.alloc_array("a", 8, np.float32)
+        pad.alias("b", "a")
+        pad.free_allocation("a")
+        assert pad.used == 32  # alias still lives there
+
+
+class TestIntrospection:
+    def test_names_in_order(self):
+        pad = Scratchpad(1024)
+        pad.alloc_array("x", 2)
+        pad.alloc_array("y", 2)
+        assert pad.names() == ["x", "y"]
+
+    def test_get_returns_allocation(self):
+        pad = Scratchpad(1024)
+        pad.alloc_array("x", 2, np.float32)
+        alloc = pad.get("x")
+        assert alloc.nbytes == 8
+        assert alloc.end == alloc.offset + 8
+
+    def test_distinct_allocations_never_overlap(self):
+        pad = Scratchpad(4096)
+        for i in range(10):
+            pad.alloc_array(f"buf{i}", 16, np.float32)
+        assert pad.overlap_pairs() == []
+
+    def test_array_accessor(self):
+        pad = Scratchpad(1024)
+        arr = pad.alloc_array("x", 4)
+        assert pad.array("x") is arr

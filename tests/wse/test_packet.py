@@ -1,0 +1,66 @@
+"""Unit tests for fabric messages."""
+
+import numpy as np
+import pytest
+
+from repro.wse.packet import KIND_CONTROL, KIND_DATA, WORD_BYTES, Message
+
+
+class TestDataMessages:
+    def test_float32_word_count(self):
+        msg = Message(color=1, payload=np.zeros(10, dtype=np.float32))
+        assert msg.num_words == 10
+        assert msg.num_bytes == 40
+
+    def test_float64_counts_double(self):
+        msg = Message(color=1, payload=np.zeros(10, dtype=np.float64))
+        assert msg.num_words == 20
+
+    def test_scalar_payload_promoted(self):
+        msg = Message(color=0, payload=np.float32(3.5))
+        assert msg.payload.shape == (1,)
+        assert msg.num_words == 1
+
+    def test_requires_payload(self):
+        with pytest.raises(ValueError, match="payload"):
+            Message(color=0, payload=None, kind=KIND_DATA)
+
+    def test_rejects_2d_payload(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Message(color=0, payload=np.zeros((2, 3)))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Message(color=0, payload=np.zeros(1), kind="telepathy")
+
+
+class TestControlMessages:
+    def test_single_word(self):
+        msg = Message(color=2, kind=KIND_CONTROL)
+        assert msg.num_words == 1
+        assert msg.num_bytes == WORD_BYTES
+
+    def test_rejects_payload(self):
+        with pytest.raises(ValueError, match="control"):
+            Message(color=2, payload=np.zeros(3), kind=KIND_CONTROL)
+
+
+class TestFork:
+    def test_shares_payload(self):
+        payload = np.arange(4, dtype=np.float32)
+        msg = Message(color=3, payload=payload, source=(1, 2))
+        copy = msg.fork()
+        assert copy.payload is msg.payload
+        assert copy.color == 3
+        assert copy.source == (1, 2)
+
+    def test_meta_independent(self):
+        msg = Message(color=3, payload=np.zeros(1), meta={"k": 1})
+        copy = msg.fork()
+        copy.meta["k"] = 2
+        assert msg.meta["k"] == 1
+
+    def test_hops_carried(self):
+        msg = Message(color=3, payload=np.zeros(1))
+        msg.hops = 2
+        assert msg.fork().hops == 2

@@ -1,0 +1,65 @@
+"""Unit tests for the processing element."""
+
+import numpy as np
+import pytest
+
+from repro.wse.packet import KIND_CONTROL, Message
+from repro.wse.pe import ProcessingElement
+
+
+@pytest.fixture
+def pe():
+    return ProcessingElement(coord=(2, 3))
+
+
+class TestBindings:
+    def test_data_handler_dispatch(self, pe):
+        calls = []
+        pe.bind(4, lambda rt, p, m: calls.append(m.color))
+        msg = Message(color=4, payload=np.zeros(1, dtype=np.float32))
+        handler = pe.handler_for(msg)
+        handler(None, pe, msg)
+        assert calls == [4]
+
+    def test_control_handler_separate(self, pe):
+        pe.bind(4, lambda rt, p, m: pytest.fail("data handler must not run"))
+        hits = []
+        pe.bind_control(4, lambda rt, p, m: hits.append("ctrl"))
+        ctrl = Message(color=4, kind=KIND_CONTROL)
+        pe.handler_for(ctrl)(None, pe, ctrl)
+        assert hits == ["ctrl"]
+
+    def test_unbound_returns_none(self, pe):
+        msg = Message(color=9, payload=np.zeros(1, dtype=np.float32))
+        assert pe.handler_for(msg) is None
+        assert pe.handler_for(Message(color=9, kind=KIND_CONTROL)) is None
+
+    def test_double_bind_rejected(self, pe):
+        pe.bind(1, lambda rt, p, m: None)
+        with pytest.raises(ValueError, match="already bound"):
+            pe.bind(1, lambda rt, p, m: None)
+
+    def test_double_control_bind_rejected(self, pe):
+        pe.bind_control(1, lambda rt, p, m: None)
+        with pytest.raises(ValueError, match="already bound"):
+            pe.bind_control(1, lambda rt, p, m: None)
+
+
+class TestState:
+    def test_coordinates(self, pe):
+        assert pe.coord == (2, 3)
+        assert pe.x == 2
+        assert pe.y == 3
+
+    def test_default_memory_is_wse2(self, pe):
+        assert pe.memory.capacity == 48 * 1024
+
+    def test_dsd_engine_attached(self, pe):
+        pe.dsd.fadds(np.empty(2), 1.0, 2.0)
+        assert pe.dsd.flops == 2
+
+    def test_counters_start_zero(self, pe):
+        assert pe.messages_received == 0
+        assert pe.words_sent == 0
+        assert pe.busy_until == 0.0
+        assert pe.state == {}

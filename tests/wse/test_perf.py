@@ -1,0 +1,51 @@
+"""Unit tests for the WSE cost model."""
+
+import pytest
+
+from repro.wse.perf import WSE2, WsePerfModel
+
+
+class TestWsePerfModel:
+    def test_default_is_wse2(self):
+        assert WSE2.clock_hz == 850e6
+        assert WSE2.steady_state_power_w == 23_000.0
+
+    def test_seconds_conversion(self):
+        assert WSE2.seconds(850e6) == pytest.approx(1.0)
+        assert WSE2.seconds(0) == 0.0
+
+    def test_transfer_cycles_linear(self):
+        m = WsePerfModel(link_words_per_cycle=1.0)
+        assert m.transfer_cycles(10) == 10.0
+        m2 = WsePerfModel(link_words_per_cycle=2.0)
+        assert m2.transfer_cycles(10) == 5.0
+
+    def test_energy(self):
+        assert WSE2.energy_joules(2.0) == pytest.approx(46_000.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            WSE2.clock_hz = 1.0
+
+    def test_custom_model_flows_into_runtime_timing(self):
+        import numpy as np
+
+        from repro.wse.fabric import Fabric
+        from repro.wse.geometry import Port
+        from repro.wse.runtime import EventRuntime
+
+        fabric = Fabric(2, 1)
+        slow = WsePerfModel(
+            link_words_per_cycle=0.5,
+            hop_latency_cycles=0.0,
+            injection_overhead_cycles=0.0,
+        )
+        rt = EventRuntime(fabric, slow)
+        fabric.configure_color(
+            0, lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}]
+        )
+        times = []
+        fabric.bind_all(0, lambda r, pe, m: times.append(r.now))
+        rt.inject((0, 0), 0, np.zeros(10, dtype=np.float32))
+        rt.run()
+        assert times == [20.0]  # 10 words at half a word per cycle

@@ -1,0 +1,127 @@
+"""Unit tests for routers, colors, and switch positions."""
+
+import pytest
+
+from repro.wse.color import MAX_ROUTABLE_COLORS, ColorAllocator
+from repro.wse.geometry import Port
+from repro.wse.router import ColorConfig, Router
+
+
+class TestColorAllocator:
+    def test_sequential_ids(self):
+        colors = ColorAllocator()
+        assert colors.allocate("a") == 0
+        assert colors.allocate("b") == 1
+
+    def test_lookup_and_name(self):
+        colors = ColorAllocator()
+        cid = colors.allocate("east")
+        assert colors.lookup("east") == cid
+        assert colors.name_of(cid) == "east"
+
+    def test_duplicate_name(self):
+        colors = ColorAllocator()
+        colors.allocate("a")
+        with pytest.raises(ValueError, match="already"):
+            colors.allocate("a")
+
+    def test_budget_exhaustion(self):
+        colors = ColorAllocator(budget=2)
+        colors.allocate("a")
+        colors.allocate("b")
+        with pytest.raises(ValueError, match="out of routable colors"):
+            colors.allocate("c")
+
+    def test_default_budget_is_hardware(self):
+        assert ColorAllocator().budget == MAX_ROUTABLE_COLORS == 24
+
+    def test_contains_and_len(self):
+        colors = ColorAllocator()
+        colors.allocate("a")
+        assert "a" in colors
+        assert "b" not in colors
+        assert len(colors) == 1
+
+    def test_unknown_lookups(self):
+        colors = ColorAllocator()
+        with pytest.raises(KeyError):
+            colors.lookup("ghost")
+        with pytest.raises(KeyError):
+            colors.name_of(0)
+
+
+class TestColorConfig:
+    def test_routes(self):
+        cfg = ColorConfig([{Port.RAMP: (Port.EAST,)}])
+        assert cfg.routes(Port.RAMP) == (Port.EAST,)
+        assert cfg.routes(Port.WEST) == ()
+
+    def test_advance_cycles(self):
+        cfg = ColorConfig(
+            [{Port.RAMP: (Port.EAST,)}, {Port.WEST: (Port.RAMP,)}]
+        )
+        assert cfg.position == 0
+        cfg.advance()
+        assert cfg.position == 1
+        assert cfg.routes(Port.RAMP) == ()
+        assert cfg.routes(Port.WEST) == (Port.RAMP,)
+        cfg.advance()
+        assert cfg.position == 0
+
+    def test_initial_position(self):
+        cfg = ColorConfig([{}, {Port.WEST: (Port.RAMP,)}], position=1)
+        assert cfg.routes(Port.WEST) == (Port.RAMP,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ColorConfig([])
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ColorConfig([{}], position=3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="loop"):
+            ColorConfig([{Port.EAST: (Port.EAST,)}])
+
+
+class TestRouter:
+    def test_configure_and_route(self):
+        r = Router(coord=(0, 0))
+        r.configure(5, [{Port.RAMP: (Port.EAST, Port.WEST)}])
+        assert r.routes(5, Port.RAMP) == (Port.EAST, Port.WEST)
+
+    def test_unconfigured_color_drops(self):
+        r = Router(coord=(0, 0))
+        assert r.routes(9, Port.RAMP) == ()
+
+    def test_double_configure_rejected(self):
+        r = Router(coord=(0, 0))
+        r.configure(1, [{}])
+        with pytest.raises(ValueError, match="already configured"):
+            r.configure(1, [{}])
+
+    def test_advance_specific_color(self):
+        r = Router(coord=(1, 1))
+        r.configure(1, [{Port.RAMP: (Port.EAST,)}, {Port.WEST: (Port.RAMP,)}])
+        r.configure(2, [{Port.RAMP: (Port.SOUTH,)}])
+        r.advance(1)
+        assert r.position(1) == 1
+        assert r.position(2) == 0  # untouched
+
+    def test_advance_unconfigured_is_noop(self):
+        r = Router(coord=(0, 0))
+        r.advance(7)  # must not raise
+
+    def test_position_of_unconfigured(self):
+        r = Router(coord=(0, 0))
+        with pytest.raises(KeyError):
+            r.position(3)
+
+    def test_multicast_fan_out(self):
+        """A single input may fan out to several links (local broadcast)."""
+        r = Router(coord=(0, 0))
+        r.configure(
+            0, [{Port.RAMP: (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST)}]
+        )
+        assert len(r.routes(0, Port.RAMP)) == 4

@@ -1,0 +1,263 @@
+"""Unit tests for the discrete-event runtime: routing, timing, control."""
+
+import numpy as np
+import pytest
+
+from repro.wse.fabric import Fabric
+from repro.wse.geometry import Port
+from repro.wse.packet import KIND_CONTROL, Message
+from repro.wse.perf import WsePerfModel
+from repro.wse.runtime import EventRuntime
+
+COLOR = 0
+
+
+def make_runtime(width=3, height=3, **perf_kwargs):
+    fabric = Fabric(width, height)
+    perf = WsePerfModel(**perf_kwargs) if perf_kwargs else WsePerfModel()
+    return fabric, EventRuntime(fabric, perf, trace=True)
+
+
+class TestPointToPoint:
+    def test_east_delivery(self):
+        fabric, rt = make_runtime()
+        fabric.configure_color(
+            COLOR,
+            lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}],
+        )
+        got = []
+        fabric.bind_all(COLOR, lambda r, pe, m: got.append((pe.coord, m.payload.copy())))
+        rt.inject((0, 1), COLOR, np.array([1.0, 2.0], dtype=np.float32))
+        rt.run()
+        assert len(got) == 1
+        coord, payload = got[0]
+        assert coord == (1, 1)
+        np.testing.assert_array_equal(payload, [1.0, 2.0])
+
+    def test_off_chip_dropped(self):
+        fabric, rt = make_runtime()
+        fabric.configure_color(COLOR, lambda c: [{Port.RAMP: (Port.WEST,)}])
+        fabric.bind_all(COLOR, lambda r, pe, m: pytest.fail("must not deliver"))
+        rt.inject((0, 0), COLOR, np.zeros(1, dtype=np.float32))
+        rt.run()
+        assert rt.stats.messages_dropped_offchip == 1
+
+    def test_unbound_color_counts_delivery(self):
+        fabric, rt = make_runtime()
+        fabric.configure_color(
+            COLOR, lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}]
+        )
+        rt.inject((0, 0), COLOR, np.zeros(1, dtype=np.float32))
+        rt.run()  # no handler bound: delivered but no task runs
+        assert rt.stats.messages_delivered == 1
+
+    def test_hop_count(self):
+        """Two-hop path records hops == 2 (the diagonal property)."""
+        fabric, rt = make_runtime()
+        fabric.configure_color(
+            COLOR,
+            lambda c: [
+                {
+                    Port.RAMP: (Port.EAST,),
+                    Port.WEST: (Port.SOUTH,),
+                    Port.NORTH: (Port.RAMP,),
+                }
+            ],
+        )
+        got = []
+        fabric.bind_all(COLOR, lambda r, pe, m: got.append((pe.coord, m.hops)))
+        rt.inject((0, 0), COLOR, np.zeros(4, dtype=np.float32))
+        rt.run()
+        assert got == [((1, 1), 2)]
+        assert rt.stats.max_hops_seen == 2
+
+
+class TestMulticast:
+    def test_fan_out_to_four(self):
+        fabric, rt = make_runtime()
+        fabric.configure_color(
+            COLOR,
+            lambda c: [
+                {
+                    Port.RAMP: (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST),
+                    Port.NORTH: (Port.RAMP,),
+                    Port.EAST: (Port.RAMP,),
+                    Port.SOUTH: (Port.RAMP,),
+                    Port.WEST: (Port.RAMP,),
+                }
+            ],
+        )
+        got = []
+        fabric.bind_all(COLOR, lambda r, pe, m: got.append(pe.coord))
+        rt.inject((1, 1), COLOR, np.zeros(2, dtype=np.float32))
+        rt.run()
+        assert sorted(got) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+    def test_forked_payload_shared(self):
+        fabric, rt = make_runtime()
+        fabric.configure_color(
+            COLOR,
+            lambda c: [
+                {
+                    Port.RAMP: (Port.EAST, Port.WEST),
+                    Port.EAST: (Port.RAMP,),
+                    Port.WEST: (Port.RAMP,),
+                }
+            ],
+        )
+        payloads = []
+        fabric.bind_all(COLOR, lambda r, pe, m: payloads.append(m.payload))
+        src = np.zeros(3, dtype=np.float32)
+        rt.inject((1, 1), COLOR, src)
+        rt.run()
+        assert len(payloads) == 2
+        assert payloads[0] is payloads[1] is not None
+
+
+class TestTiming:
+    def test_serialization_time(self):
+        """A train of W words takes hop latency + W cycles on the link."""
+        fabric, rt = make_runtime(
+            3,
+            1,
+            hop_latency_cycles=1.0,
+            injection_overhead_cycles=0.0,
+            link_words_per_cycle=1.0,
+        )
+        fabric.configure_color(
+            COLOR, lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}]
+        )
+        times = []
+        fabric.bind_all(COLOR, lambda r, pe, m: times.append(r.now))
+        rt.inject((0, 0), COLOR, np.zeros(10, dtype=np.float32))
+        rt.run()
+        assert times == [11.0]  # 1 latency + 10 words
+
+    def test_link_contention_serializes(self):
+        """Two trains on the same link queue behind each other."""
+        fabric, rt = make_runtime(
+            2, 1, hop_latency_cycles=0.0, injection_overhead_cycles=0.0
+        )
+        fabric.configure_color(
+            COLOR, lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}]
+        )
+        times = []
+        fabric.bind_all(COLOR, lambda r, pe, m: times.append(r.now))
+        rt.inject((0, 0), COLOR, np.zeros(10, dtype=np.float32))
+        rt.inject((0, 0), COLOR, np.zeros(10, dtype=np.float32))
+        rt.run()
+        assert times == [10.0, 20.0]
+
+    def test_float64_payload_double_words(self):
+        fabric, rt = make_runtime(
+            2, 1, hop_latency_cycles=0.0, injection_overhead_cycles=0.0
+        )
+        fabric.configure_color(
+            COLOR, lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}]
+        )
+        times = []
+        fabric.bind_all(COLOR, lambda r, pe, m: times.append(r.now))
+        rt.inject((0, 0), COLOR, np.zeros(5, dtype=np.float64))
+        rt.run()
+        assert times == [10.0]
+
+    def test_pe_busy_serializes_tasks(self):
+        """Handler compute time delays the PE's next task start."""
+        fabric, rt = make_runtime(2, 1, injection_overhead_cycles=0.0)
+
+        def heavy(r, pe, m):
+            pe.dsd.fmuls(np.empty(100), 1.0, 2.0)  # 100 cycles vectorized
+
+        fabric.configure_color(
+            COLOR, lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}]
+        )
+        fabric.bind_all(COLOR, heavy)
+        rt.inject((0, 0), COLOR, np.zeros(1, dtype=np.float32))
+        rt.inject((0, 0), COLOR, np.zeros(1, dtype=np.float32))
+        rt.run()
+        pe = fabric.pe(1, 0)
+        # two heavy tasks: second starts after the first's 100 cycles
+        assert pe.busy_until >= 200.0
+
+    def test_elapsed_seconds(self):
+        fabric, rt = make_runtime(2, 1)
+        rt.schedule(850.0, lambda: None)
+        rt.run()
+        assert rt.elapsed_seconds() == pytest.approx(1e-6)
+
+    def test_schedule_negative_rejected(self):
+        _, rt = make_runtime(1, 1)
+        with pytest.raises(ValueError):
+            rt.schedule(-1.0, lambda: None)
+
+
+class TestControlWavelets:
+    def test_advances_routers_along_path(self):
+        fabric, rt = make_runtime(2, 1)
+        positions = [
+            {Port.RAMP: (Port.EAST,)},
+            {Port.WEST: (Port.RAMP,)},
+        ]
+        fabric.configure_color(
+            COLOR, lambda c: positions, initial_for=lambda c: c[0] % 2
+        )
+        ctrl_seen = []
+        fabric.bind_all(
+            COLOR, lambda r, pe, m: ctrl_seen.append(pe.coord), control=True
+        )
+        rt.inject((0, 0), COLOR, kind=KIND_CONTROL)
+        rt.run()
+        # origin forwarded + flipped (0->1); neighbour delivered + flipped (1->0)
+        assert fabric.router(0, 0).position(COLOR) == 1
+        assert fabric.router(1, 0).position(COLOR) == 0
+        assert ctrl_seen == [(1, 0)]
+        assert rt.stats.control_advances == 2
+
+    def test_control_forwarded_under_pre_switch_config(self):
+        """The command follows the current config, then flips (Fig. 6b)."""
+        fabric, rt = make_runtime(3, 1)
+        positions = [
+            {Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)},
+            {},
+        ]
+        fabric.configure_color(COLOR, lambda c: positions)
+        seen = []
+        fabric.bind_all(COLOR, lambda r, pe, m: seen.append(pe.coord), control=True)
+        rt.inject((0, 0), COLOR, kind=KIND_CONTROL)
+        rt.run()
+        # delivered at (1,0) under position 0 before that router flipped
+        assert seen == [(1, 0)]
+        assert fabric.router(1, 0).position(COLOR) == 1
+
+
+class TestRunSafety:
+    def test_event_budget(self):
+        fabric, rt = make_runtime(1, 1)
+
+        def reschedule():
+            rt.schedule(1.0, reschedule)
+
+        rt.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError, match="budget"):
+            rt.run(max_events=50)
+
+    def test_idle_property(self):
+        fabric, rt = make_runtime(1, 1)
+        assert rt.idle
+        rt.schedule(1.0, lambda: None)
+        assert not rt.idle
+        rt.run()
+        assert rt.idle
+
+    def test_trace_records_deliveries(self):
+        fabric, rt = make_runtime(2, 1)
+        fabric.configure_color(
+            COLOR, lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}]
+        )
+        fabric.bind_all(COLOR, lambda r, pe, m: None)
+        rt.inject((0, 0), COLOR, np.zeros(1, dtype=np.float32))
+        rt.run()
+        assert len(rt.trace_log) == 1
+        _, coord, msg = rt.trace_log[0]
+        assert coord == (1, 0)
+        assert isinstance(msg, Message)
