@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Benchmark the event-driven WSE simulator hot path.
+
+Measures the throughput of :class:`repro.wse.runtime.EventRuntime` running
+the full flux protocol (cardinal switch exchange + two-hop diagonals) via
+:class:`repro.dataflow.driver.WseFluxComputation`, and records the results
+in ``BENCH_event_runtime.json`` at the repository root so regressions are
+tracked across PRs.
+
+Metrics
+-------
+events_per_sec:
+    Simulator events drained per wall-clock second on the reference
+    workload (the primary hot-path metric).
+mcells_per_sec:
+    Mesh cells processed per wall-clock second (millions) — end-to-end
+    including host-side load/gather.
+peak_fabric:
+    Largest square fabric whose single application fits a fixed
+    wall-clock budget (tractability frontier of the event simulator).
+calib_ops_per_sec:
+    Machine-speed yardstick (pure-Python heap churn).  Stored so that
+    entries measured on different machines can be compared through the
+    normalized ratio ``events_per_calib_op``.
+
+Usage
+-----
+Record an entry (writes/updates the JSON in place)::
+
+    python benchmarks/bench_event_runtime.py --label optimized
+
+Fast CI regression gate (<60 s, compares the normalized smoke metric
+against the checked-in ``optimized`` entry, fails on >30% regression)::
+
+    python benchmarks/bench_event_runtime.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    CartesianMesh3D,
+    FluidProperties,
+    PressureSequence,
+    Transmissibility,
+)
+from repro.dataflow import WseFluxComputation  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_event_runtime.json"
+
+#: Reference workload: large enough that per-event costs dominate over
+#: per-application host work, small enough to run in seconds.
+MAIN_WORKLOAD = dict(nx=24, ny=24, nz=8, applications=3)
+
+#: CI smoke workload: completes in a few seconds even on the seed code.
+SMOKE_WORKLOAD = dict(nx=12, ny=12, nz=6, applications=2)
+
+#: Square fabric sizes probed by the peak-fabric search (nz fixed at 8).
+PEAK_SIZES = (8, 12, 16, 24, 32, 48, 64, 96)
+
+#: Allowed normalized-throughput regression before --check fails.
+CHECK_TOLERANCE = 0.30
+
+
+def calibrate(n: int = 200_000) -> float:
+    """Machine-speed yardstick: pure-Python heap churn, ops per second."""
+    heap: list = []
+    push, pop = heapq.heappush, heapq.heappop
+    t0 = time.perf_counter()
+    for i in range(n):
+        push(heap, (float(i & 1023), i, None))
+        if i & 1:
+            pop(heap)
+    while heap:
+        pop(heap)
+    return n / (time.perf_counter() - t0)
+
+
+def bench_flux(
+    nx: int, ny: int, nz: int, applications: int, *, repeats: int = 3
+) -> dict:
+    """Time the reference flux workload; return throughput metrics.
+
+    The program build (routing tables, memory layouts) is excluded — the
+    benchmark targets the event-drain hot path.  Best-of-``repeats``
+    timing suppresses scheduler noise.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    mesh = CartesianMesh3D(nx, ny, nz)
+    fluid = FluidProperties()
+    trans = Transmissibility(mesh)
+    wse = WseFluxComputation(mesh, fluid, trans, dtype=np.float32)
+    seq = PressureSequence(mesh, num_applications=applications, seed=7)
+    pressures = [seq.field(i) for i in range(applications)]
+
+    wse.run(pressures)  # warm-up (numpy caches, allocator)
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = wse.run(pressures)
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    events = result.stats.events_processed
+    cells = mesh.num_cells * applications
+    return {
+        "mesh": [nx, ny, nz],
+        "applications": applications,
+        "wall_seconds": round(best, 6),
+        "events": events,
+        "events_per_sec": round(events / best, 1),
+        "mcells_per_sec": round(cells / best / 1e6, 6),
+        "messages_delivered": result.stats.messages_delivered,
+        "fabric_word_hops": result.fabric_word_hops,
+    }
+
+
+def bench_peak_fabric(budget_seconds: float, *, nz: int = 8) -> dict:
+    """Largest square fabric whose single application fits the budget."""
+    fluid = FluidProperties()
+    samples = []
+    peak = None
+    for n in PEAK_SIZES:
+        mesh = CartesianMesh3D(n, n, nz)
+        wse = WseFluxComputation(mesh, fluid, dtype=np.float32)
+        p = PressureSequence(mesh, num_applications=1, seed=3).field(0)
+        t0 = time.perf_counter()
+        result = wse.run_single(p)
+        dt = time.perf_counter() - t0
+        samples.append(
+            {
+                "n": n,
+                "wall_seconds": round(dt, 4),
+                "events_per_sec": round(result.stats.events_processed / dt, 1),
+            }
+        )
+        if dt <= budget_seconds:
+            peak = n
+        else:
+            break
+    return {"budget_seconds": budget_seconds, "peak_n": peak, "samples": samples}
+
+
+def measure_entry(*, smoke_only: bool, budget_seconds: float, repeats: int) -> dict:
+    calib = calibrate()
+    entry: dict = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "calib_ops_per_sec": round(calib, 1),
+        "smoke": bench_flux(**SMOKE_WORKLOAD, repeats=repeats),
+    }
+    entry["smoke"]["events_per_calib_op"] = round(
+        entry["smoke"]["events_per_sec"] / calib, 6
+    )
+    if not smoke_only:
+        entry["main"] = bench_flux(**MAIN_WORKLOAD, repeats=repeats)
+        entry["main"]["events_per_calib_op"] = round(
+            entry["main"]["events_per_sec"] / calib, 6
+        )
+        entry["peak_fabric"] = bench_peak_fabric(budget_seconds)
+    return entry
+
+
+def load(path: Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"schema": 1, "entries": {}}
+
+
+def update_speedup(doc: dict) -> None:
+    entries = doc["entries"]
+    base, opt = entries.get("baseline"), entries.get("optimized")
+    if not (base and opt and "main" in base and "main" in opt):
+        # smoke-only entries carry no main workload to compare
+        doc.pop("speedup", None)
+        return
+    doc["speedup"] = {
+        "events_per_sec": round(
+            opt["main"]["events_per_sec"] / base["main"]["events_per_sec"], 3
+        ),
+        "mcells_per_sec": round(
+            opt["main"]["mcells_per_sec"] / base["main"]["mcells_per_sec"], 3
+        ),
+        "peak_fabric_n": [
+            base["peak_fabric"]["peak_n"],
+            opt["peak_fabric"]["peak_n"],
+        ],
+    }
+
+
+def run_check(path: Path, repeats: int) -> int:
+    """CI gate: smoke-measure the current code, compare normalized."""
+    doc = load(path)
+    ref = doc["entries"].get("optimized")
+    if ref is None:
+        print(f"check: no 'optimized' entry in {path}; run with --label optimized")
+        return 2
+    calib = calibrate()
+    smoke = bench_flux(**SMOKE_WORKLOAD, repeats=repeats)
+    current = smoke["events_per_sec"] / calib
+    stored = ref["smoke"]["events_per_calib_op"]
+    floor = stored * (1.0 - CHECK_TOLERANCE)
+    verdict = "ok" if current >= floor else "REGRESSION"
+    print(
+        f"check: normalized smoke throughput {current:.4f} ev/op "
+        f"(stored {stored:.4f}, floor {floor:.4f}) -> {verdict}"
+    )
+    print(
+        f"       raw: {smoke['events_per_sec']:,.0f} events/s on this host, "
+        f"calib {calib:,.0f} ops/s"
+    )
+    return 0 if verdict == "ok" else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--label",
+        default="optimized",
+        help="entry name to record (baseline / optimized / ...)",
+    )
+    ap.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    ap.add_argument(
+        "--smoke-only",
+        action="store_true",
+        help="record only the smoke workload (fast)",
+    )
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate against the stored 'optimized' entry",
+    )
+    ap.add_argument("--budget", type=float, default=1.0, help="peak-search budget (s)")
+    ap.add_argument("--repeats", type=int, default=3)
+    args = ap.parse_args(argv)
+
+    if args.check:
+        return run_check(args.output, args.repeats)
+
+    entry = measure_entry(
+        smoke_only=args.smoke_only,
+        budget_seconds=args.budget,
+        repeats=args.repeats,
+    )
+    doc = load(args.output)
+    doc["entries"][args.label] = entry
+    update_speedup(doc)
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"recorded entry {args.label!r} in {args.output}")
+    if "main" in entry:
+        print(
+            f"  main: {entry['main']['events_per_sec']:,.0f} events/s, "
+            f"{entry['main']['mcells_per_sec']:.3f} Mcell/s"
+        )
+        print(f"  peak fabric within {args.budget}s: {entry['peak_fabric']['peak_n']}")
+    if "speedup" in doc:
+        print(f"  speedup vs baseline: {doc['speedup']['events_per_sec']}x events/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,11 @@ class Connection(enum.Enum):
     UP = (0, 0, 1)
     DOWN = (0, 0, -1)
 
+    #: Members are singletons, so the C-level identity hash is valid and
+    #: avoids the Python-level ``Enum.__hash__`` on halo-table lookups,
+    #: which key on Connection in the simulator's per-message hot path.
+    __hash__ = object.__hash__
+
     @property
     def offset(self) -> tuple[int, int, int]:
         """Cell-index offset ``(dx, dy, dz)`` of the neighbour."""

@@ -42,9 +42,7 @@ _FLUX_SEQUENCE = """\
 
 
 def _port_name(port: Port) -> str:
-    return {"N": "NORTH", "E": "EAST", "S": "SOUTH", "W": "WEST", "R": "RAMP"}[
-        port.value
-    ]
+    return port.name
 
 
 def _routes_line(position) -> str:

@@ -8,9 +8,11 @@ delivery, and gathers the distributed residual.
 
 The per-application device time is measured in model cycles by the
 discrete-event runtime; instruction/traffic totals come from the PEs' DSD
-engines.  For paper-scale meshes (where event simulation is infeasible in
-Python) use :mod:`repro.dataflow.lockstep` for function and
-:mod:`repro.perf.timing` for calibrated time projections.
+engines.  The runtime's slotted-event fast path makes protocol-accurate
+runs tractable well beyond toy fabrics (see ``BENCH_event_runtime.json``
+for the tracked throughput trajectory); for full paper-scale meshes use
+:mod:`repro.dataflow.lockstep` for function and :mod:`repro.perf.timing`
+for calibrated time projections.
 """
 
 from __future__ import annotations
@@ -54,7 +56,8 @@ class WseRunResult:
     fabric_word_hops:
         Total fabric traffic (words x hops).
     stats:
-        Aggregated runtime statistics of the last application.
+        Runtime statistics merged over all applications
+        (:meth:`~repro.wse.runtime.RuntimeStats.merge`).
     residuals:
         Per-application residual fields (only when ``keep_all=True``).
     """
@@ -177,23 +180,21 @@ class WseFluxComputation:
         residuals: list[np.ndarray] = []
         residual = None
         totals = RuntimeStats()
+        # one runtime serves every application: reset() clears the event
+        # heap, clock, link-occupancy map and per-run stats without
+        # rebuilding them per pressure field
+        rt = EventRuntime(program.fabric, self.perf, trace=self.trace)
+        self.last_runtime = rt
         for pressure in pressures:
-            rt = EventRuntime(program.fabric, self.perf, trace=self.trace)
+            if applications:
+                rt.reset()
             program.load_pressure(np.ascontiguousarray(pressure))
             program.begin_application(rt)
             rt.run()
             program.verify_deliveries()
             total_cycles += rt.now
             applications += 1
-            s = rt.stats
-            totals.events_processed += s.events_processed
-            totals.messages_injected += s.messages_injected
-            totals.messages_delivered += s.messages_delivered
-            totals.messages_dropped_offchip += s.messages_dropped_offchip
-            totals.control_advances += s.control_advances
-            totals.fabric_word_hops += s.fabric_word_hops
-            totals.max_hops_seen = max(totals.max_hops_seen, s.max_hops_seen)
-            self.last_runtime = rt
+            totals.merge(rt.stats)
             residual = program.gather_residual()
             if keep_all:
                 residuals.append(residual.copy())

@@ -85,6 +85,11 @@ class PEColumnLayout:
     scratch: FluxScratch
     _recv: dict[Connection, np.ndarray]
     _send: np.ndarray
+    #: Pre-flattened views of the receive windows / send train — the
+    #: runtime hands whole trains around as 1D payloads, and creating
+    #: the reshape view per message is measurable on the hot path.
+    _recv_flat: dict[Connection, np.ndarray]
+    _send_flat: np.ndarray
 
     @classmethod
     def build(
@@ -141,12 +146,18 @@ class PEColumnLayout:
             scratch=scratch,
             _recv=recv,
             _send=send,
+            _recv_flat={conn: buf.reshape(-1) for conn, buf in recv.items()},
+            _send_flat=send.reshape(-1),
         )
 
     # ------------------------------------------------------------------ #
     def recv_buffer(self, conn: Connection) -> np.ndarray:
         """(2, nz) receive window for the neighbour along *conn*."""
         return self._recv[conn]
+
+    def recv_flat(self, conn: Connection) -> np.ndarray:
+        """Flattened (2*nz,) view of the same receive window."""
+        return self._recv_flat[conn]
 
     def send_train(self, engine=None) -> np.ndarray:
         """The outgoing ``(p, rho)`` train of this PE.
@@ -164,3 +175,8 @@ class PEColumnLayout:
             self._send[0] = self.pressure
             self._send[1] = self.density
         return self._send
+
+    def send_train_flat(self, engine=None) -> np.ndarray:
+        """:meth:`send_train` as the flattened (2*nz,) payload view."""
+        self.send_train(engine)
+        return self._send_flat

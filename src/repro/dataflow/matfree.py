@@ -182,8 +182,8 @@ class WseMatrixFreeJacobian:
     def _start_pe(self, rt, pe) -> None:
         start = max(rt.now, pe.busy_until)
         before = pe.dsd.cycles
-        pe.state["_exec_start"] = start
-        pe.state["_cycles_at_start"] = before
+        pe.exec_start = start
+        pe.cycles_at_start = before
 
         v, out, tmp = pe.state["v"], pe.state["out"], pe.state["tmp"]
         offd = pe.state["offd"]

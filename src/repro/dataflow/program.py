@@ -132,7 +132,11 @@ class FluxProgram:
         self.colors = ColorAllocator()
         self._card_color: dict[CardinalChannel, int] = {}
         self._diag_color: dict[DiagonalChannel, int] = {}
-        self._inv_viscosity = 1.0 / self.fluid.viscosity
+        # scalar kernel parameters pre-cast to the PE dtype: the ufuncs
+        # cast them per call otherwise (same bits, avoidable overhead)
+        _scalar = np.dtype(self.dtype).type
+        self._inv_viscosity = _scalar(1.0 / self.fluid.viscosity)
+        self._gravity = _scalar(self.gravity)
         self._setup_memory()
         self._setup_routing()
         self._setup_tasks()
@@ -144,6 +148,7 @@ class FluxProgram:
         mesh = self.mesh
         trans_fields = padded_trans_fields(mesh, self.trans, self.dtype)
         elev = mesh.elevation
+        w, h = self.fabric.width, self.fabric.height
         for pe in self.fabric.pes():
             x, y = pe.coord
             layout = PEColumnLayout.build(
@@ -157,6 +162,22 @@ class FluxProgram:
                 layout.trans[conn][:] = trans_fields[conn][:, y, x]
             pe.state["layout"] = layout
             pe.state["expected"] = self._expected_messages(pe)
+            # per-halo kernel arguments resolved once: the receive task
+            # runs per message and every dict/method hop shows up there
+            pe.state["halo_args"] = {
+                conn: (
+                    layout.recv_flat(conn),
+                    layout.recv_buffer(conn)[0],
+                    layout.recv_buffer(conn)[1],
+                    layout.trans[conn],
+                )
+                for conn in XY_CONNECTIONS
+            }
+            pe.state["step1_channels"] = [
+                ch
+                for ch in CARDINAL_CHANNELS
+                if is_step1_sender(pe.coord, ch, w, h)
+            ]
 
     def _expected_messages(self, pe: ProcessingElement) -> int:
         """Data messages the PE receives per application: one per
@@ -227,36 +248,51 @@ class FluxProgram:
         FMOV / 16 fabric loads per cell of Table 4 (2 words per cell per
         neighbour, 8 neighbours).
         """
-        layout = pe.state["layout"]
-        buf = layout.recv_buffer(conn)
-        pe.dsd.fmovs(buf.reshape(-1), msg.payload, from_fabric=True)
-        pe.state["received"] = pe.state.get("received", 0) + 1
+        state = pe.state
+        layout = state["layout"]
+        # (recv_flat, p_L, rho_L, trans) resolved once at setup
+        recv_flat, p_l, rho_l, trans_col = state["halo_args"][conn]
+        pe.dsd.fmovs(recv_flat, msg.payload, from_fabric=True)
+        state["received"] = state.get("received", 0) + 1
         if not self.compute_fluxes:
             return
         if self.overlap_compute:
-            self._neighbour_flux(pe, layout, conn)
+            compute_face_flux_column(
+                pe.dsd,
+                layout.scratch,
+                layout.pressure,
+                p_l,
+                layout.elevation,
+                layout.elevation,  # X-Y neighbours share the elevation column
+                layout.density,
+                rho_l,
+                trans_col,
+                layout.residual,
+                gravity=self._gravity,
+                inv_viscosity=self._inv_viscosity,
+            )
         else:
-            pe.state.setdefault("pending_halos", []).append(conn)
-            if pe.state["received"] == pe.state["expected"]:
-                for pending in pe.state["pending_halos"]:
+            state.setdefault("pending_halos", []).append(conn)
+            if state["received"] == state["expected"]:
+                for pending in state["pending_halos"]:
                     self._neighbour_flux(pe, layout, pending)
-                pe.state["pending_halos"] = []
+                state["pending_halos"] = []
 
     def _neighbour_flux(self, pe: ProcessingElement, layout, conn: Connection) -> None:
         """The partial flux for one received halo."""
-        buf = layout.recv_buffer(conn)
+        _, p_l, rho_l, trans_col = pe.state["halo_args"][conn]
         compute_face_flux_column(
             pe.dsd,
             layout.scratch,
             layout.pressure,
-            buf[0],
+            p_l,
             layout.elevation,
             layout.elevation,  # X-Y neighbours share the elevation column
             layout.density,
-            buf[1],
-            layout.trans[conn],
+            rho_l,
+            trans_col,
             layout.residual,
-            gravity=self.gravity,
+            gravity=self._gravity,
             inv_viscosity=self._inv_viscosity,
         )
 
@@ -265,12 +301,12 @@ class FluxProgram:
     ) -> None:
         """Transmit this PE's column on *channel* once per application."""
         color = self._card_color[channel]
-        sent = pe.state.setdefault("sent", set())
+        sent = pe.state["sent"]  # created by begin_application
         if color in sent:
             return
         sent.add(color)
         layout = pe.state["layout"]
-        payload = layout.send_train(pe.dsd).reshape(-1)
+        payload = layout.send_train_flat(pe.dsd)
         at = rt.pe_send_time(pe)
         rt.inject(pe.coord, color, payload, at=at)
         rt.inject(pe.coord, color, kind=KIND_CONTROL, at=at)
@@ -302,14 +338,14 @@ class FluxProgram:
         for pe in self.fabric.pes():
             pe.state["sent"] = set()
             pe.state["received"] = 0
-            rt.schedule(0.0, lambda _pe=pe, _rt=rt: self._start_pe(_rt, _pe))
+            rt.schedule(0.0, self._start_pe, rt, pe)
 
     def _start_pe(self, rt: EventRuntime, pe: ProcessingElement) -> None:
         layout = pe.state["layout"]
         start = max(rt.now, pe.busy_until)
         before = pe.dsd.cycles
-        pe.state["_exec_start"] = start
-        pe.state["_cycles_at_start"] = before
+        pe.exec_start = start
+        pe.cycles_at_start = before
 
         layout.residual.fill(0.0)
         evaluate_density_column(
@@ -325,14 +361,12 @@ class FluxProgram:
 
         # diagonal flows: every PE is a source (Fig. 5b, step 1.b)
         at = rt.pe_send_time(pe)
-        payload = layout.send_train(pe.dsd).reshape(-1)
+        payload = layout.send_train_flat(pe.dsd)
         for channel in DIAGONAL_CHANNELS:
             rt.inject(pe.coord, self._diag_color[channel], payload, at=at)
-        # cardinal step-1 senders (Fig. 6b, step 1)
-        w, h = self.fabric.width, self.fabric.height
-        for channel in CARDINAL_CHANNELS:
-            if is_step1_sender(pe.coord, channel, w, h):
-                self._maybe_send(rt, pe, channel)
+        # cardinal step-1 senders (Fig. 6b, step 1; resolved at setup)
+        for channel in pe.state["step1_channels"]:
+            self._maybe_send(rt, pe, channel)
         pe.busy_until = start + (pe.dsd.cycles - before)
 
     def _vertical_fluxes(self, pe: ProcessingElement, layout) -> None:
@@ -352,7 +386,7 @@ class FluxProgram:
             rho[1:],
             layout.trans[Connection.UP][: nz - 1],
             layout.residual[: nz - 1],
-            gravity=self.gravity,
+            gravity=self._gravity,
             inv_viscosity=self._inv_viscosity,
         )
         compute_face_flux_column(
@@ -366,7 +400,7 @@ class FluxProgram:
             rho[: nz - 1],
             layout.trans[Connection.DOWN][1:],
             layout.residual[1:],
-            gravity=self.gravity,
+            gravity=self._gravity,
             inv_viscosity=self._inv_viscosity,
         )
 

@@ -170,8 +170,8 @@ class WseWavePropagator:
         """Local stencil parts + kick off the exchange."""
         start = max(rt.now, pe.busy_until)
         before = pe.dsd.cycles
-        pe.state["_exec_start"] = start
-        pe.state["_cycles_at_start"] = before
+        pe.exec_start = start
+        pe.cycles_at_start = before
 
         u = pe.state["u_curr"]
         pe.state["send_field"] = u

@@ -79,6 +79,18 @@ class Fabric:
         """Total PEs on the fabric."""
         return self.width * self.height
 
+    @property
+    def pe_map(self) -> dict[tuple[int, int], ProcessingElement]:
+        """Coordinate-keyed PE table (hot-path access for the runtime;
+        treat as read-only)."""
+        return self._pes
+
+    @property
+    def router_map(self) -> dict[tuple[int, int], Router]:
+        """Coordinate-keyed router table (hot-path access for the
+        runtime; treat as read-only)."""
+        return self._routers
+
     def pe(self, x: int, y: int) -> ProcessingElement:
         """PE at coordinate ``(x, y)``."""
         try:

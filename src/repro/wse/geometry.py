@@ -15,17 +15,35 @@ import enum
 
 from repro.core.stencil import Connection
 
-__all__ = ["Port", "CARDINAL_PORTS", "shift", "in_bounds", "port_for_connection"]
+__all__ = [
+    "Port",
+    "CARDINAL_PORTS",
+    "OFFSET",
+    "OPPOSITE",
+    "shift",
+    "in_bounds",
+    "port_for_connection",
+]
 
 
-class Port(enum.Enum):
-    """One of the five router links of a PE (Sec. 4)."""
+class Port(enum.IntEnum):
+    """One of the five router links of a PE (Sec. 4).
 
-    NORTH = "N"
-    EAST = "E"
-    SOUTH = "S"
-    WEST = "W"
-    RAMP = "R"
+    An ``IntEnum`` so hot-path containers (route tables, link-busy maps,
+    offset/opposite lookups) hash and index members at C speed; the
+    values are contiguous so plain tuples can serve as port-indexed
+    tables.
+    """
+
+    NORTH = 0
+    EAST = 1
+    SOUTH = 2
+    WEST = 3
+    RAMP = 4
+
+    #: ``enum.Enum.__hash__`` is a Python-level function even for
+    #: IntEnum; pin the C-level int hash for dict-heavy hot paths.
+    __hash__ = int.__hash__
 
     @property
     def offset(self) -> tuple[int, int]:
@@ -56,6 +74,12 @@ _OPPOSITES = {
 
 #: The four fabric directions (everything but RAMP).
 CARDINAL_PORTS = (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST)
+
+#: Port-value-indexed tuples of the port tables for hot paths (direct
+#: sequence indexing skips both the enum property descriptor and dict
+#: hashing, which matters at per-link-hop call rates in the runtime).
+OFFSET = tuple(_OFFSETS[p] for p in Port)
+OPPOSITE = tuple(_OPPOSITES[p] for p in Port)
 
 #: Mapping from the mesh's cardinal X-Y connections to fabric ports.
 _PORT_OF_CONNECTION = {

@@ -9,11 +9,15 @@ Control wavelets (``KIND_CONTROL``) carry router commands instead of data:
 they advance the switch position of every router they traverse, which is
 how the *Sending*/*Receiving* roles alternate in the cardinal exchange
 (paper Fig. 6b).
+
+Messages are the unit of work of the event simulator: one is created per
+injection and (on true multicast fan-out) per fork, and every link hop
+reads :attr:`num_words`.  The class is therefore ``__slots__``-based,
+``num_words`` is computed once at construction, ``meta`` is allocated
+lazily, and :meth:`fork` copies validated state without re-validating.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -29,7 +33,6 @@ KIND_DATA = "data"
 KIND_CONTROL = "control"
 
 
-@dataclass
 class Message:
     """A train of same-color wavelets travelling together.
 
@@ -46,41 +49,59 @@ class Message:
     hops:
         Number of router-to-router links traversed so far (filled in by
         the runtime; used to assert the two-hop diagonal property).
+    num_words:
+        Number of 32-bit wavelets in the train, fixed at construction.
+        Data payloads count one word per element when 32-bit, two when
+        64-bit (the simulator allows float64 payloads for validation
+        runs; the paper's implementation is single precision).  Control
+        wavelets occupy a single word.
     """
 
-    color: int
-    payload: np.ndarray | None = None
-    kind: str = KIND_DATA
-    source: tuple[int, int] | None = None
-    hops: int = 0
-    meta: dict = field(default_factory=dict)
+    __slots__ = ("color", "payload", "kind", "source", "hops", "num_words", "_meta")
 
-    def __post_init__(self) -> None:
-        if self.kind not in (KIND_DATA, KIND_CONTROL):
-            raise ValueError(f"unknown message kind {self.kind!r}")
-        if self.kind == KIND_DATA:
-            if self.payload is None:
-                raise ValueError("data message requires a payload")
-            self.payload = np.atleast_1d(np.asarray(self.payload))
-            if self.payload.ndim != 1:
-                raise ValueError("payload must be one-dimensional")
-        elif self.payload is not None:
-            raise ValueError("control message must not carry a payload")
+    def __init__(
+        self,
+        color: int,
+        payload: np.ndarray | None = None,
+        kind: str = KIND_DATA,
+        source: tuple[int, int] | None = None,
+        hops: int = 0,
+        meta: dict | None = None,
+    ) -> None:
+        if kind == KIND_DATA:
+            if type(payload) is not np.ndarray:
+                if payload is None:
+                    raise ValueError("data message requires a payload")
+                payload = np.asarray(payload)
+            if payload.ndim != 1:
+                if payload.ndim == 0:
+                    payload = payload.reshape(1)
+                else:
+                    raise ValueError("payload must be one-dimensional")
+            words_per_element = payload.itemsize // WORD_BYTES
+            if words_per_element < 1:
+                words_per_element = 1
+            self.num_words = payload.size * words_per_element
+        elif kind == KIND_CONTROL:
+            if payload is not None:
+                raise ValueError("control message must not carry a payload")
+            self.num_words = 1
+        else:
+            raise ValueError(f"unknown message kind {kind!r}")
+        self.color = color
+        self.payload = payload
+        self.kind = kind
+        self.source = source
+        self.hops = hops
+        self._meta = dict(meta) if meta else None
 
     @property
-    def num_words(self) -> int:
-        """Number of 32-bit wavelets in the train.
-
-        Data payloads count one word per element when 32-bit, two when
-        64-bit (the simulator allows float64 payloads for validation runs;
-        the paper's implementation is single precision).  Control wavelets
-        occupy a single word.
-        """
-        if self.kind == KIND_CONTROL:
-            return 1
-        itemsize = self.payload.dtype.itemsize
-        words_per_element = max(1, itemsize // WORD_BYTES)
-        return self.payload.size * words_per_element
+    def meta(self) -> dict:
+        """Free-form per-message annotations (allocated on first use)."""
+        m = self._meta
+        if m is None:
+            m = self._meta = {}
+        return m
 
     @property
     def num_bytes(self) -> int:
@@ -89,12 +110,25 @@ class Message:
 
     def fork(self) -> "Message":
         """Copy for multicast fan-out; payload is shared (read-only by
-        convention: receivers copy into local buffers with FMOV)."""
-        return Message(
-            color=self.color,
-            payload=self.payload,
-            kind=self.kind,
-            source=self.source,
-            hops=self.hops,
-            meta=dict(self.meta),
+        convention: receivers copy into local buffers with FMOV).
+
+        The original message has already been validated, so the copy is
+        built directly without re-running payload validation.
+        """
+        clone = Message.__new__(Message)
+        clone.color = self.color
+        clone.payload = self.payload
+        clone.kind = self.kind
+        clone.source = self.source
+        clone.hops = self.hops
+        clone.num_words = self.num_words
+        meta = self._meta
+        clone._meta = dict(meta) if meta else None
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(color={self.color}, kind={self.kind!r}, "
+            f"num_words={self.num_words}, source={self.source}, "
+            f"hops={self.hops})"
         )

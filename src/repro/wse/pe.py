@@ -14,7 +14,7 @@ from typing import Callable
 
 from repro.wse.dsd import DsdEngine
 from repro.wse.memory import Scratchpad
-from repro.wse.packet import Message
+from repro.wse.packet import KIND_CONTROL, Message
 
 __all__ = ["ProcessingElement"]
 
@@ -22,7 +22,7 @@ __all__ = ["ProcessingElement"]
 Handler = Callable[["object", "ProcessingElement", Message], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessingElement:
     """One PE of the fabric.
 
@@ -47,6 +47,12 @@ class ProcessingElement:
     dsd: DsdEngine = field(default_factory=DsdEngine)
     busy_until: float = 0.0
     state: dict = field(default_factory=dict)
+    #: Start time / cycle counter of the task currently executing on this
+    #: PE (set by the runtime before each handler; read by
+    #: ``EventRuntime.pe_send_time``).  Plain attributes rather than
+    #: ``state`` entries: they are written on every delivery.
+    exec_start: float | None = None
+    cycles_at_start: float = 0.0
     messages_received: int = 0
     messages_sent: int = 0
     words_received: int = 0
@@ -70,8 +76,6 @@ class ProcessingElement:
 
     def handler_for(self, message: Message) -> Handler | None:
         """Handler to run for *message* (None when nothing is bound)."""
-        from repro.wse.packet import KIND_CONTROL
-
         if message.kind == KIND_CONTROL:
             return self._control_handlers.get(message.color)
         return self._handlers.get(message.color)

@@ -8,6 +8,14 @@ routing configurations — and a control wavelet advances the position as it
 traverses the router, which is how the cardinal exchange alternates a PE
 between *Sending* and *Receiving* roles (Fig. 6a: "two switch positions
 are defined for each PE for sending and receiving accordingly").
+
+Route lookups are the single hottest query of the event simulator (one
+per message per router traversal), so the router maintains a flattened
+``key -> outputs`` table of the *current* switch positions, keyed by the
+packed int ``(color << PORT_SHIFT) | in_port`` (ports fit in 3 bits).
+Each color's positions are also pre-flattened once at configure time, so
+:meth:`Router.advance` only pops the outgoing position's few keys and
+bulk-inserts the incoming one — no per-advance rebuild.
 """
 
 from __future__ import annotations
@@ -16,13 +24,20 @@ from dataclasses import dataclass, field
 
 from repro.wse.geometry import Port
 
-__all__ = ["Router", "ColorConfig", "RoutePosition"]
+__all__ = ["Router", "ColorConfig", "RoutePosition", "PORT_SHIFT"]
 
 #: One routing table: input port -> tuple of output ports.
 RoutePosition = dict[Port, tuple[Port, ...]]
 
+#: Bits reserved for the port in packed ``(color << PORT_SHIFT) | port``
+#: route-table keys (5 ports need 3 bits).
+PORT_SHIFT = 3
 
-@dataclass
+#: Flattened form of one switch position: packed key -> output ports.
+_FlatPosition = dict[int, tuple[Port, ...]]
+
+
+@dataclass(slots=True)
 class ColorConfig:
     """Routing state of one color at one router."""
 
@@ -38,7 +53,7 @@ class ColorConfig:
             for in_port, outs in pos.items():
                 if in_port in outs:
                     raise ValueError(
-                        f"routing loop: {in_port} forwards to itself"
+                        f"routing loop: {in_port!r} forwards to itself"
                     )
 
     def routes(self, in_port: Port) -> tuple[Port, ...]:
@@ -50,7 +65,15 @@ class ColorConfig:
         self.position = (self.position + 1) % len(self.positions)
 
 
-@dataclass
+def _flatten(color: int, positions: list[RoutePosition]) -> list[_FlatPosition]:
+    base = color << PORT_SHIFT
+    return [
+        {base | in_port: tuple(outs) for in_port, outs in pos.items()}
+        for pos in positions
+    ]
+
+
+@dataclass(slots=True)
 class Router:
     """The router of one PE.
 
@@ -64,6 +87,18 @@ class Router:
 
     coord: tuple[int, int]
     configs: dict[int, ColorConfig] = field(default_factory=dict)
+    #: Flattened ``(color << PORT_SHIFT) | in_port -> outputs`` table of
+    #: the *current* switch position of every configured color.
+    #: Maintained by :meth:`configure` and :meth:`advance`; read directly
+    #: by the event runtime's arrival hot path.
+    table: dict[int, tuple[Port, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Per-color pre-flattened switch positions, parallel to
+    #: ``configs[color].positions``.
+    _flat: dict[int, list[_FlatPosition]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def configure(
         self,
@@ -77,7 +112,35 @@ class Router:
             raise ValueError(
                 f"router {self.coord}: color {color} already configured"
             )
-        self.configs[color] = ColorConfig(list(positions), initial)
+        cfg = ColorConfig(list(positions), initial)
+        self.configs[color] = cfg
+        flat = self._flat[color] = _flatten(color, cfg.positions)
+        self.table.update(flat[cfg.position])
+
+    def _refresh(self, color: int, cfg: ColorConfig) -> None:
+        """Re-flatten *color* from scratch (positions may have been edited
+        in place) and reinstall its current position."""
+        table = self.table
+        base = color << PORT_SHIFT
+        for port in Port:
+            table.pop(base | port, None)
+        flat = self._flat[color] = _flatten(color, cfg.positions)
+        table.update(flat[cfg.position])
+
+    def refresh(self, color: int | None = None) -> None:
+        """Re-flatten the routes of *color* (all colors when None).
+
+        The flattened table snapshots each color's switch positions; code
+        that mutates a :class:`ColorConfig`'s positions in place (fault
+        injection, tests) must call this to make the edit visible to
+        routing.  :meth:`configure` and :meth:`advance` maintain the
+        table automatically.
+        """
+        if color is None:
+            for c, cfg in self.configs.items():
+                self._refresh(c, cfg)
+        else:
+            self._refresh(color, self.configs[color])
 
     def routes(self, color: int, in_port: Port) -> tuple[Port, ...]:
         """Output ports for a wavelet of *color* entering via *in_port*.
@@ -85,16 +148,23 @@ class Router:
         An unconfigured color drops traffic (empty route), matching
         hardware behaviour for colors with no routing entry.
         """
-        cfg = self.configs.get(color)
-        if cfg is None:
-            return ()
-        return cfg.routes(in_port)
+        return self.table.get((color << PORT_SHIFT) | in_port, ())
 
     def advance(self, color: int) -> None:
         """Advance the switch position of *color* (no-op when single-position)."""
         cfg = self.configs.get(color)
-        if cfg is not None:
-            cfg.advance()
+        if cfg is None:
+            return
+        flat = self._flat[color]
+        table = self.table
+        pos = cfg.position
+        for key in flat[pos]:
+            table.pop(key, None)
+        pos += 1
+        if pos == len(flat):
+            pos = 0
+        cfg.position = pos
+        table.update(flat[pos])
 
     def position(self, color: int) -> int:
         """Current switch position of *color*."""

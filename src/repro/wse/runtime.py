@@ -12,23 +12,46 @@ changes — while transporting whole trains per event for tractability.
 Correctness tests run real flux computations through it on small fabrics
 and compare against the NumPy reference bit-for-bit (modulo summation
 order).
+
+Hot-path design
+---------------
+The heap holds *typed events*: plain tuples ``(time, seq, kind, ...)``
+with an integer event kind, dispatched from :meth:`EventRuntime.run`
+without allocating a closure per hop.  Arrival events carry
+``(coord, in_port, message)`` inline; generic callbacks (used for
+per-application kick-off, not per hop) ride on the ``_EV_CALL`` kind.
+Fabric/router/perf lookups are cached on the runtime at construction, a
+message forwarded through a single-output route is passed on without a
+:meth:`~repro.wse.packet.Message.fork` (the copy is only needed on true
+multicast fan-out), and route queries hit the router's flattened current
+table directly.  :meth:`EventRuntime.reset` clears all per-run state so
+one runtime (and its link-busy map) can be reused across applications.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Callable
 
 from repro.wse.fabric import Fabric
-from repro.wse.geometry import Port, shift
+from repro.wse.geometry import OFFSET, OPPOSITE, Port
 from repro.wse.packet import KIND_CONTROL, KIND_DATA, Message
 from repro.wse.perf import WSE2, WsePerfModel
+from repro.wse.router import PORT_SHIFT
 
 __all__ = ["EventRuntime", "RuntimeStats"]
 
+#: Event kinds stored in heap entries.  ``_EV_CALL`` events carry
+#: ``(fn, args)``; ``_EV_ARRIVE`` events carry ``(coord, in_port, msg)``.
+_EV_CALL = 0
+_EV_ARRIVE = 1
 
-@dataclass
+#: Counters merged by taking the maximum rather than the sum.
+_MERGE_BY_MAX = frozenset({"max_hops_seen"})
+
+
+@dataclass(slots=True)
 class RuntimeStats:
     """Aggregate traffic/progress counters of one runtime."""
 
@@ -44,6 +67,22 @@ class RuntimeStats:
     def fabric_bytes_moved(self) -> int:
         """Total link traffic: every word counted once per hop."""
         return self.fabric_word_hops * 4
+
+    def merge(self, other: "RuntimeStats") -> "RuntimeStats":
+        """Accumulate *other* into this instance (returned for chaining).
+
+        Every dataclass field participates automatically — additive
+        counters sum, extremum counters (``max_hops_seen``) take the
+        maximum — so a counter added later cannot silently fall out of
+        aggregated totals.
+        """
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.name in _MERGE_BY_MAX:
+                setattr(self, f.name, max(mine, theirs))
+            else:
+                setattr(self, f.name, mine + theirs)
+        return self
 
 
 class EventRuntime:
@@ -73,35 +112,125 @@ class EventRuntime:
         self.stats = RuntimeStats()
         self.trace_log: list[tuple[float, tuple[int, int], Message]] = []
         self._trace = trace
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple] = []
         self._seq = 0
-        #: busy-until time of each directed link, keyed by (coord, out_port)
-        self._link_busy: dict[tuple[tuple[int, int], Port], float] = {}
+        #: busy-until time of each directed link, keyed by the packed int
+        #: ``(x << 16 | y) << 3 | out_port``
+        self._link_busy: dict[int, float] = {}
+        # hot-path caches: resolved once, read on every event
+        self._pes = fabric.pe_map
+        self._routers = fabric.router_map
+        self._width = fabric.width
+        self._height = fabric.height
+        self._hop_latency = perf.hop_latency_cycles
+        self._link_rate = perf.link_words_per_cycle
+        self._injection_overhead = perf.injection_overhead_cycles
+        #: coord -> port-indexed tuple of link destinations (None when the
+        #: link leaves the fabric): replaces per-hop coordinate arithmetic
+        #: and bounds checks with one lookup
+        width, height = self._width, self._height
+        self._dests: dict[tuple[int, int], tuple] = {
+            (x, y): tuple(
+                (x + dx, y + dy)
+                if 0 <= x + dx < width and 0 <= y + dy < height
+                else None
+                for dx, dy in OFFSET
+            )
+            for (x, y) in self._pes
+        }
+        #: coord -> bound ``table.get`` of that router's flattened route
+        #: table.  Routers mutate their table dict in place (never rebind
+        #: it), so the bound method stays valid across switch advances.
+        self._route_gets = {
+            coord: router.table.get for coord, router in self._routers.items()
+        }
 
     # ------------------------------------------------------------------ #
     # Scheduling primitives
     # ------------------------------------------------------------------ #
-    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
-        """Run *fn* at ``now + delay`` (FIFO-stable at equal times)."""
+    def schedule(self, delay: float, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` at ``now + delay`` (FIFO-stable at equal times)."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        heapq.heappush(
+            self._heap, (self.now + delay, self._seq, _EV_CALL, fn, args)
+        )
         self._seq += 1
+
+    def reset(self) -> None:
+        """Discard all per-run state, keeping the fabric/perf configuration.
+
+        Clears the event heap, simulation clock, link occupancy, counters
+        and trace so the runtime can be reused for the next application
+        without rebuilding (PE/router configuration is owned by the
+        fabric and survives untouched).
+        """
+        self._heap.clear()
+        self._seq = 0
+        self.now = 0.0
+        self._link_busy.clear()
+        self.stats = RuntimeStats()
+        self.trace_log.clear()
 
     def run(self, *, max_events: int | None = None) -> float:
         """Drain the event queue; return the final simulation time."""
+        heap = self._heap
+        pop = heapq.heappop
+        arrive = self._arrive
         processed = 0
-        while self._heap:
-            if max_events is not None and processed >= max_events:
-                raise RuntimeError(
-                    f"event budget exhausted after {processed} events "
-                    "(possible protocol livelock)"
-                )
-            time, _, fn = heapq.heappop(self._heap)
-            self.now = time
-            fn()
-            processed += 1
-            self.stats.events_processed += 1
+        try:
+            if max_events is None:
+                # common path: no budget check, and the _arrive body is
+                # inlined to drop one Python call per fabric event
+                routers = self._routers
+                route_gets = self._route_gets
+                deliver = self._deliver
+                transmit = self._transmit
+                stats = self.stats
+                while heap:
+                    event = pop(heap)
+                    self.now = event[0]
+                    processed += 1
+                    if event[2] == _EV_ARRIVE:
+                        coord = event[3]
+                        msg = event[5]
+                        outputs = route_gets[coord](
+                            (msg.color << PORT_SHIFT) | event[4]
+                        )
+                        if outputs:
+                            if len(outputs) == 1:
+                                out = outputs[0]
+                                if out is Port.RAMP:
+                                    deliver(coord, msg)
+                                else:
+                                    transmit(coord, out, msg)
+                            else:
+                                for out in outputs:
+                                    if out is Port.RAMP:
+                                        deliver(coord, msg.fork())
+                                    else:
+                                        transmit(coord, out, msg.fork())
+                        if msg.kind == KIND_CONTROL:
+                            routers[coord].advance(msg.color)
+                            stats.control_advances += 1
+                    else:
+                        event[3](*event[4])
+            else:
+                while heap:
+                    if processed >= max_events:
+                        raise RuntimeError(
+                            f"event budget exhausted after {processed} events "
+                            "(possible protocol livelock)"
+                        )
+                    event = pop(heap)
+                    self.now = event[0]
+                    processed += 1
+                    if event[2] == _EV_ARRIVE:
+                        arrive(event[3], event[4], event[5])
+                    else:
+                        event[3](*event[4])
+        finally:
+            self.stats.events_processed += processed
         return self.now
 
     @property
@@ -128,31 +257,48 @@ class EventRuntime:
         injection overhead); handlers use this to model sends issued after
         their compute finishes.
         """
-        pe = self.fabric.pe(*coord)
+        pe = self._pes.get(coord)
+        if pe is None:
+            pe = self.fabric.pe(*coord)  # raises with coordinate context
         msg = Message(color=color, payload=payload, kind=kind, source=coord)
         if meta:
             msg.meta.update(meta)
         pe.messages_sent += 1
         pe.words_sent += msg.num_words
-        entry = (at if at is not None else self.now) + (
-            self.perf.injection_overhead_cycles
-        )
+        entry = (at if at is not None else self.now) + self._injection_overhead
+        # entry time arithmetic mirrors schedule(delay) exactly
+        # (now + (entry - now)) so event timestamps — and therefore event
+        # order and summation order — stay bit-identical
+        delay = entry - self.now
+        if delay < 0.0:
+            delay = 0.0
         self.stats.messages_injected += 1
-        self.schedule(
-            max(0.0, entry - self.now),
-            lambda: self._arrive(coord, Port.RAMP, msg),
+        heapq.heappush(
+            self._heap,
+            (self.now + delay, self._seq, _EV_ARRIVE, coord, Port.RAMP, msg),
         )
+        self._seq += 1
         return msg
 
     def _arrive(self, coord: tuple[int, int], in_port: Port, msg: Message) -> None:
         """A message reaches the router at *coord* through *in_port*."""
-        router = self.fabric.router(*coord)
-        outputs = router.routes(msg.color, in_port)
-        for out in outputs:
-            if out is Port.RAMP:
-                self._deliver(coord, msg.fork())
+        router = self._routers[coord]
+        outputs = router.table.get((msg.color << PORT_SHIFT) | in_port)
+        if outputs:
+            if len(outputs) == 1:
+                # single-output route: forward the message itself —
+                # exactly one consumer ever sees it, so no copy is needed
+                out = outputs[0]
+                if out is Port.RAMP:
+                    self._deliver(coord, msg)
+                else:
+                    self._transmit(coord, out, msg)
             else:
-                self._transmit(coord, out, msg.fork())
+                for out in outputs:
+                    if out is Port.RAMP:
+                        self._deliver(coord, msg.fork())
+                    else:
+                        self._transmit(coord, out, msg.fork())
         if msg.kind == KIND_CONTROL:
             # the command advances this router's switch position after
             # being forwarded along the current configuration (Fig. 6b)
@@ -163,49 +309,71 @@ class EventRuntime:
         self, coord: tuple[int, int], out_port: Port, msg: Message
     ) -> None:
         """Send a train over the directed link (coord, out_port)."""
-        dest = shift(coord, out_port)
-        if not self.fabric.contains(dest):
+        dest = self._dests[coord][out_port]
+        if dest is None:
             self.stats.messages_dropped_offchip += 1
             return
-        key = (coord, out_port)
-        start = max(self.now, self._link_busy.get(key, 0.0))
-        duration = (
-            self.perf.hop_latency_cycles + self.perf.transfer_cycles(msg.num_words)
+        # directed-link key packed as an int (x, y, port) — cheaper to
+        # hash than a nested tuple at per-hop rates
+        key = (((coord[0] << 16) | coord[1]) << 3) | out_port
+        link_busy = self._link_busy
+        start = link_busy.get(key, 0.0)
+        if start < self.now:
+            start = self.now
+        words = msg.num_words
+        finish = start + self._hop_latency + words / self._link_rate
+        link_busy[key] = finish
+        stats = self.stats
+        stats.fabric_word_hops += words
+        hops = msg.hops + 1
+        msg.hops = hops
+        if hops > stats.max_hops_seen:
+            stats.max_hops_seen = hops
+        # same bit-exactness note as inject(): reproduce now + (finish - now)
+        heapq.heappush(
+            self._heap,
+            (
+                self.now + (finish - self.now),
+                self._seq,
+                _EV_ARRIVE,
+                dest,
+                OPPOSITE[out_port],
+                msg,
+            ),
         )
-        finish = start + duration
-        self._link_busy[key] = finish
-        self.stats.fabric_word_hops += msg.num_words
-        msg.hops += 1
-        self.stats.max_hops_seen = max(self.stats.max_hops_seen, msg.hops)
-        self.schedule(
-            finish - self.now,
-            lambda: self._arrive(dest, out_port.opposite, msg),
-        )
+        self._seq += 1
 
     def _deliver(self, coord: tuple[int, int], msg: Message) -> None:
         """Hand a message to the PE at *coord* and run its bound task."""
-        pe = self.fabric.pe(*coord)
+        pe = self._pes[coord]
         pe.messages_received += 1
         pe.words_received += msg.num_words
         self.stats.messages_delivered += 1
         if self._trace:
             self.trace_log.append((self.now, coord, msg))
-        handler = pe.handler_for(msg)
+        # inlined pe.handler_for(msg): one delivery per fabric message
+        if msg.kind == KIND_CONTROL:
+            handler = pe._control_handlers.get(msg.color)
+        else:
+            handler = pe._handlers.get(msg.color)
         if handler is None:
             return
-        start = max(self.now, pe.busy_until)
+        start = pe.busy_until
+        if start < self.now:
+            start = self.now
         cycles_before = pe.dsd.cycles
-        pe.state["_exec_start"] = start
-        pe.state["_cycles_at_start"] = cycles_before
+        pe.exec_start = start
+        pe.cycles_at_start = cycles_before
         handler(self, pe, msg)
         pe.busy_until = start + (pe.dsd.cycles - cycles_before)
 
     def pe_send_time(self, pe) -> float:
         """Time at which a send issued by the currently-running task of
         *pe* enters the fabric: after the compute executed so far."""
-        start = pe.state.get("_exec_start", self.now)
-        cycles_at_start = pe.state.get("_cycles_at_start", pe.dsd.cycles)
-        return start + (pe.dsd.cycles - cycles_at_start)
+        start = pe.exec_start
+        if start is None:  # no task context: sends enter immediately
+            return self.now
+        return start + (pe.dsd.cycles - pe.cycles_at_start)
 
     # ------------------------------------------------------------------ #
     def elapsed_seconds(self) -> float:

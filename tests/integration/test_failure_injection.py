@@ -29,8 +29,9 @@ class TestDataflowGuards:
         # sabotage: make PE (1,1) drop everything arriving from the west
         # on the eastward cardinal color
         color = wse.program.colors.lookup("card_east")
-        cfg = wse.program.fabric.router(1, 1).configs[color]
-        cfg.positions[1] = {}  # receiving position now drops
+        router = wse.program.fabric.router(1, 1)
+        router.configs[color].positions[1] = {}  # receiving position now drops
+        router.refresh(color)  # in-place edits must re-flatten the route table
         with pytest.raises(RuntimeError, match=r"PE \(1, 1\).*expected"):
             wse.run_single(random_pressure(mesh, seed=0))
 
@@ -40,9 +41,13 @@ class TestDataflowGuards:
         mesh = CartesianMesh3D(3, 3, 2)
         wse = WseFluxComputation(mesh, FLUID, dtype=np.float32)
         color = wse.program.colors.lookup("diag_se")
-        cfg = wse.program.fabric.router(1, 0).configs[color]
+        router = wse.program.fabric.router(1, 0)
         # remove the WEST -> SOUTH turn at the intermediary
-        cfg.positions[0] = {Port.RAMP: (Port.EAST,), Port.NORTH: (Port.RAMP,)}
+        router.configs[color].positions[0] = {
+            Port.RAMP: (Port.EAST,),
+            Port.NORTH: (Port.RAMP,),
+        }
+        router.refresh(color)  # in-place edits must re-flatten the route table
         with pytest.raises(RuntimeError, match="received"):
             wse.run_single(random_pressure(mesh, seed=0))
 

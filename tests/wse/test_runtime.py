@@ -261,3 +261,89 @@ class TestRunSafety:
         _, coord, msg = rt.trace_log[0]
         assert coord == (1, 0)
         assert isinstance(msg, Message)
+
+
+class TestResetAndReuse:
+    def test_reset_clears_per_run_state(self):
+        fabric, rt = make_runtime(2, 1)
+        fabric.configure_color(
+            COLOR, lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}]
+        )
+        fabric.bind_all(COLOR, lambda r, pe, m: None)
+        rt.inject((0, 0), COLOR, np.zeros(4, dtype=np.float32))
+        rt.run()
+        assert rt.now > 0.0
+        rt.reset()
+        assert rt.now == 0.0
+        assert rt.idle
+        assert rt.stats.events_processed == 0
+        assert rt.trace_log == []
+
+    def test_reuse_reproduces_timing_exactly(self):
+        """A reset runtime replays the same injection with the same
+        event timestamps — the basis of cross-application reuse."""
+        fabric, rt = make_runtime(2, 1)
+        fabric.configure_color(
+            COLOR, lambda c: [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.RAMP,)}]
+        )
+        times = []
+        fabric.bind_all(COLOR, lambda r, pe, m: times.append(r.now))
+        rt.inject((0, 0), COLOR, np.zeros(4, dtype=np.float32))
+        first_end = rt.run()
+        rt.reset()
+        rt.inject((0, 0), COLOR, np.zeros(4, dtype=np.float32))
+        second_end = rt.run()
+        assert first_end == second_end
+        assert times[0] == times[1]
+
+
+class TestRuntimeStatsMerge:
+    def test_merge_sums_counters_and_maxes_extrema(self):
+        from repro.wse.runtime import RuntimeStats
+
+        a = RuntimeStats(
+            events_processed=10,
+            messages_injected=2,
+            messages_delivered=3,
+            messages_dropped_offchip=1,
+            control_advances=4,
+            fabric_word_hops=100,
+            max_hops_seen=2,
+        )
+        b = RuntimeStats(
+            events_processed=5,
+            messages_injected=1,
+            messages_delivered=2,
+            messages_dropped_offchip=0,
+            control_advances=6,
+            fabric_word_hops=50,
+            max_hops_seen=7,
+        )
+        out = a.merge(b)
+        assert out is a  # merges in place, returns self for chaining
+        assert a.events_processed == 15
+        assert a.messages_injected == 3
+        assert a.messages_delivered == 5
+        assert a.messages_dropped_offchip == 1
+        assert a.control_advances == 10
+        assert a.fabric_word_hops == 150
+        assert a.max_hops_seen == 7  # extremum, not a sum
+
+    def test_merge_covers_every_field(self):
+        """A counter added to RuntimeStats later cannot silently fall
+        out of aggregation: merge() walks the dataclass fields."""
+        from dataclasses import fields
+
+        from repro.wse.runtime import RuntimeStats
+
+        a, b = RuntimeStats(), RuntimeStats()
+        for i, f in enumerate(fields(RuntimeStats), start=1):
+            setattr(b, f.name, i)
+        a.merge(b)
+        for i, f in enumerate(fields(RuntimeStats), start=1):
+            assert getattr(a, f.name) == i
+
+    def test_fabric_bytes_moved(self):
+        from repro.wse.runtime import RuntimeStats
+
+        assert RuntimeStats(fabric_word_hops=10).fabric_bytes_moved == 40
