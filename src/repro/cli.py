@@ -7,7 +7,10 @@ code:
 * ``validate`` — cross-validate all implementations on a chosen mesh;
 * ``scaling`` — the Table 2 weak-scaling projection;
 * ``listing`` — the pseudo-CSL program listing for a mesh;
-* ``inject``  — a quick implicit CO2-injection run.
+* ``inject``  — a quick implicit CO2-injection run;
+* ``trace``   — run any backend under observability and emit an
+  aggregated traffic report plus a Perfetto-loadable trace
+  (DESIGN.md Sec. 9).
 """
 
 from __future__ import annotations
@@ -59,6 +62,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_inj.add_argument("--steps", type=int, default=5)
     p_inj.add_argument("--dt", type=float, default=86400.0, help="step size [s]")
     p_inj.add_argument("--rate", type=float, default=0.5, help="kg/s")
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run under observability; emit traffic report + Perfetto trace",
+    )
+    p_tr.add_argument("--nx", type=int, default=6)
+    p_tr.add_argument("--ny", type=int, default=5)
+    p_tr.add_argument("--nz", type=int, default=4)
+    p_tr.add_argument(
+        "--applications", type=int, default=2, help="applications of Algorithm 1"
+    )
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument(
+        "--geomodel",
+        default="uniform",
+        choices=["uniform", "layered", "lognormal", "channelized"],
+    )
+    p_tr.add_argument(
+        "--backend",
+        default="event",
+        choices=["event", "lockstep", "gpu", "cluster"],
+        help="which implementation to run (fabric heatmaps need 'event')",
+    )
+    p_tr.add_argument(
+        "--variant", default="raja", choices=["raja", "cuda"],
+        help="kernel style for the gpu backend",
+    )
+    p_tr.add_argument("--px", type=int, default=2, help="cluster ranks along X")
+    p_tr.add_argument("--py", type=int, default=2, help="cluster ranks along Y")
+    p_tr.add_argument(
+        "--capacity", type=int, default=1024,
+        help="delivery ring-buffer capacity (aggregates are unaffected)",
+    )
+    p_tr.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write trace.json (Perfetto) and report.json (aggregates) here",
+    )
+    p_tr.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the run and print the hottest functions",
+    )
+    p_tr.add_argument(
+        "--profile-baseline", default=None, metavar="FILE",
+        help="diff the profile against a profile.json from a previous --out",
+    )
     return parser
 
 
@@ -252,6 +300,204 @@ def _cmd_inject(args, out) -> int:
     return 0 if err < 1e-5 else 1
 
 
+def _cmd_trace(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core import FluidProperties, random_pressure
+    from repro.obs import (
+        MetricsRegistry,
+        SpanRecorder,
+        chrome_trace_document,
+        consistency,
+        diff_rows,
+        load_rows,
+        profile_call,
+        profile_rows,
+        render_report,
+        render_rows,
+        report_document,
+        run_result_metrics,
+        runtime_stats_metrics,
+        save_rows,
+        set_recorder,
+        trace_sink_metrics,
+    )
+    from repro.util.reporting import Table
+    from repro.workloads import make_geomodel
+
+    mesh = make_geomodel(args.nx, args.ny, args.nz, kind=args.geomodel, seed=args.seed)
+    fluid = FluidProperties()
+    pressures = [
+        random_pressure(mesh, seed=args.seed + i) for i in range(args.applications)
+    ]
+    registry = MetricsRegistry()
+
+    def run_event():
+        from repro.dataflow import WseFluxComputation
+        from repro.dataflow.cardinal import CARDINAL_CHANNELS
+        from repro.dataflow.diagonal import DIAGONAL_CHANNELS
+
+        wse = WseFluxComputation(
+            mesh, fluid, trace=True, trace_capacity=args.capacity
+        )
+        names = {
+            wse.program.colors.lookup(ch.name): ch.name
+            for ch in (*CARDINAL_CHANNELS, *DIAGONAL_CHANNELS)
+        }
+        result = wse.run(pressures)
+        registry.register(
+            "runtime_stats", lambda: runtime_stats_metrics(result.stats)
+        )
+        registry.register("run_result", lambda: run_result_metrics(result))
+        registry.register("trace", lambda: trace_sink_metrics(wse.trace_sink))
+        return wse.trace_sink, result.stats, names
+
+    def run_lockstep():
+        from repro.dataflow import LockstepWseSimulation
+
+        sim = LockstepWseSimulation(mesh, fluid)
+        for p in pressures:
+            sim.run_application(p)
+        registry.register("lockstep", sim.report().as_metrics)
+        return None, None, None
+
+    def run_gpu():
+        from repro.gpu import GpuFluxComputation
+
+        gpu = GpuFluxComputation(mesh, fluid, variant=args.variant)
+        result = gpu.run(pressures)
+        registry.register(
+            "gpu",
+            lambda: {
+                "variant": args.variant,
+                "applications": result.applications,
+                "kernel_launches": result.kernel_launches,
+                "tiles_executed": result.tiles_executed,
+                "flops": result.flops,
+            },
+        )
+        return None, None, None
+
+    def run_cluster():
+        from repro.cluster.flux import ClusterFluxComputation
+
+        cluster = ClusterFluxComputation(mesh, fluid, px=args.px, py=args.py)
+        result = cluster.run(pressures)
+        registry.register("cluster", result.as_metrics)
+        return None, None, None
+
+    runners = {
+        "event": run_event,
+        "lockstep": run_lockstep,
+        "gpu": run_gpu,
+        "cluster": run_cluster,
+    }
+
+    recorder = SpanRecorder()
+    previous = set_recorder(recorder)
+    prof = None
+    try:
+        if args.profile:
+            (sink, stats, color_names), prof = profile_call(runners[args.backend])
+        else:
+            sink, stats, color_names = runners[args.backend]()
+    finally:
+        set_recorder(previous)
+
+    # calibrated analytic expectation alongside the measured counters
+    if args.backend == "gpu":
+        from repro.perf import A100_CUDA_TIME_MODEL, A100_RAJA_TIME_MODEL
+
+        model = (
+            A100_CUDA_TIME_MODEL if args.variant == "cuda" else A100_RAJA_TIME_MODEL
+        )
+    else:
+        from repro.perf import CS2_TIME_MODEL as model
+    registry.register(
+        "time_model",
+        lambda: model.as_metrics(args.nx, args.ny, args.nz, len(pressures)),
+    )
+    metrics = registry.collect()
+    span_summary = recorder.summary()
+
+    print(
+        f"backend {args.backend}: mesh {args.nx}x{args.ny}x{args.nz} "
+        f"({args.geomodel}), {len(pressures)} applications",
+        file=out,
+    )
+    if sink is not None:
+        print(
+            render_report(
+                sink,
+                stats=stats,
+                fabric_shape=(args.nx, args.ny),
+                color_names=color_names,
+                span_summary=span_summary,
+            ),
+            file=out,
+        )
+    else:
+        t = Table("Host phase spans", ["Span", "Count", "Total [s]", "Mean [s]"])
+        for name in sorted(span_summary):
+            row = span_summary[name]
+            t.add_row(
+                [
+                    name,
+                    str(int(row["count"])),
+                    f"{row['total_seconds']:.6f}",
+                    f"{row['mean_seconds']:.6f}",
+                ]
+            )
+        print(t.render(), file=out)
+        print(f"metric sources: {', '.join(registry.sources)}", file=out)
+
+    rows = None
+    if prof is not None:
+        rows = profile_rows(prof)
+        print("", file=out)
+        print("hottest functions (cumulative seconds):", file=out)
+        print(render_rows(rows), file=out)
+        if args.profile_baseline:
+            delta = diff_rows(load_rows(args.profile_baseline), rows)
+            print("", file=out)
+            print(f"profile delta vs {args.profile_baseline}:", file=out)
+            print(render_rows(delta), file=out)
+
+    if args.out:
+        outdir = Path(args.out)
+        outdir.mkdir(parents=True, exist_ok=True)
+        trace_path = outdir / "trace.json"
+        doc = chrome_trace_document(recorder, sink, color_names=color_names)
+        trace_path.write_text(json.dumps(doc) + "\n")
+        report = (
+            report_document(
+                sink,
+                stats=stats,
+                fabric_shape=(args.nx, args.ny),
+                color_names=color_names,
+                span_summary=span_summary,
+                extra={"metrics": metrics},
+            )
+            if sink is not None
+            else {"spans": span_summary, "metrics": metrics}
+        )
+        (outdir / "report.json").write_text(json.dumps(report, indent=2) + "\n")
+        if rows is not None:
+            save_rows(rows, outdir / "profile.json")
+        print("", file=out)
+        print(
+            f"wrote {trace_path} (open in https://ui.perfetto.dev) and "
+            f"{outdir / 'report.json'}",
+            file=out,
+        )
+
+    if sink is not None:
+        check = consistency(sink, stats)
+        return 0 if check["messages_match"] and check["word_hops_match"] else 1
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -266,6 +512,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_listing(args, out)
     if args.command == "inject":
         return _cmd_inject(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -23,6 +23,7 @@ from repro.core.fluid import FluidProperties
 from repro.core.mesh import CartesianMesh3D
 from repro.cluster.comm import CartGrid, SimComm
 from repro.cluster.decomposition import Block, BlockDecomposition
+from repro.obs.spans import span
 
 __all__ = ["ClusterFluxComputation", "ClusterRunResult"]
 
@@ -61,6 +62,16 @@ class ClusterRunResult:
     def halo_bytes_per_cell(self) -> float:
         """Halo traffic per owned cell per application."""
         return self.halo_bytes_per_application / self.residual.size
+
+    def as_metrics(self) -> dict:
+        """Counters as a plain dict for the obs metrics registry."""
+        return {
+            "applications": self.applications,
+            "ranks": self.ranks,
+            "messages_per_application": self.messages_per_application,
+            "halo_bytes_per_application": self.halo_bytes_per_application,
+            "total_bytes": self.total_bytes,
+        }
 
 
 class ClusterFluxComputation:
@@ -170,17 +181,23 @@ class ClusterFluxComputation:
         msgs_before = self.comm.total_messages()
         bytes_before = self.comm.total_bytes()
         for pressure in pressures:
-            self.mesh.validate_field(pressure, name="pressure")
-            self._scatter_owned(np.asarray(pressure, dtype=self.dtype))
-            self._halo_exchange()
-            for state in self._local:
-                block: Block = state["block"]
-                state["kernel"].residual(state["pressure"], out=state["residual"])
-                ys, xs = block.owned_slices_in_padded()
-                residual[:, block.y0 : block.y1, block.x0 : block.x1] = state[
-                    "residual"
-                ][:, ys, xs]
-            applications += 1
+            with span("cluster.application", backend="cluster",
+                      ranks=self.grid.size):
+                self.mesh.validate_field(pressure, name="pressure")
+                self._scatter_owned(np.asarray(pressure, dtype=self.dtype))
+                with span("cluster.halo_exchange"):
+                    self._halo_exchange()
+                with span("cluster.compute"):
+                    for state in self._local:
+                        block: Block = state["block"]
+                        state["kernel"].residual(
+                            state["pressure"], out=state["residual"]
+                        )
+                        ys, xs = block.owned_slices_in_padded()
+                        residual[
+                            :, block.y0 : block.y1, block.x0 : block.x1
+                        ] = state["residual"][:, ys, xs]
+                applications += 1
         if applications == 0:
             raise ValueError("no pressure fields supplied")
         self._applications += applications

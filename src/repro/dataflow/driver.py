@@ -26,6 +26,8 @@ from repro.core.fluid import FluidProperties
 from repro.core.mesh import CartesianMesh3D
 from repro.core.transmissibility import Transmissibility
 from repro.dataflow.program import FluxProgram
+from repro.obs.spans import span
+from repro.obs.trace import TraceSink
 from repro.wse.perf import WSE2, WsePerfModel
 from repro.wse.runtime import EventRuntime, RuntimeStats
 
@@ -140,6 +142,7 @@ class WseFluxComputation:
         pe_memory_bytes: int | None = None,
         pe_memory_reserved: int = 2048,
         trace: bool = False,
+        trace_capacity: int | None = 1024,
     ) -> None:
         kwargs = dict(
             mesh=mesh,
@@ -159,6 +162,12 @@ class WseFluxComputation:
         self.mesh = mesh
         self.perf = perf
         self.trace = trace
+        #: Streaming trace aggregation spanning every application of this
+        #: computation (the runtime's reset() does not clear it because
+        #: the driver owns it); None when tracing is off.
+        self.trace_sink: TraceSink | None = (
+            TraceSink(capacity=trace_capacity) if trace else None
+        )
         self.last_runtime: EventRuntime | None = None
 
     # ------------------------------------------------------------------ #
@@ -183,23 +192,31 @@ class WseFluxComputation:
         # one runtime serves every application: reset() clears the event
         # heap, clock, link-occupancy map and per-run stats without
         # rebuilding them per pressure field
-        rt = EventRuntime(program.fabric, self.perf, trace=self.trace)
+        rt = EventRuntime(program.fabric, self.perf, trace_sink=self.trace_sink)
         self.last_runtime = rt
         for pressure in pressures:
-            if applications:
-                rt.reset()
-            program.load_pressure(np.ascontiguousarray(pressure))
-            program.begin_application(rt)
-            rt.run()
-            program.verify_deliveries()
-            total_cycles += rt.now
-            applications += 1
-            totals.merge(rt.stats)
-            residual = program.gather_residual()
-            if keep_all:
-                residuals.append(residual.copy())
-            for pe in program.fabric.pes():
-                pe.busy_until = 0.0
+            with span("wse.application", backend="event") as sp:
+                if applications:
+                    rt.reset()
+                with span("wse.load_pressure"):
+                    program.load_pressure(np.ascontiguousarray(pressure))
+                program.begin_application(rt)
+                with span("wse.drain_events"):
+                    rt.run()
+                program.verify_deliveries()
+                total_cycles += rt.now
+                applications += 1
+                totals.merge(rt.stats)
+                with span("wse.gather_residual"):
+                    residual = program.gather_residual()
+                sp.set(
+                    events=rt.stats.events_processed,
+                    device_cycles=rt.now,
+                )
+                if keep_all:
+                    residuals.append(residual.copy())
+                for pe in program.fabric.pes():
+                    pe.busy_until = 0.0
         if applications == 0:
             raise ValueError("no pressure fields supplied")
         fabric = program.fabric

@@ -40,6 +40,7 @@ from repro.dataflow.flux_pe import (
     evaluate_density_column,
 )
 from repro.dataflow.program import padded_trans_fields
+from repro.obs.spans import span
 from repro.wse.dsd import DsdEngine
 
 __all__ = ["LockstepWseSimulation", "LockstepReport"]
@@ -60,6 +61,17 @@ class LockstepReport:
     def flops_per_cell_per_application(self) -> float:
         """Should approach 140 for large meshes (Sec. 7.3)."""
         return self.flops
+
+    def as_metrics(self) -> dict:
+        """Counters as a plain dict for the obs metrics registry."""
+        return {
+            "applications": self.applications,
+            "instruction_counts": dict(self.instruction_counts),
+            "flops": self.flops,
+            "fabric_words_received": self.fabric_words_received,
+            "fabric_word_hops": self.fabric_word_hops,
+            "compute_cycles": self.compute_cycles,
+        }
 
 
 class LockstepWseSimulation:
@@ -117,58 +129,64 @@ class LockstepWseSimulation:
         engine = self.engine
         self._residual.fill(0.0)
 
-        # Phase 1: local work on every PE (Eq. 5 densities + vertical fluxes)
-        evaluate_density_column(
-            engine,
-            p,
-            self._rho,
-            compressibility=self.fluid.compressibility,
-            reference_density=self.fluid.reference_density,
-            reference_pressure=self.fluid.reference_pressure,
-        )
-        if self.compute_fluxes:
-            for conn in (Connection.UP, Connection.DOWN):
-                local, neigh = interior_slices(shape, conn)
-                compute_face_flux_column(
+        with span("lockstep.application", backend="lockstep"):
+            # Phase 1: local work on every PE (Eq. 5 + vertical fluxes)
+            with span("lockstep.local"):
+                evaluate_density_column(
                     engine,
-                    self._scratch_for(local),
-                    p[local],
-                    p[neigh],
-                    self._elev[local],
-                    self._elev[neigh],
-                    self._rho[local],
-                    self._rho[neigh],
-                    self.trans_fields[conn][local],
-                    self._residual[local],
-                    gravity=self.gravity,
-                    inv_viscosity=self._inv_mu,
+                    p,
+                    self._rho,
+                    compressibility=self.fluid.compressibility,
+                    reference_density=self.fluid.reference_density,
+                    reference_pressure=self.fluid.reference_pressure,
                 )
-
-        # Phases 2-3: fabric exchanges (cardinal one hop, diagonal two hops)
-        for conns, hops in ((CARDINAL_XY, 1), (DIAGONAL_XY, 2)):
-            for conn in conns:
-                local, neigh = interior_slices(shape, conn)
-                halo_p = self._halo[0][local]
-                halo_rho = self._halo[1][local]
-                engine.fmovs(halo_p, p[neigh], from_fabric=True)
-                engine.fmovs(halo_rho, self._rho[neigh], from_fabric=True)
-                words = 2 * halo_p.size * self._words_per_element
-                self._fabric_word_hops += words * hops
                 if self.compute_fluxes:
-                    compute_face_flux_column(
-                        engine,
-                        self._scratch_for(local),
-                        p[local],
-                        halo_p,
-                        self._elev[local],
-                        self._elev[local],
-                        self._rho[local],
-                        halo_rho,
-                        self.trans_fields[conn][local],
-                        self._residual[local],
-                        gravity=self.gravity,
-                        inv_viscosity=self._inv_mu,
-                    )
+                    for conn in (Connection.UP, Connection.DOWN):
+                        local, neigh = interior_slices(shape, conn)
+                        compute_face_flux_column(
+                            engine,
+                            self._scratch_for(local),
+                            p[local],
+                            p[neigh],
+                            self._elev[local],
+                            self._elev[neigh],
+                            self._rho[local],
+                            self._rho[neigh],
+                            self.trans_fields[conn][local],
+                            self._residual[local],
+                            gravity=self.gravity,
+                            inv_viscosity=self._inv_mu,
+                        )
+
+            # Phases 2-3: fabric exchanges (cardinal 1 hop, diagonal 2)
+            for conns, hops, phase in (
+                (CARDINAL_XY, 1, "lockstep.cardinal"),
+                (DIAGONAL_XY, 2, "lockstep.diagonal"),
+            ):
+                with span(phase):
+                    for conn in conns:
+                        local, neigh = interior_slices(shape, conn)
+                        halo_p = self._halo[0][local]
+                        halo_rho = self._halo[1][local]
+                        engine.fmovs(halo_p, p[neigh], from_fabric=True)
+                        engine.fmovs(halo_rho, self._rho[neigh], from_fabric=True)
+                        words = 2 * halo_p.size * self._words_per_element
+                        self._fabric_word_hops += words * hops
+                        if self.compute_fluxes:
+                            compute_face_flux_column(
+                                engine,
+                                self._scratch_for(local),
+                                p[local],
+                                halo_p,
+                                self._elev[local],
+                                self._elev[local],
+                                self._rho[local],
+                                halo_rho,
+                                self.trans_fields[conn][local],
+                                self._residual[local],
+                                gravity=self.gravity,
+                                inv_viscosity=self._inv_mu,
+                            )
 
         self._applications += 1
         return self._residual.copy()

@@ -38,6 +38,7 @@ from repro.dataflow.cardinal import (
 from repro.dataflow.diagonal import DIAGONAL_CHANNELS, DiagonalChannel, static_position
 from repro.dataflow.flux_pe import compute_face_flux_column, evaluate_density_column
 from repro.dataflow.halos import PEColumnLayout
+from repro.obs.spans import span
 from repro.wse.color import ColorAllocator
 from repro.wse.fabric import Fabric
 from repro.wse.memory import WSE2_PE_MEMORY_BYTES
@@ -137,9 +138,14 @@ class FluxProgram:
         _scalar = np.dtype(self.dtype).type
         self._inv_viscosity = _scalar(1.0 / self.fluid.viscosity)
         self._gravity = _scalar(self.gravity)
-        self._setup_memory()
-        self._setup_routing()
-        self._setup_tasks()
+        with span("program.build", cat="build",
+                  fabric=f"{self.mesh.nx}x{self.mesh.ny}"):
+            with span("program.memory", cat="build"):
+                self._setup_memory()
+            with span("program.routing", cat="build"):
+                self._setup_routing()
+            with span("program.tasks", cat="build"):
+                self._setup_tasks()
 
     # ------------------------------------------------------------------ #
     # Memory (Sec. 5.1)

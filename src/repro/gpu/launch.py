@@ -99,6 +99,16 @@ class TiledLaunch:
         gx, gy, gz = self.grid_dims
         return gx * gy * gz
 
+    def describe(self) -> dict:
+        """Launch geometry as span/report arguments (plain scalars)."""
+        gx, gy, gz = self.grid_dims
+        return {
+            "grid": f"{gx}x{gy}x{gz}",
+            "blocks": self.num_blocks,
+            "threads_per_block": self.threads_per_block,
+            "clamp": self.clamp,
+        }
+
     def tiles(self) -> Iterator[Tile]:
         """Enumerate every threadblock's cell range.
 

@@ -27,6 +27,7 @@ from repro.gpu.device import A100_40GB, DeviceSpec, OccupancyModel
 from repro.gpu.launch import PAPER_TILE, Tile, TiledLaunch
 from repro.gpu.memory import DeviceMemoryManager, TransferLog
 from repro.gpu.raja import KernelPolicy, raja_kernel
+from repro.obs.spans import span
 
 __all__ = ["GpuFluxComputation", "GpuRunResult"]
 
@@ -159,15 +160,22 @@ class GpuFluxComputation:
 
     def _launch(self, body) -> int:
         """Dispatch one kernel with the configured launch style."""
-        if self.variant == "raja":
-            record = raja_kernel(
-                self.mesh.shape_zyx,
-                body,
-                policy=KernelPolicy(tile_xyz=self.tile_xyz),
+        with span(
+            f"gpu.{body.__name__.lstrip('_')}",
+            backend=f"gpu/{self.variant}",
+            **self._launch_helper.describe(),
+        ):
+            if self.variant == "raja":
+                record = raja_kernel(
+                    self.mesh.shape_zyx,
+                    body,
+                    policy=KernelPolicy(tile_xyz=self.tile_xyz),
+                )
+                return record.tiles_executed
+            record = cuda_kernel(
+                self.mesh.shape_zyx, body, tile_xyz=self.tile_xyz
             )
             return record.tiles_executed
-        record = cuda_kernel(self.mesh.shape_zyx, body, tile_xyz=self.tile_xyz)
-        return record.tiles_executed
 
     # ------------------------------------------------------------------ #
     def run(self, pressures) -> GpuRunResult:
@@ -175,15 +183,20 @@ class GpuFluxComputation:
         applications = 0
         host_residual = np.zeros(self.mesh.shape_zyx, dtype=self.dtype)
         for pressure in pressures:
-            self.mesh.validate_field(pressure, name="pressure")
-            self.dev.h2d("pressure", np.asarray(pressure, dtype=self.dtype))
-            self._tiles += self._launch(self._density_tile)
-            self._tiles += self._launch(self._flux_tile)
-            self._launches += 2
-            applications += 1
+            with span("gpu.application", backend=f"gpu/{self.variant}"):
+                self.mesh.validate_field(pressure, name="pressure")
+                with span("gpu.h2d"):
+                    self.dev.h2d(
+                        "pressure", np.asarray(pressure, dtype=self.dtype)
+                    )
+                self._tiles += self._launch(self._density_tile)
+                self._tiles += self._launch(self._flux_tile)
+                self._launches += 2
+                applications += 1
         if applications == 0:
             raise ValueError("no pressure fields supplied")
-        self.dev.d2h("residual", host_residual)
+        with span("gpu.d2h"):
+            self.dev.d2h("residual", host_residual)
         return GpuRunResult(
             residual=host_residual,
             applications=applications,

@@ -1,0 +1,87 @@
+"""Observability layer: streaming trace aggregation, spans, metrics.
+
+``repro.obs`` is the one place every backend reports through:
+
+* :mod:`repro.obs.trace` — bounded ring-buffer trace sink with O(1)
+  per-event aggregation (per-color histograms, latency distributions,
+  fabric link heatmaps) for the event runtime;
+* :mod:`repro.obs.spans` — span-based phase timers with Chrome
+  trace-event export (viewable in Perfetto), instrumenting the event
+  runtime driver, lockstep backend, GPU model, cluster communicator and
+  the Newton/Krylov solvers;
+* :mod:`repro.obs.metrics` — a registry unifying ``RuntimeStats``, DSD
+  instruction counts and the calibrated time models behind one
+  ``collect()`` / ``merge()`` / ``to_json()`` surface;
+* :mod:`repro.obs.report` — aggregated text/JSON reports and ASCII
+  fabric heatmaps;
+* :mod:`repro.obs.profile` — opt-in cProfile capture with
+  fixed-workload diffing (the flamegraph workflow).
+
+See DESIGN.md §9 and ``repro trace --help``.
+"""
+
+from repro.obs.profile import (
+    diff_rows,
+    load_rows,
+    profile_call,
+    profile_rows,
+    render_rows,
+    save_rows,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_metrics,
+    run_result_metrics,
+    runtime_stats_metrics,
+    trace_sink_metrics,
+)
+from repro.obs.report import (
+    consistency,
+    render_heatmap,
+    render_report,
+    report_document,
+)
+from repro.obs.spans import (
+    SpanRecorder,
+    chrome_trace_document,
+    get_recorder,
+    set_recorder,
+    span,
+    write_chrome_trace,
+)
+from repro.obs.trace import (
+    DeliveryRecord,
+    TraceSink,
+    latency_bucket_bounds,
+    pack_link,
+    unpack_link,
+)
+
+__all__ = [
+    "DeliveryRecord",
+    "TraceSink",
+    "pack_link",
+    "unpack_link",
+    "latency_bucket_bounds",
+    "SpanRecorder",
+    "span",
+    "get_recorder",
+    "set_recorder",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "MetricsRegistry",
+    "merge_metrics",
+    "runtime_stats_metrics",
+    "run_result_metrics",
+    "trace_sink_metrics",
+    "consistency",
+    "render_report",
+    "render_heatmap",
+    "report_document",
+    "profile_call",
+    "profile_rows",
+    "diff_rows",
+    "save_rows",
+    "load_rows",
+    "render_rows",
+]

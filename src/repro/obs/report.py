@@ -1,0 +1,177 @@
+"""Human-readable rendering of trace aggregates: tables and heatmaps.
+
+Turns a :class:`~repro.obs.trace.TraceSink` (plus optional
+``RuntimeStats`` and span summaries) into the aggregated text report
+the ``repro trace`` CLI prints: per-color traffic splits with hop
+histograms (the paper's Table 3/4 accounting signals), per-direction
+latency distributions, and an ASCII per-PE fabric heatmap.  The same
+content is available as a JSON document for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.trace import TraceSink, latency_bucket_bounds
+from repro.util.reporting import Table
+
+__all__ = ["render_report", "report_document", "render_heatmap", "consistency"]
+
+#: Glyph ramp for the ASCII heatmap, coldest to hottest.
+_HEAT_GLYPHS = " .:-=+*#%@"
+
+
+def consistency(sink: TraceSink, stats) -> dict:
+    """Cross-check the streaming aggregates against the runtime counters.
+
+    The per-color message counts must account for **exactly** the
+    deliveries the runtime counted, and the per-link word totals for
+    exactly its ``fabric_word_hops`` — the invariant behind trusting the
+    O(1) aggregation at benchmark scale.
+    """
+    per_color_total = sum(sink.color_messages.values())
+    return {
+        "per_color_messages": per_color_total,
+        "stats_messages_delivered": stats.messages_delivered,
+        "messages_match": per_color_total == stats.messages_delivered,
+        "link_word_hops": sink.link_word_hops,
+        "stats_fabric_word_hops": stats.fabric_word_hops,
+        "word_hops_match": sink.link_word_hops == stats.fabric_word_hops,
+    }
+
+
+def render_heatmap(sink: TraceSink, width: int, height: int) -> str:
+    """ASCII per-PE outbound-traffic heatmap (rows are fabric rows)."""
+    grid = sink.pe_heatmap(width, height)
+    peak = int(grid.max())
+    lines = [f"per-PE outbound words (peak {peak}):"]
+    if peak == 0:
+        scale = np.zeros_like(grid)
+    else:
+        scale = (grid * (len(_HEAT_GLYPHS) - 1) + peak - 1) // peak
+    for y in range(height):
+        row = "".join(_HEAT_GLYPHS[int(v)] for v in scale[y])
+        lines.append(f"  y={y:<3d} |{row}|")
+    return "\n".join(lines)
+
+
+def _latency_rows(sink: TraceSink) -> list[tuple[str, str]]:
+    """(direction, compact histogram) rows, dropping empty buckets."""
+    bounds = latency_bucket_bounds()
+    rows = []
+    for label, hist in sorted(sink.direction_latency.items()):
+        parts = []
+        for i, n in enumerate(hist):
+            if not n:
+                continue
+            lo, hi = bounds[i]
+            hi_txt = "inf" if hi == float("inf") else f"{int(hi)}"
+            parts.append(f"[{int(lo)},{hi_txt}): {n}")
+        rows.append((label, "  ".join(parts) or "-"))
+    return rows
+
+
+def render_report(
+    sink: TraceSink,
+    *,
+    stats=None,
+    fabric_shape: tuple[int, int] | None = None,
+    color_names: dict[int, str] | None = None,
+    span_summary: dict | None = None,
+) -> str:
+    """The aggregated observability report as printable text."""
+    names = color_names or {}
+    out = []
+    t = Table(
+        f"Per-color traffic ({sink.deliveries} deliveries, "
+        f"{len(sink.ring)} retained in ring)",
+        ["Color", "Channel", "Messages", "Words", "Hop histogram"],
+    )
+    for color in sorted(sink.color_messages):
+        hops = sink.color_hops.get(color, {})
+        hops_txt = ", ".join(
+            f"{h}:{n}" for h, n in sorted(hops.items())
+        )
+        t.add_row(
+            [
+                str(color),
+                names.get(color, "-"),
+                str(sink.color_messages[color]),
+                str(sink.color_words.get(color, 0)),
+                hops_txt,
+            ]
+        )
+    out.append(t.render())
+
+    lat = Table(
+        "Delivery latency by direction (cycles, log2 buckets)",
+        ["Direction", "Histogram"],
+    )
+    for label, hist_txt in _latency_rows(sink):
+        lat.add_row([label, hist_txt])
+    out.append("")
+    out.append(lat.render())
+
+    if fabric_shape is not None:
+        out.append("")
+        out.append(render_heatmap(sink, *fabric_shape))
+        waited = sum(sink.link_wait.values())
+        out.append(
+            f"link contention: {len(sink.link_wait)} links waited, "
+            f"{waited:.1f} cycles total"
+        )
+
+    if stats is not None:
+        check = consistency(sink, stats)
+        out.append("")
+        out.append(
+            "consistency: per-color messages "
+            f"{check['per_color_messages']} vs runtime "
+            f"{check['stats_messages_delivered']} "
+            f"({'OK' if check['messages_match'] else 'MISMATCH'}); "
+            f"link word-hops {check['link_word_hops']} vs runtime "
+            f"{check['stats_fabric_word_hops']} "
+            f"({'OK' if check['word_hops_match'] else 'MISMATCH'})"
+        )
+
+    if span_summary:
+        sp = Table(
+            "Host phase spans", ["Span", "Count", "Total [s]", "Mean [s]"]
+        )
+        for name in sorted(span_summary):
+            row = span_summary[name]
+            sp.add_row(
+                [
+                    name,
+                    str(int(row["count"])),
+                    f"{row['total_seconds']:.6f}",
+                    f"{row['mean_seconds']:.6f}",
+                ]
+            )
+        out.append("")
+        out.append(sp.render())
+    return "\n".join(out)
+
+
+def report_document(
+    sink: TraceSink,
+    *,
+    stats=None,
+    fabric_shape: tuple[int, int] | None = None,
+    color_names: dict[int, str] | None = None,
+    span_summary: dict | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """JSON-able version of :func:`render_report` for artifacts."""
+    doc = {"trace": sink.as_dict()}
+    if color_names:
+        doc["color_names"] = {str(c): n for c, n in color_names.items()}
+    if stats is not None:
+        doc["consistency"] = consistency(sink, stats)
+    if fabric_shape is not None:
+        doc["pe_heatmap"] = sink.pe_heatmap(*fabric_shape).tolist()
+    if span_summary is not None:
+        doc["spans"] = span_summary
+    if extra:
+        doc.update(extra)
+    return doc

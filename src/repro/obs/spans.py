@@ -1,0 +1,241 @@
+"""Span-based phase timers with Chrome trace-event export.
+
+Backends and solvers wrap their phases in ``with span("name"):`` blocks.
+When no recorder is installed (the default) :func:`span` returns a
+shared no-op context manager — one global read and one call per span,
+negligible at phase granularity — so instrumentation can stay in the
+code permanently.  When a :class:`SpanRecorder` is installed (the
+``repro trace`` CLI does this), every span records its wall-clock
+duration and optional key/value arguments, and the recorder exports the
+timeline as Chrome trace-event JSON that loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Simulated-fabric events from a :class:`~repro.obs.trace.TraceSink` ring
+can be merged into the same document on a second "process" track whose
+timestamps are simulation cycles, putting host phases and device
+protocol traffic side by side.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "span",
+    "get_recorder",
+    "set_recorder",
+    "chrome_trace_document",
+    "write_chrome_trace",
+]
+
+
+class Span:
+    """One recorded phase: name, category, wall-clock interval, args."""
+
+    __slots__ = ("name", "cat", "start_ns", "duration_ns", "tid", "args")
+
+    def __init__(self, name: str, cat: str, start_ns: int, tid: int) -> None:
+        self.name = name
+        self.cat = cat
+        self.start_ns = start_ns
+        self.duration_ns = 0
+        self.tid = tid
+        self.args: dict[str, Any] = {}
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+
+class _SpanContext:
+    """Context manager recording one span into a recorder."""
+
+    __slots__ = ("_recorder", "_span")
+
+    def __init__(self, recorder: "SpanRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+
+    def set(self, **args: Any) -> "_SpanContext":
+        """Attach key/value arguments (shown in the Perfetto detail pane)."""
+        self._span.args.update(args)
+        return self
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        sp = self._span
+        sp.duration_ns = self._recorder._clock() - sp.start_ns
+        self._recorder.spans.append(sp)
+
+
+class _NullSpan:
+    """Shared no-op span used when recording is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Collects :class:`Span` records; exports Chrome trace-event JSON."""
+
+    def __init__(self, clock=time.perf_counter_ns) -> None:
+        self._clock = clock
+        self._epoch_ns = clock()
+        self.spans: list[Span] = []
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, cat: str = "phase", **args: Any) -> _SpanContext:
+        """Open a span; closes (and records) when the ``with`` block exits."""
+        sp = Span(name, cat, self._clock(), threading.get_ident())
+        if args:
+            sp.args.update(args)
+        return _SpanContext(self, sp)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-span-name totals: count, total/mean seconds."""
+        out: dict[str, dict[str, float]] = {}
+        for sp in self.spans:
+            row = out.setdefault(
+                sp.name, {"count": 0, "total_seconds": 0.0}
+            )
+            row["count"] += 1
+            row["total_seconds"] += sp.duration_seconds
+        for row in out.values():
+            row["mean_seconds"] = row["total_seconds"] / row["count"]
+            row["total_seconds"] = round(row["total_seconds"], 9)
+            row["mean_seconds"] = round(row["mean_seconds"], 9)
+        return out
+
+    def trace_events(self) -> list[dict]:
+        """Chrome trace-event dicts (``ph: "X"`` complete events, µs)."""
+        epoch = self._epoch_ns
+        events = []
+        for sp in self.spans:
+            event = {
+                "name": sp.name,
+                "cat": sp.cat,
+                "ph": "X",
+                "ts": (sp.start_ns - epoch) / 1e3,
+                "dur": sp.duration_ns / 1e3,
+                "pid": 1,
+                "tid": sp.tid % 100000,
+            }
+            if sp.args:
+                event["args"] = sp.args
+            events.append(event)
+        return events
+
+
+def chrome_trace_document(
+    recorder: SpanRecorder | None = None,
+    sink=None,
+    *,
+    color_names: dict[int, str] | None = None,
+) -> dict:
+    """Assemble one Perfetto-loadable document.
+
+    Host-side spans (wall-clock µs) go on pid 1; the delivery timeline
+    retained in *sink*'s ring goes on pid 2 with simulation **cycles**
+    as the time unit, one thread row per fabric row so spatial structure
+    is visible.  *color_names* maps routing colors to channel names for
+    readable event titles.
+    """
+    events: list[dict] = []
+    if recorder is not None:
+        events.extend(recorder.trace_events())
+    if sink is not None:
+        names = color_names or {}
+        for rec in sink.timeline():
+            msg = rec.message
+            label = names.get(msg.color, f"color{msg.color}")
+            events.append(
+                {
+                    "name": f"{label} -> PE{rec.coord}",
+                    "cat": "fabric",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": rec.time,
+                    "pid": 2,
+                    "tid": rec.coord[1],
+                    "args": {
+                        "color": msg.color,
+                        "kind": msg.kind,
+                        "source": str(msg.source),
+                        "hops": msg.hops,
+                        "words": msg.num_words,
+                    },
+                }
+            )
+    metadata = [
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": "host (wall clock)"}},
+        {"name": "process_name", "ph": "M", "pid": 2,
+         "args": {"name": "fabric (simulated cycles as us)"}},
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+# --------------------------------------------------------------------- #
+# Module-level recorder: the instrumentation entry point
+# --------------------------------------------------------------------- #
+_RECORDER: SpanRecorder | None = None
+
+
+def get_recorder() -> SpanRecorder | None:
+    """The currently installed recorder (None when disabled)."""
+    return _RECORDER
+
+
+def set_recorder(recorder: SpanRecorder | None) -> SpanRecorder | None:
+    """Install (or, with None, remove) the process-wide recorder.
+
+    Returns the previous recorder so callers can restore it.
+    """
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
+
+def span(name: str, cat: str = "phase", **args: Any):
+    """Open a phase span on the installed recorder (no-op when disabled).
+
+    Usage::
+
+        with span("newton.iteration", solver="bicgstab") as sp:
+            ...
+            sp.set(iterations=lin.iterations)
+    """
+    rec = _RECORDER
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(name, cat, **args)
+
+
+def write_chrome_trace(path, recorder=None, sink=None, *, color_names=None) -> None:
+    """Serialize :func:`chrome_trace_document` to *path* as JSON."""
+    doc = chrome_trace_document(recorder, sink, color_names=color_names)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)

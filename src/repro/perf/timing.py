@@ -173,6 +173,27 @@ class Cs2TimeModel:
             "Total": (total, 100.0),
         }
 
+    def as_metrics(
+        self, nx: int, ny: int, nz: int, applications: int = PAPER_ITERATIONS
+    ) -> dict:
+        """Model predictions as a plain dict for the obs metrics registry.
+
+        Surfaces the Table-3 comm/compute split so aggregated trace
+        reports can show the calibrated expectation next to measured
+        counters.
+        """
+        split = self.time_split(nx, ny, nz, applications)
+        return {
+            "model": "cs2",
+            "mesh": f"{nx}x{ny}x{nz}",
+            "applications": applications,
+            "seconds": split["Total"][0],
+            "data_movement_seconds": split["Data Movement"][0],
+            "computation_seconds": split["Computation"][0],
+            "data_movement_percent": split["Data Movement"][1],
+            "computation_percent": split["Computation"][1],
+        }
+
 
 @dataclass(frozen=True)
 class GpuTimeModel:
@@ -225,6 +246,18 @@ class GpuTimeModel:
     ) -> float:
         """Kernel time for a batch of applications."""
         return applications * self.seconds_per_application(nx, ny, nz)
+
+    def as_metrics(
+        self, nx: int, ny: int, nz: int, applications: int = PAPER_ITERATIONS
+    ) -> dict:
+        """Model predictions as a plain dict for the obs metrics registry."""
+        return {
+            "model": self.name,
+            "mesh": f"{nx}x{ny}x{nz}",
+            "applications": applications,
+            "seconds": self.seconds(nx, ny, nz, applications),
+            "launch_overhead_seconds": self.launch_overhead_seconds,
+        }
 
 
 #: Module-level calibrated instances (fitting is cheap and deterministic).

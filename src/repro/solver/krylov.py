@@ -10,14 +10,37 @@ preconditioning via a ``psolve`` callable (e.g. Jacobi from
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro.obs.spans import span
+
 __all__ = ["KrylovResult", "conjugate_gradient", "bicgstab", "jacobi_preconditioner"]
 
 MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+def _spanned(name: str):
+    """Wrap a Krylov solve in an obs span recording its convergence."""
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(name, cat="solver") as sp:
+                result = fn(*args, **kwargs)
+                sp.set(
+                    iterations=result.iterations,
+                    converged=result.converged,
+                    residual_norm=result.residual_norm,
+                )
+                return result
+
+        return wrapper
+
+    return deco
 
 
 @dataclass
@@ -50,6 +73,7 @@ def jacobi_preconditioner(diagonal: np.ndarray) -> MatVec:
     return psolve
 
 
+@_spanned("krylov.cg")
 def conjugate_gradient(
     matvec: MatVec,
     b: np.ndarray,
@@ -96,6 +120,7 @@ def conjugate_gradient(
     return KrylovResult(x, False, max_iterations, history[-1], history)
 
 
+@_spanned("krylov.bicgstab")
 def bicgstab(
     matvec: MatVec,
     b: np.ndarray,

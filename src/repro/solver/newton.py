@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.spans import span
 from repro.solver.krylov import bicgstab, jacobi_preconditioner
 from repro.solver.operators import FlowResidual, MatrixFreeJacobian
 
@@ -73,36 +74,43 @@ def newton_solve(
         return NewtonResult(p, True, 0, r0_norm, history, 0)
 
     for it in range(1, max_iterations + 1):
-        jac = MatrixFreeJacobian(residual, p)
-        psolve = jacobi_preconditioner(jac.diagonal())
-        lin = bicgstab(
-            jac.matvec,
-            -r.ravel(),
-            rtol=linear_rtol,
-            max_iterations=10 * jac.n,
-            psolve=psolve,
-        )
-        linear_total += lin.iterations
-        dp = lin.x.reshape(mesh.shape_zyx)
+        with span("newton.iteration", cat="solver", iteration=it) as sp:
+            jac = MatrixFreeJacobian(residual, p)
+            psolve = jacobi_preconditioner(jac.diagonal())
+            lin = bicgstab(
+                jac.matvec,
+                -r.ravel(),
+                rtol=linear_rtol,
+                max_iterations=10 * jac.n,
+                psolve=psolve,
+            )
+            linear_total += lin.iterations
+            dp = lin.x.reshape(mesh.shape_zyx)
 
-        # backtracking line search on the residual norm
-        step = 1.0
-        best_norm = None
-        for _ in range(max_line_search):
-            p_try = p + step * dp
-            r_try = residual(p_try, mass_old)
-            norm_try = float(np.abs(r_try).max())
-            if norm_try < history[-1]:
-                best_norm = norm_try
-                break
-            step *= 0.5
-        if best_norm is None:
-            p_try = p + step * dp
-            r_try = residual(p_try, mass_old)
-            best_norm = float(np.abs(r_try).max())
+            # backtracking line search on the residual norm
+            with span("newton.line_search", cat="solver"):
+                step = 1.0
+                best_norm = None
+                for _ in range(max_line_search):
+                    p_try = p + step * dp
+                    r_try = residual(p_try, mass_old)
+                    norm_try = float(np.abs(r_try).max())
+                    if norm_try < history[-1]:
+                        best_norm = norm_try
+                        break
+                    step *= 0.5
+                if best_norm is None:
+                    p_try = p + step * dp
+                    r_try = residual(p_try, mass_old)
+                    best_norm = float(np.abs(r_try).max())
 
-        p, r = p_try, r_try
-        history.append(best_norm)
+            p, r = p_try, r_try
+            history.append(best_norm)
+            sp.set(
+                linear_iterations=lin.iterations,
+                residual_norm=best_norm,
+                step=step,
+            )
         if best_norm <= target:
             return NewtonResult(p, True, it, best_norm, history, linear_total)
 

@@ -49,6 +49,10 @@ class Message:
     hops:
         Number of router-to-router links traversed so far (filled in by
         the runtime; used to assert the two-hop diagonal property).
+    born:
+        Simulation time at which the message entered the fabric (filled
+        in by the runtime on injection); delivery time minus ``born`` is
+        the end-to-end latency aggregated by the trace sink.
     num_words:
         Number of 32-bit wavelets in the train, fixed at construction.
         Data payloads count one word per element when 32-bit, two when
@@ -57,7 +61,9 @@ class Message:
         wavelets occupy a single word.
     """
 
-    __slots__ = ("color", "payload", "kind", "source", "hops", "num_words", "_meta")
+    __slots__ = (
+        "color", "payload", "kind", "source", "hops", "born", "num_words", "_meta"
+    )
 
     def __init__(
         self,
@@ -93,6 +99,7 @@ class Message:
         self.kind = kind
         self.source = source
         self.hops = hops
+        self.born = 0.0
         self._meta = dict(meta) if meta else None
 
     @property
@@ -121,6 +128,7 @@ class Message:
         clone.kind = self.kind
         clone.source = self.source
         clone.hops = self.hops
+        clone.born = self.born
         clone.num_words = self.num_words
         meta = self._meta
         clone._meta = dict(meta) if meta else None

@@ -99,6 +99,12 @@ class Router:
     _flat: dict[int, list[_FlatPosition]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Per-color control-advance counts since construction, feeding the
+    #: observability report's per-channel switch accounting (the runtime
+    #: only keeps the fabric-wide total in ``RuntimeStats``).
+    advance_counts: dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def configure(
         self,
@@ -155,6 +161,8 @@ class Router:
         cfg = self.configs.get(color)
         if cfg is None:
             return
+        counts = self.advance_counts
+        counts[color] = counts.get(color, 0) + 1
         flat = self._flat[color]
         table = self.table
         pos = cfg.position

@@ -95,8 +95,18 @@ class EventRuntime:
     perf:
         Cost model converting words and instruction elements to cycles.
     trace:
-        When True, every delivery is appended to :attr:`trace_log` as
-        ``(time, coord, message)`` for debugging and protocol tests.
+        When True, deliveries and link hops stream into a bounded
+        :class:`~repro.obs.trace.TraceSink` (O(1) memory per event):
+        per-color histograms, latency distributions and the link-traffic
+        heatmap aggregate on the fly, and the last ``trace_capacity``
+        deliveries stay inspectable via :attr:`trace_log`.
+    trace_capacity:
+        Ring size of the internally-created sink (``None`` keeps every
+        delivery — debugging-scale fabrics only).
+    trace_sink:
+        Use this sink instead of creating one (implies ``trace=True``).
+        Externally-owned sinks survive :meth:`reset`, so one sink can
+        aggregate a whole multi-application run.
     """
 
     def __init__(
@@ -105,13 +115,36 @@ class EventRuntime:
         perf: WsePerfModel = WSE2,
         *,
         trace: bool = False,
+        trace_capacity: int | None = 1024,
+        trace_sink=None,
     ) -> None:
         self.fabric = fabric
         self.perf = perf
         self.now: float = 0.0
         self.stats = RuntimeStats()
-        self.trace_log: list[tuple[float, tuple[int, int], Message]] = []
-        self._trace = trace
+        if trace_sink is not None:
+            self.trace_sink = trace_sink
+            self._owns_sink = False
+        elif trace:
+            from repro.obs.trace import TraceSink
+
+            self.trace_sink = TraceSink(capacity=trace_capacity)
+            self._owns_sink = True
+        else:
+            self.trace_sink = None
+            self._owns_sink = False
+        self._trace = self.trace_sink is not None
+        if self._trace:
+            from repro.obs.trace import LATENCY_BUCKETS
+
+            global _LATENCY_BUCKETS
+            _LATENCY_BUCKETS = LATENCY_BUCKETS
+            # cached sink internals: the per-delivery and per-hop trace
+            # branches are inlined against these (see TraceSink.delivery
+            # for the reference implementation of the aggregation)
+            self._sink_ring_append = self.trace_sink._ring_append
+            self._sink_agg = self.trace_sink._agg
+            self._sink_links = self.trace_sink._links
         self._heap: list[tuple] = []
         self._seq = 0
         #: busy-until time of each directed link, keyed by the packed int
@@ -157,20 +190,35 @@ class EventRuntime:
         )
         self._seq += 1
 
+    @property
+    def trace_log(self) -> list:
+        """The retained delivery timeline as ``(time, coord, message)``
+        records (named-tuple :class:`~repro.obs.trace.DeliveryRecord`
+        entries; empty when tracing is off).
+
+        Backwards-compatible view of what used to be an unbounded list:
+        only the sink ring's last ``capacity`` deliveries are retained.
+        """
+        if self.trace_sink is None:
+            return []
+        return list(self.trace_sink.ring)
+
     def reset(self) -> None:
         """Discard all per-run state, keeping the fabric/perf configuration.
 
         Clears the event heap, simulation clock, link occupancy, counters
-        and trace so the runtime can be reused for the next application
-        without rebuilding (PE/router configuration is owned by the
-        fabric and survives untouched).
+        and (internally-owned) trace sink so the runtime can be reused
+        for the next application without rebuilding (PE/router
+        configuration is owned by the fabric and survives untouched; an
+        externally-provided sink keeps aggregating across resets).
         """
         self._heap.clear()
         self._seq = 0
         self.now = 0.0
         self._link_busy.clear()
         self.stats = RuntimeStats()
-        self.trace_log.clear()
+        if self._owns_sink:
+            self.trace_sink.clear()
 
     def run(self, *, max_events: int | None = None) -> float:
         """Drain the event queue; return the final simulation time."""
@@ -273,6 +321,7 @@ class EventRuntime:
         if delay < 0.0:
             delay = 0.0
         self.stats.messages_injected += 1
+        msg.born = self.now + delay
         heapq.heappush(
             self._heap,
             (self.now + delay, self._seq, _EV_ARRIVE, coord, Port.RAMP, msg),
@@ -325,6 +374,16 @@ class EventRuntime:
         link_busy[key] = finish
         stats = self.stats
         stats.fabric_word_hops += words
+        if self._trace:
+            # streaming link accounting: one dict lookup per hop keeps
+            # traced runs within the benchmark's overhead gate
+            agg = self._sink_links.get(key)
+            if agg is None:
+                agg = self._sink_links[key] = [0, 0.0]
+            agg[0] += words
+            wait = start - self.now
+            if wait > 0.0:
+                agg[1] += wait
         hops = msg.hops + 1
         msg.hops = hops
         if hops > stats.max_hops_seen:
@@ -350,7 +409,26 @@ class EventRuntime:
         pe.words_received += msg.num_words
         self.stats.messages_delivered += 1
         if self._trace:
-            self.trace_log.append((self.now, coord, msg))
+            # inlined TraceSink.delivery (call overhead matters here)
+            now = self.now
+            self._sink_ring_append((now, coord, msg))
+            source = msg.source
+            if source is None:
+                sdx = sdy = 2
+            else:
+                dx = coord[0] - source[0]
+                dy = coord[1] - source[1]
+                sdx = (dx > 0) - (dx < 0)
+                sdy = (dy > 0) - (dy < 0)
+            bucket = int(now - msg.born).bit_length()
+            if bucket >= _LATENCY_BUCKETS:
+                bucket = _LATENCY_BUCKETS - 1
+            key = (msg.color, msg.hops, sdx, sdy, bucket)
+            agg = self._sink_agg.get(key)
+            if agg is None:
+                agg = self._sink_agg[key] = [0, 0]
+            agg[0] += 1
+            agg[1] += msg.num_words
         # inlined pe.handler_for(msg): one delivery per fabric message
         if msg.kind == KIND_CONTROL:
             handler = pe._control_handlers.get(msg.color)

@@ -1,0 +1,121 @@
+"""Metrics registry: collect / merge / to_json and the adapters."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_metrics,
+    runtime_stats_metrics,
+    trace_sink_metrics,
+)
+from repro.obs.trace import TraceSink
+from repro.wse.runtime import RuntimeStats
+
+
+class TestMergeMetrics:
+    def test_additive_counters_sum(self):
+        out = merge_metrics({"events": 10, "words": 2.5}, {"events": 5, "words": 0.5})
+        assert out == {"events": 15, "words": 3.0}
+
+    def test_max_named_keys_take_maximum(self):
+        into = {"max_hops_seen": 3, "rss_peak": 100, "hops": 3}
+        merge_metrics(into, {"max_hops_seen": 7, "rss_peak": 80, "hops": 7})
+        assert into["max_hops_seen"] == 7  # extremum
+        assert into["rss_peak"] == 100  # extremum
+        assert into["hops"] == 10  # plain counter sums
+
+    def test_nested_dicts_recurse(self):
+        into = {"fabric": {"word_hops": 100, "max_queue": 4}}
+        merge_metrics(into, {"fabric": {"word_hops": 50, "max_queue": 9}})
+        assert into == {"fabric": {"word_hops": 150, "max_queue": 9}}
+
+    def test_missing_keys_adopted(self):
+        into = {}
+        merge_metrics(into, {"a": 1, "nested": {"b": 2}})
+        assert into == {"a": 1, "nested": {"b": 2}}
+
+    def test_non_numeric_keeps_first(self):
+        into = {"model": "cs2", "ok": True}
+        merge_metrics(into, {"model": "a100", "ok": False})
+        assert into["model"] == "cs2"
+        assert into["ok"] is True  # bools are not summed into 1
+
+
+class TestRegistry:
+    def test_collect_snapshots_every_source(self):
+        reg = MetricsRegistry()
+        reg.register("runtime", lambda: {"events": 3})
+        reg.register("solver", lambda: {"iterations": 7})
+        assert reg.sources == ("runtime", "solver")
+        assert reg.collect() == {
+            "runtime": {"events": 3},
+            "solver": {"iterations": 7},
+        }
+
+    def test_duplicate_name_rejected_unless_replace(self):
+        reg = MetricsRegistry()
+        reg.register("x", lambda: {})
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("x", lambda: {})
+        reg.register("x", lambda: {"v": 1}, replace=True)
+        assert reg.collect() == {"x": {"v": 1}}
+
+    def test_unregister_is_idempotent(self):
+        reg = MetricsRegistry()
+        reg.register("x", lambda: {})
+        reg.unregister("x")
+        reg.unregister("x")  # absent: no error
+        assert reg.sources == ()
+
+    def test_merge_folds_per_application_snapshots(self):
+        reg = MetricsRegistry()
+        counters = {"events": 0, "max_hops_seen": 0}
+        reg.register("runtime", lambda: dict(counters))
+        counters.update(events=10, max_hops_seen=2)
+        first = reg.collect()
+        counters.update(events=4, max_hops_seen=5)
+        second = reg.collect()
+        merged = reg.merge(first, second)
+        assert merged["runtime"] == {"events": 14, "max_hops_seen": 5}
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.register("a", lambda: {"n": 1})
+        assert json.loads(reg.to_json()) == {"a": {"n": 1}}
+
+    def test_to_json_handles_numpy_scalars(self):
+        np = pytest.importorskip("numpy")
+        reg = MetricsRegistry()
+        reg.register("a", lambda: {"n": np.int64(5), "x": np.float32(0.5)})
+        doc = json.loads(reg.to_json())
+        assert doc["a"]["n"] == 5
+        assert doc["a"]["x"] == 0.5
+
+
+class TestAdapters:
+    def test_runtime_stats_adapter_includes_derived_bytes(self):
+        stats = RuntimeStats(messages_delivered=3, fabric_word_hops=10)
+        out = runtime_stats_metrics(stats)
+        assert out["messages_delivered"] == 3
+        assert out["fabric_bytes_moved"] == stats.fabric_bytes_moved
+
+    def test_adapter_merge_agrees_with_runtime_stats_merge(self):
+        """The registry's merge convention must reproduce
+        RuntimeStats.merge for the runtime's own counters."""
+        a = RuntimeStats(events_processed=10, fabric_word_hops=100,
+                         max_hops_seen=2)
+        b = RuntimeStats(events_processed=5, fabric_word_hops=50,
+                         max_hops_seen=7)
+        via_registry = merge_metrics(
+            runtime_stats_metrics(a), runtime_stats_metrics(b)
+        )
+        a.merge(b)
+        expect = runtime_stats_metrics(a)
+        # fabric_bytes_moved is derived (word_hops * 4) so it also sums
+        assert via_registry == expect
+
+    def test_trace_sink_adapter_is_as_dict(self):
+        sink = TraceSink()
+        assert trace_sink_metrics(sink) == sink.as_dict()

@@ -1,0 +1,83 @@
+"""cProfile capture, JSON persistence, and fixed-workload diffing."""
+
+from repro.obs.profile import (
+    diff_rows,
+    load_rows,
+    profile_call,
+    profile_rows,
+    render_rows,
+    save_rows,
+)
+
+
+def workload():
+    total = 0
+    for i in range(1000):
+        total += i * i
+    return total
+
+
+class TestProfileCall:
+    def test_returns_result_and_stats(self):
+        result, stats = profile_call(workload)
+        assert result == workload()
+        rows = profile_rows(stats)
+        assert rows, "profiling a real call yields at least one row"
+        names = [r["function"] for r in rows]
+        assert any("workload" in n for n in names)
+
+    def test_rows_sorted_by_cumtime_and_limited(self):
+        _, stats = profile_call(workload)
+        rows = profile_rows(stats, limit=2)
+        assert len(rows) <= 2
+        cums = [r["cumtime"] for r in rows]
+        assert cums == sorted(cums, reverse=True)
+        for row in rows:
+            assert set(row) == {"function", "ncalls", "tottime", "cumtime"}
+
+
+class TestDiff:
+    def test_diff_covers_both_sides(self):
+        baseline = [
+            {"function": "a.py:1:hot", "ncalls": 10, "tottime": 1.0, "cumtime": 2.0},
+            {"function": "a.py:9:gone", "ncalls": 5, "tottime": 0.5, "cumtime": 0.5},
+        ]
+        current = [
+            {"function": "a.py:1:hot", "ncalls": 12, "tottime": 0.4, "cumtime": 1.1},
+            {"function": "b.py:3:new", "ncalls": 7, "tottime": 0.2, "cumtime": 0.2},
+        ]
+        rows = {r["function"]: r for r in diff_rows(baseline, current)}
+        assert rows["a.py:1:hot"]["tottime_delta"] == -0.6
+        assert rows["a.py:1:hot"]["ncalls_delta"] == 2
+        # eliminated functions diff against zero (show as negative)
+        assert rows["a.py:9:gone"]["tottime_delta"] == -0.5
+        # new hot spots surface as positive deltas
+        assert rows["b.py:3:new"]["tottime_delta"] == 0.2
+
+    def test_diff_sorted_by_absolute_self_cost_shift(self):
+        baseline = [
+            {"function": "f", "ncalls": 1, "tottime": 1.0, "cumtime": 1.0},
+            {"function": "g", "ncalls": 1, "tottime": 0.1, "cumtime": 0.1},
+        ]
+        current = [
+            {"function": "f", "ncalls": 1, "tottime": 0.9, "cumtime": 0.9},
+            {"function": "g", "ncalls": 1, "tottime": 0.9, "cumtime": 0.9},
+        ]
+        rows = diff_rows(baseline, current)
+        assert rows[0]["function"] == "g"  # |+0.8| ranks above |-0.1|
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        rows = [{"function": "x", "ncalls": 3, "tottime": 0.25, "cumtime": 0.5}]
+        path = tmp_path / "profile.json"
+        save_rows(rows, path)
+        assert load_rows(path) == rows
+
+    def test_render_rows(self):
+        rows = [{"function": "x.py:1:f", "ncalls": 3, "tottime": 0.25,
+                 "cumtime": 0.5}]
+        text = render_rows(rows)
+        assert "x.py:1:f" in text
+        assert "tottime" in text.splitlines()[0]
+        assert render_rows([]) == "(no profile rows)"

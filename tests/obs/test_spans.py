@@ -1,0 +1,143 @@
+"""Span recorder: timing, summaries, Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    SpanRecorder,
+    chrome_trace_document,
+    get_recorder,
+    set_recorder,
+    span,
+    write_chrome_trace,
+)
+from repro.obs.trace import TraceSink
+
+
+class FakeClock:
+    """Deterministic nanosecond clock advancing a fixed step per read."""
+
+    def __init__(self, step_ns=1000):
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class FakeMsg:
+    def __init__(self, color=0, hops=1, source=(0, 0), born=0.0,
+                 num_words=4, kind="data"):
+        self.color = color
+        self.hops = hops
+        self.source = source
+        self.born = born
+        self.num_words = num_words
+        self.kind = kind
+
+
+@pytest.fixture(autouse=True)
+def no_global_recorder():
+    """Tests must not leak a recorder into the rest of the suite."""
+    previous = set_recorder(None)
+    yield
+    set_recorder(previous)
+
+
+class TestRecorder:
+    def test_records_duration_and_args(self):
+        rec = SpanRecorder(clock=FakeClock(step_ns=500))
+        with rec.span("newton.iteration", solver="bicgstab") as sp:
+            sp.set(iterations=4)
+        (recorded,) = rec.spans
+        assert recorded.name == "newton.iteration"
+        assert recorded.duration_ns == 500  # one clock tick inside the span
+        assert recorded.args == {"solver": "bicgstab", "iterations": 4}
+
+    def test_summary_totals_and_means(self):
+        rec = SpanRecorder(clock=FakeClock(step_ns=1000))
+        for _ in range(3):
+            with rec.span("apply"):
+                pass
+        with rec.span("setup"):
+            pass
+        summary = rec.summary()
+        assert summary["apply"]["count"] == 3
+        assert summary["apply"]["total_seconds"] == pytest.approx(3e-6)
+        assert summary["apply"]["mean_seconds"] == pytest.approx(1e-6)
+        assert summary["setup"]["count"] == 1
+
+    def test_clear(self):
+        rec = SpanRecorder(clock=FakeClock())
+        with rec.span("x"):
+            pass
+        rec.clear()
+        assert rec.spans == []
+
+
+class TestModuleLevelSpan:
+    def test_disabled_is_shared_noop(self):
+        a = span("anything")
+        b = span("else")
+        assert a is b  # one shared null object: no per-span allocation
+        with a as sp:
+            assert sp.set(key=1) is sp  # .set is a no-op, chains fine
+
+    def test_set_recorder_returns_previous(self):
+        rec = SpanRecorder(clock=FakeClock())
+        assert set_recorder(rec) is None
+        assert get_recorder() is rec
+        with span("phase"):
+            pass
+        assert [sp.name for sp in rec.spans] == ["phase"]
+        assert set_recorder(None) is rec
+        assert get_recorder() is None
+
+
+class TestChromeExport:
+    def test_span_events_are_complete_events(self):
+        rec = SpanRecorder(clock=FakeClock(step_ns=2000))
+        with rec.span("krylov.solve", cat="solver"):
+            pass
+        (event,) = rec.trace_events()
+        assert event["ph"] == "X"
+        assert event["cat"] == "solver"
+        assert event["pid"] == 1
+        assert event["ts"] >= 0 and event["dur"] == pytest.approx(2.0)
+
+    def test_document_merges_spans_and_fabric_instants(self):
+        rec = SpanRecorder(clock=FakeClock())
+        with rec.span("run"):
+            pass
+        sink = TraceSink()
+        sink.delivery(12.0, (2, 1), FakeMsg(color=5, hops=2))
+        doc = chrome_trace_document(rec, sink, color_names={5: "tx_east"})
+        doc = json.loads(json.dumps(doc))  # must be JSON-serializable
+        assert doc["displayTimeUnit"]
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i"} <= phases  # metadata + spans + deliveries
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["pid"] == 2
+        assert instant["ts"] == 12.0  # simulation cycles, not wall clock
+        assert instant["tid"] == 1  # one Perfetto row per fabric row
+        assert "tx_east" in instant["name"]
+        assert instant["args"]["hops"] == 2
+
+    def test_unknown_color_gets_fallback_label(self):
+        sink = TraceSink()
+        sink.delivery(1.0, (0, 0), FakeMsg(color=9))
+        doc = chrome_trace_document(None, sink)
+        (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert "color9" in instant["name"]
+
+    def test_write_chrome_trace(self, tmp_path):
+        rec = SpanRecorder(clock=FakeClock())
+        with rec.span("io"):
+            pass
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, rec)
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])

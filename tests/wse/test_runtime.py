@@ -347,3 +347,43 @@ class TestRuntimeStatsMerge:
         from repro.wse.runtime import RuntimeStats
 
         assert RuntimeStats(fabric_word_hops=10).fabric_bytes_moved == 40
+
+    def test_merge_of_real_runs(self):
+        """Merging stats from two live runs: counters add, extrema max.
+
+        Run A drops its message off-chip; run B delivers over a 2-hop
+        path — the merged stats must show both the drop and the hop
+        extremum alongside summed traffic counters."""
+        from repro.wse.runtime import RuntimeStats
+
+        fabric_a, rt_a = make_runtime()
+        fabric_a.configure_color(COLOR, lambda c: [{Port.RAMP: (Port.WEST,)}])
+        rt_a.inject((0, 0), COLOR, np.zeros(1, dtype=np.float32))
+        rt_a.run()
+
+        fabric_b, rt_b = make_runtime()
+        fabric_b.configure_color(
+            COLOR,
+            lambda c: [
+                {
+                    Port.RAMP: (Port.EAST,),
+                    Port.WEST: (Port.SOUTH,),
+                    Port.NORTH: (Port.RAMP,),
+                }
+            ],
+        )
+        fabric_b.bind_all(COLOR, lambda r, pe, m: None)
+        rt_b.inject((0, 0), COLOR, np.zeros(4, dtype=np.float32))
+        rt_b.run()
+
+        merged = RuntimeStats().merge(rt_a.stats).merge(rt_b.stats)
+        assert merged.messages_injected == 2
+        assert merged.messages_dropped_offchip == 1  # only run A dropped
+        assert merged.messages_delivered == rt_b.stats.messages_delivered
+        assert merged.max_hops_seen == 2  # run B's extremum wins
+        assert merged.fabric_word_hops == (
+            rt_a.stats.fabric_word_hops + rt_b.stats.fabric_word_hops
+        )
+        assert merged.events_processed == (
+            rt_a.stats.events_processed + rt_b.stats.events_processed
+        )
