@@ -29,6 +29,9 @@ trace_overhead:
 lockstep:
     The vectorized lockstep backend on the same workload, so
     cross-backend throughput trends live in one file.
+gpu_model:
+    The GPU execution-model backend (RAJA-style tiled kernels) on the
+    same workload — the last backend that was untracked here.
 
 Usage
 -----
@@ -224,6 +227,37 @@ def bench_lockstep(
     }
 
 
+def bench_gpu(
+    nx: int, ny: int, nz: int, applications: int, *, repeats: int = 3
+) -> dict:
+    """GPU-model-backend throughput on the event benchmark's workload."""
+    from repro.gpu import GpuFluxComputation
+
+    mesh = CartesianMesh3D(nx, ny, nz)
+    fluid = FluidProperties()
+    trans = Transmissibility(mesh)
+    gpu = GpuFluxComputation(mesh, fluid, trans, variant="raja", dtype=np.float32)
+    seq = PressureSequence(mesh, num_applications=applications, seed=7)
+    pressures = [seq.field(i) for i in range(applications)]
+    gpu.run(pressures)  # warm-up
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = gpu.run(pressures)
+        best = min(best, time.perf_counter() - t0)
+    cells = mesh.num_cells * applications
+    return {
+        "mesh": [nx, ny, nz],
+        "applications": applications,
+        "variant": "raja",
+        "wall_seconds": round(best, 6),
+        "mcells_per_sec": round(cells / best / 1e6, 6),
+        "kernel_launches": result.kernel_launches,
+        "tiles_executed": result.tiles_executed,
+    }
+
+
 def bench_peak_fabric(budget_seconds: float, *, nz: int = 8) -> dict:
     """Largest square fabric whose single application fits the budget."""
     fluid = FluidProperties()
@@ -264,12 +298,14 @@ def measure_entry(*, smoke_only: bool, budget_seconds: float, repeats: int) -> d
     entry["trace_overhead"] = bench_trace_overhead(**TRACE_WORKLOAD, repeats=repeats)
     if smoke_only:
         entry["lockstep"] = bench_lockstep(**SMOKE_WORKLOAD, repeats=repeats)
+        entry["gpu_model"] = bench_gpu(**SMOKE_WORKLOAD, repeats=repeats)
     else:
         entry["main"] = bench_flux(**MAIN_WORKLOAD, repeats=repeats)
         entry["main"]["events_per_calib_op"] = round(
             entry["main"]["events_per_sec"] / calib, 6
         )
         entry["lockstep"] = bench_lockstep(**MAIN_WORKLOAD, repeats=repeats)
+        entry["gpu_model"] = bench_gpu(**MAIN_WORKLOAD, repeats=repeats)
         entry["peak_fabric"] = bench_peak_fabric(budget_seconds)
     return entry
 

@@ -10,7 +10,9 @@ code:
 * ``inject``  — a quick implicit CO2-injection run;
 * ``trace``   — run any backend under observability and emit an
   aggregated traffic report plus a Perfetto-loadable trace
-  (DESIGN.md Sec. 9).
+  (DESIGN.md Sec. 9);
+* ``chaos``   — run the backends under a deterministic fault plan and
+  report which faults were detected and recovered (DESIGN.md Sec. 10).
 """
 
 from __future__ import annotations
@@ -106,6 +108,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument(
         "--profile-baseline", default=None, metavar="FILE",
         help="diff the profile against a profile.json from a previous --out",
+    )
+
+    p_ch = sub.add_parser(
+        "chaos",
+        help="inject a seeded fault plan; report detected/recovered faults",
+    )
+    p_ch.add_argument("--nx", type=int, default=4)
+    p_ch.add_argument("--ny", type=int, default=4)
+    p_ch.add_argument("--nz", type=int, default=3)
+    p_ch.add_argument(
+        "--seed", type=int, default=7,
+        help="fault-plan seed (same seed => same plan and outcomes)",
+    )
+    p_ch.add_argument("--px", type=int, default=2, help="cluster ranks along X")
+    p_ch.add_argument("--py", type=int, default=2, help="cluster ranks along Y")
+    p_ch.add_argument(
+        "--watchdog", type=float, default=20_000.0, metavar="CYCLES",
+        help="progress-watchdog threshold in device cycles",
+    )
+    p_ch.add_argument(
+        "--steps", type=int, default=4,
+        help="implicit solver steps for the checkpoint/restart drill",
+    )
+    p_ch.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="load a FaultPlan JSON instead of the seeded plan",
+    )
+    p_ch.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the chaos report (plan + outcomes) as JSON",
     )
     return parser
 
@@ -498,6 +530,35 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.faults import FaultPlan, run_chaos
+
+    plan = None
+    if args.plan:
+        plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
+    report = run_chaos(
+        plan,
+        nx=args.nx,
+        ny=args.ny,
+        nz=args.nz,
+        seed=args.seed,
+        px=args.px,
+        py=args.py,
+        watchdog_cycles=args.watchdog,
+        steps=args.steps,
+    )
+    print(report.render(), file=out)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {path}", file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -514,6 +575,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_inject(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -6,7 +6,7 @@ as a simulated rank grid with explicit tagged messaging, an 8-neighbour
 halo exchange per application, and an alpha-beta cost model.
 """
 
-from repro.cluster.comm import CartGrid, RankStats, SimComm
+from repro.cluster.comm import CartGrid, RankStats, RetryPolicy, SimComm
 from repro.cluster.decomposition import Block, BlockDecomposition
 from repro.cluster.flux import ClusterFluxComputation, ClusterRunResult
 from repro.cluster.perf import ClusterPerfModel
@@ -14,6 +14,7 @@ from repro.cluster.perf import ClusterPerfModel
 __all__ = [
     "SimComm",
     "RankStats",
+    "RetryPolicy",
     "CartGrid",
     "Block",
     "BlockDecomposition",

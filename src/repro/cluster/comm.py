@@ -16,11 +16,13 @@ no pickling).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SimComm", "RankStats", "CartGrid"]
+from repro.faults.errors import CommTimeoutError, PendingLeakError
+
+__all__ = ["SimComm", "RankStats", "CartGrid", "RetryPolicy"]
 
 
 @dataclass
@@ -31,6 +33,35 @@ class RankStats:
     messages_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    sends_dropped: int = 0
+    retransmissions: int = 0
+    retry_waits: int = 0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Receive timeout/retry with exponential backoff.
+
+    ``attempts`` retries are made after a missing receive, waiting
+    ``base_delay * multiplier**attempt`` (simulated) seconds before each
+    — the standard MPI-over-lossy-transport recovery shape.  The waits
+    accumulate in :attr:`SimComm.waited_seconds` so experiments can
+    charge recovery time against the run.
+    """
+
+    attempts: int = 3
+    base_delay: float = 1e-6
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("retry policy needs attempts >= 1")
+        if self.base_delay < 0 or self.multiplier < 1.0:
+            raise ValueError("retry policy needs base_delay >= 0, multiplier >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number *attempt* (0-based)."""
+        return self.base_delay * self.multiplier**attempt
 
 
 class SimComm:
@@ -40,23 +71,44 @@ class SimComm:
     before it is received is an error (halo exchange never does), as is
     receiving a message that was never sent — both are real MPI bugs the
     simulator surfaces instead of deadlocking.
+
+    A :class:`~repro.faults.injector.FaultInjector` with rank failures
+    makes `isend` silently drop traffic touching a down rank (what a
+    crashed peer looks like from the transport); `recv` then recovers
+    through its retry hook, and :meth:`barrier` fails fast on any send
+    that was never matched.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, *, faults=None) -> None:
         if size < 1:
             raise ValueError("communicator size must be >= 1")
         self.size = size
         self._mailbox: dict[tuple[int, int, int], np.ndarray] = {}
         self.stats = [RankStats() for _ in range(size)]
+        self.faults = faults
+        self._fault_check = faults is not None and faults.rank_active
+        #: Simulated seconds spent in retry backoff waits.
+        self.waited_seconds = 0.0
 
     def _check_rank(self, rank: int, what: str) -> None:
         if not 0 <= rank < self.size:
             raise ValueError(f"{what} rank {rank} outside communicator of size {self.size}")
 
     def isend(self, source: int, dest: int, tag: int, array: np.ndarray) -> None:
-        """Buffered nonblocking send of a contiguous array."""
+        """Buffered nonblocking send of a contiguous array.
+
+        With a rank-failure injector attached, a send touching a down
+        rank is dropped on the floor (counted in ``sends_dropped``) —
+        exactly what a crashed endpoint looks like to the transport.
+        """
         self._check_rank(source, "source")
         self._check_rank(dest, "dest")
+        if self._fault_check and (
+            self.faults.rank_down(source) or self.faults.rank_down(dest)
+        ):
+            self.stats[source].sends_dropped += 1
+            self.faults.stats.sends_dropped += 1
+            return
         key = (source, dest, tag)
         if key in self._mailbox:
             raise RuntimeError(f"unmatched earlier send on {key}")
@@ -66,34 +118,89 @@ class SimComm:
         st.messages_sent += 1
         st.bytes_sent += payload.nbytes
 
-    def recv(self, dest: int, source: int, tag: int) -> np.ndarray:
+    def recv(
+        self,
+        dest: int,
+        source: int,
+        tag: int,
+        *,
+        retry: RetryPolicy | None = None,
+        on_missing=None,
+    ) -> np.ndarray:
         """Receive the message sent by *source* to *dest* under *tag*.
+
+        Parameters
+        ----------
+        retry:
+            Timeout/retry-with-backoff policy.  Each missing match waits
+            the policy's backoff (accumulated in
+            :attr:`waited_seconds`), invokes ``on_missing`` and polls
+            again.
+        on_missing:
+            ``on_missing(source, dest, tag, attempt)`` callback run
+            before each retry poll — the hook the cluster layer uses to
+            trigger a sender-side retransmission.
 
         Raises
         ------
-        RuntimeError
-            When no matching send exists (a would-be deadlock).
+        CommTimeoutError
+            When no matching send exists (a would-be deadlock), even
+            after exhausting the retry budget.
         """
         key = (source, dest, tag)
         payload = self._mailbox.pop(key, None)
+        if payload is None and retry is not None:
+            st = self.stats[dest]
+            for attempt in range(retry.attempts):
+                st.retry_waits += 1
+                self.waited_seconds += retry.delay(attempt)
+                if on_missing is not None:
+                    on_missing(source, dest, tag, attempt)
+                payload = self._mailbox.pop(key, None)
+                if payload is not None:
+                    break
+            else:
+                raise CommTimeoutError(source, dest, tag, retry.attempts)
         if payload is None:
-            raise RuntimeError(
-                f"recv would deadlock: no message from rank {source} to "
-                f"rank {dest} with tag {tag}"
-            )
+            raise CommTimeoutError(source, dest, tag)
         st = self.stats[dest]
         st.messages_received += 1
         st.bytes_received += payload.nbytes
         return payload
+
+    def barrier(self, phase: str = "") -> None:
+        """Phase-end assertion: every send must have been received.
+
+        Raises
+        ------
+        PendingLeakError
+            When sent-but-unreceived messages remain (leaked sends) —
+            failing fast at the phase boundary instead of deadlocking a
+            later receive.
+        """
+        if self._mailbox:
+            raise PendingLeakError(phase, sorted(self._mailbox))
 
     @property
     def pending(self) -> int:
         """Sent-but-unreceived messages (must be 0 between phases)."""
         return len(self._mailbox)
 
-    def total_bytes(self) -> int:
-        """Bytes moved through the communicator so far."""
-        return sum(st.bytes_sent for st in self.stats)
+    def total_bytes(self, *, side: str = "sent") -> int:
+        """Bytes moved through the communicator so far.
+
+        ``side`` selects the accounting side: ``"sent"`` (default),
+        ``"received"``, or ``"both"``.  Sent and received totals only
+        differ when traffic was dropped by a fault (or is still
+        pending) — symmetry tests compare the two.
+        """
+        if side == "sent":
+            return sum(st.bytes_sent for st in self.stats)
+        if side == "received":
+            return sum(st.bytes_received for st in self.stats)
+        if side == "both":
+            return sum(st.bytes_sent + st.bytes_received for st in self.stats)
+        raise ValueError(f"side must be 'sent', 'received' or 'both', got {side!r}")
 
     def total_messages(self) -> int:
         """Messages moved through the communicator so far."""

@@ -21,7 +21,7 @@ from repro.core import constants
 from repro.core.flux import FluxKernel
 from repro.core.fluid import FluidProperties
 from repro.core.mesh import CartesianMesh3D
-from repro.cluster.comm import CartGrid, SimComm
+from repro.cluster.comm import CartGrid, RetryPolicy, SimComm
 from repro.cluster.decomposition import Block, BlockDecomposition
 from repro.obs.spans import span
 
@@ -57,6 +57,8 @@ class ClusterRunResult:
     messages_per_application: int
     halo_bytes_per_application: int
     total_bytes: int
+    retransmissions: int = 0
+    recovery_seconds: float = 0.0
 
     @property
     def halo_bytes_per_cell(self) -> float:
@@ -71,6 +73,8 @@ class ClusterRunResult:
             "messages_per_application": self.messages_per_application,
             "halo_bytes_per_application": self.halo_bytes_per_application,
             "total_bytes": self.total_bytes,
+            "retransmissions": self.retransmissions,
+            "recovery_seconds": self.recovery_seconds,
         }
 
 
@@ -85,6 +89,14 @@ class ClusterFluxComputation:
         Process grid dimensions.
     dtype:
         Floating dtype of the exchanged/computed fields.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector` with
+        transient rank failures; the halo exchange then recovers lost
+        strips by retransmitting under *retry*.
+    retry:
+        Receive :class:`~repro.cluster.comm.RetryPolicy`; defaults to a
+        3-attempt exponential backoff when *faults* is given, else no
+        retry (missing receives fail fast exactly as before).
     """
 
     def __init__(
@@ -96,6 +108,8 @@ class ClusterFluxComputation:
         py: int,
         gravity: float = constants.GRAVITY,
         dtype=np.float64,
+        faults=None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.mesh = mesh
         self.fluid = fluid
@@ -103,7 +117,11 @@ class ClusterFluxComputation:
         self.dtype = np.dtype(dtype)
         self.grid = CartGrid(px, py)
         self.decomp = BlockDecomposition(mesh, px, py)
-        self.comm = SimComm(self.grid.size)
+        self.faults = faults
+        self.retry = retry if retry is not None else (
+            RetryPolicy() if faults is not None else None
+        )
+        self.comm = SimComm(self.grid.size, faults=faults)
         # per-rank state: local padded mesh + flux kernel + pressure buffer
         self._local = []
         for block in self.decomp.blocks:
@@ -140,22 +158,46 @@ class ClusterFluxComputation:
             slice(x_lo - block.gx0, x_hi - block.gx0),
         )
 
+    def _send_strip(self, source_rank: int, dest_rank: int, tag: int) -> bool:
+        """(Re)send the halo strip *source_rank* owes *dest_rank* under
+        *tag*; False when the pair shares no halo cells."""
+        state = self._local[source_rank]
+        block: Block = state["block"]
+        recv_block = self.decomp.block(dest_rank)
+        rng = _halo_intersection(block, recv_block)
+        if rng is None:
+            return False
+        strip = state["pressure"][self._global_to_local(block, *rng)]
+        self.comm.isend(block.rank, dest_rank, tag, strip.copy())
+        return True
+
+    def _retransmit(self, source: int, dest: int, tag: int, attempt: int) -> None:
+        """Sender-side recovery: the receive timed out, so the (now
+        possibly recovered) source pushes its strip again."""
+        if self.faults is not None:
+            self.faults.begin_retry()
+        if self._send_strip(source, dest, tag):
+            self.comm.stats[source].retransmissions += 1
+
     def _halo_exchange(self) -> None:
         """One deadlock-free exchange: every rank sends its 8 strips,
-        then every rank drains its incoming strips."""
+        then every rank drains its incoming strips.
+
+        Under a transient rank failure the first send pass loses the
+        down rank's strips; each missing receive then times out and
+        triggers a bounded retransmit-with-backoff from the recovered
+        source (:meth:`_retransmit`).  The closing :meth:`SimComm.barrier`
+        asserts nothing leaked."""
+        if self.faults is not None:
+            self.faults.begin_exchange()
         for state in self._local:
             block: Block = state["block"]
             for tag, (dx, dy) in enumerate(_HALO_DIRECTIONS):
                 dest = self.grid.neighbour(block.rank, dx, dy)
                 if dest is None:
                     continue
-                recv_block = self.decomp.block(dest)
-                rng = _halo_intersection(block, recv_block)
-                if rng is None:
-                    continue
-                strip = state["pressure"][self._global_to_local(block, *rng)]
-                self.comm.isend(block.rank, dest, tag, strip.copy())
-                self._messages += 1
+                if self._send_strip(block.rank, dest, tag):
+                    self._messages += 1
         for state in self._local:
             block: Block = state["block"]
             for tag, (dx, dy) in enumerate(_HALO_DIRECTIONS):
@@ -166,12 +208,15 @@ class ClusterFluxComputation:
                 rng = _halo_intersection(send_block, block)
                 if rng is None:
                     continue
-                data = self.comm.recv(block.rank, source, tag)
+                data = self.comm.recv(
+                    block.rank,
+                    source,
+                    tag,
+                    retry=self.retry,
+                    on_missing=self._retransmit,
+                )
                 state["pressure"][self._global_to_local(block, *rng)] = data
-        if self.comm.pending:
-            raise RuntimeError(
-                f"{self.comm.pending} halo messages were never received"
-            )
+        self.comm.barrier("halo exchange")
 
     # ------------------------------------------------------------------ #
     def run(self, pressures) -> ClusterRunResult:
@@ -180,6 +225,8 @@ class ClusterFluxComputation:
         applications = 0
         msgs_before = self.comm.total_messages()
         bytes_before = self.comm.total_bytes()
+        retrans_before = sum(st.retransmissions for st in self.comm.stats)
+        waited_before = self.comm.waited_seconds
         for pressure in pressures:
             with span("cluster.application", backend="cluster",
                       ranks=self.grid.size):
@@ -210,6 +257,9 @@ class ClusterFluxComputation:
             messages_per_application=total_msgs // applications,
             halo_bytes_per_application=total_bytes // applications,
             total_bytes=self.comm.total_bytes(),
+            retransmissions=sum(st.retransmissions for st in self.comm.stats)
+            - retrans_before,
+            recovery_seconds=self.comm.waited_seconds - waited_before,
         )
 
     def run_single(self, pressure: np.ndarray) -> ClusterRunResult:

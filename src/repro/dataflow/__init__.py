@@ -39,6 +39,7 @@ from repro.dataflow.mapping import (
     CellBasedMapping,
     FaceBasedMapping,
     MappingComparison,
+    SpareColumnRemap,
     compare_mappings,
 )
 from repro.dataflow.program import FluxProgram, padded_trans_fields
@@ -56,6 +57,7 @@ __all__ = [
     "CellBasedMapping",
     "FaceBasedMapping",
     "BlockedCellMapping",
+    "SpareColumnRemap",
     "MappingComparison",
     "compare_mappings",
     "CardinalChannel",

@@ -143,6 +143,9 @@ class WseFluxComputation:
         pe_memory_reserved: int = 2048,
         trace: bool = False,
         trace_capacity: int | None = 1024,
+        remap=None,
+        faults=None,
+        watchdog_cycles: float | None = None,
     ) -> None:
         kwargs = dict(
             mesh=mesh,
@@ -155,6 +158,7 @@ class WseFluxComputation:
             compute_fluxes=compute_fluxes,
             overlap_compute=overlap_compute,
             pe_memory_reserved=pe_memory_reserved,
+            remap=remap,
         )
         if pe_memory_bytes is not None:
             kwargs["pe_memory_bytes"] = pe_memory_bytes
@@ -168,6 +172,10 @@ class WseFluxComputation:
         self.trace_sink: TraceSink | None = (
             TraceSink(capacity=trace_capacity) if trace else None
         )
+        #: Optional FaultInjector / progress-watchdog threshold threaded
+        #: through to every EventRuntime this driver creates.
+        self.faults = faults
+        self.watchdog_cycles = watchdog_cycles
         self.last_runtime: EventRuntime | None = None
 
     # ------------------------------------------------------------------ #
@@ -192,7 +200,13 @@ class WseFluxComputation:
         # one runtime serves every application: reset() clears the event
         # heap, clock, link-occupancy map and per-run stats without
         # rebuilding them per pressure field
-        rt = EventRuntime(program.fabric, self.perf, trace_sink=self.trace_sink)
+        rt = EventRuntime(
+            program.fabric,
+            self.perf,
+            trace_sink=self.trace_sink,
+            faults=self.faults,
+            watchdog_cycles=self.watchdog_cycles,
+        )
         self.last_runtime = rt
         for pressure in pressures:
             with span("wse.application", backend="event") as sp:

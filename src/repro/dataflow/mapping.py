@@ -23,6 +23,7 @@ __all__ = [
     "CellBasedMapping",
     "FaceBasedMapping",
     "BlockedCellMapping",
+    "SpareColumnRemap",
     "MappingComparison",
     "compare_mappings",
 ]
@@ -223,6 +224,124 @@ class BlockedCellMapping:
         """Received halo cells per owned cell (the efficiency driver)."""
         bx, by = self.block_xy
         return (2 * (bx + by) + 4) / (bx * by)
+
+
+@dataclass(frozen=True)
+class SpareColumnRemap:
+    """Logical mesh columns remapped onto a wider fabric around dead PEs.
+
+    This mirrors CS-2 yield handling: wafers ship with spare PE columns,
+    and a column containing a manufacturing defect is fused out — its
+    east/west links pass traffic straight through at no extra hop cost,
+    and the logical program occupies the remaining columns in order.
+    ``column_map[lx]`` is the physical fabric column hosting logical
+    column ``lx``; physical columns absent from the map are *bypassed*
+    (see ``Fabric(bypass_columns=...)``).
+
+    Because a bypassed column is latency-transparent, the remapped
+    program produces the same event timestamps, the same event order,
+    and therefore **bit-identical** residuals as a healthy
+    ``logical_width``-wide fabric.
+    """
+
+    logical_width: int
+    height: int
+    physical_width: int
+    column_map: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.column_map) != self.logical_width:
+            raise ValueError(
+                f"column_map has {len(self.column_map)} entries for "
+                f"{self.logical_width} logical columns"
+            )
+        last = -1
+        for col in self.column_map:
+            if not 0 <= col < self.physical_width:
+                raise ValueError(
+                    f"physical column {col} outside fabric width "
+                    f"{self.physical_width}"
+                )
+            if col <= last:
+                raise ValueError("column_map must be strictly increasing")
+            last = col
+        # logical index of each physical column (None = bypassed)
+        object.__setattr__(
+            self,
+            "_logical_of",
+            {col: lx for lx, col in enumerate(self.column_map)},
+        )
+
+    @property
+    def bypassed_columns(self) -> frozenset[int]:
+        """Physical columns fused out of the logical mesh."""
+        return frozenset(range(self.physical_width)) - set(self.column_map)
+
+    @property
+    def fabric_shape(self) -> tuple[int, int]:
+        """Physical fabric dimensions hosting the remapped program."""
+        return (self.physical_width, self.height)
+
+    def physical(self, coord: tuple[int, int]) -> tuple[int, int]:
+        """Physical PE coordinate of a logical coordinate."""
+        lx, ly = coord
+        return (self.column_map[lx], ly)
+
+    def logical(self, coord: tuple[int, int]) -> tuple[int, int] | None:
+        """Logical coordinate of a physical PE, None when bypassed/unused."""
+        px, py = coord
+        if not 0 <= py < self.height:
+            return None
+        lx = self._logical_of.get(px)
+        if lx is None:
+            return None
+        return (lx, py)
+
+    @classmethod
+    def identity(cls, width: int, height: int) -> "SpareColumnRemap":
+        """The trivial remap (no spares, no bypass)."""
+        return cls(width, height, width, tuple(range(width)))
+
+    @classmethod
+    def around_dead_pes(
+        cls,
+        logical_shape: tuple[int, int],
+        dead_pes,
+        *,
+        spare_columns: int = 1,
+    ) -> "SpareColumnRemap":
+        """Remap a ``logical_shape`` program around dead PEs using spares.
+
+        The physical fabric is ``spare_columns`` wider than the logical
+        mesh; every column containing a dead PE is fused out and the
+        logical columns shift right past it.  Raises when the dead PEs
+        hit more distinct columns than there are spares.
+        """
+        from repro.faults.errors import FaultPlanError
+
+        width, height = logical_shape
+        dead_cols = sorted(
+            {x for x, y in dead_pes if 0 <= x < width + spare_columns}
+        )
+        if len(dead_cols) > spare_columns:
+            raise FaultPlanError(
+                f"{len(dead_cols)} defective columns but only "
+                f"{spare_columns} spare(s)"
+            )
+        physical_width = width + spare_columns
+        bad = set(dead_cols)
+        column_map = []
+        col = 0
+        while len(column_map) < width:
+            if col >= physical_width:
+                raise FaultPlanError(
+                    "ran out of physical columns while remapping "
+                    f"(defective: {dead_cols})"
+                )
+            if col not in bad:
+                column_map.append(col)
+            col += 1
+        return cls(width, height, physical_width, tuple(column_map))
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ from repro.dataflow.cardinal import (
 from repro.dataflow.diagonal import DIAGONAL_CHANNELS, DiagonalChannel, static_position
 from repro.dataflow.flux_pe import compute_face_flux_column, evaluate_density_column
 from repro.dataflow.halos import PEColumnLayout
+from repro.dataflow.mapping import SpareColumnRemap
 from repro.obs.spans import span
 from repro.wse.color import ColorAllocator
 from repro.wse.fabric import Fabric
@@ -97,6 +98,13 @@ class FluxProgram:
         ``reuse_buffers=False`` (deferred compute needs every halo live).
     pe_memory_bytes / pe_memory_reserved:
         Scratchpad capacity and code reservation per PE.
+    remap:
+        Optional :class:`~repro.dataflow.mapping.SpareColumnRemap`
+        placing the logical ``nx x ny`` program on a wider physical
+        fabric with defective columns bypassed (CS-2 yield handling).
+        Routing, memory and gather all address PEs through the remap;
+        bypassed columns carry pass-through east/west traffic only.
+        Residuals are bit-identical to the healthy-fabric program.
     """
 
     mesh: CartesianMesh3D
@@ -110,6 +118,7 @@ class FluxProgram:
     overlap_compute: bool = True
     pe_memory_bytes: int = WSE2_PE_MEMORY_BYTES
     pe_memory_reserved: int = 2048
+    remap: SpareColumnRemap | None = None
     fabric: Fabric = field(init=False)
     colors: ColorAllocator = field(init=False)
 
@@ -123,12 +132,28 @@ class FluxProgram:
             self.trans = Transmissibility(self.mesh, dtype=self.dtype)
         elif self.trans.mesh is not self.mesh:
             raise ValueError("trans was built for a different mesh")
+        if self.remap is not None:
+            if (
+                self.remap.logical_width != self.mesh.nx
+                or self.remap.height != self.mesh.ny
+            ):
+                raise ValueError(
+                    f"remap covers {self.remap.logical_width}x"
+                    f"{self.remap.height} but the mesh needs "
+                    f"{self.mesh.nx}x{self.mesh.ny}"
+                )
+            fabric_width = self.remap.physical_width
+            bypass = self.remap.bypassed_columns
+        else:
+            fabric_width = self.mesh.nx
+            bypass = frozenset()
         self.fabric = Fabric(
-            self.mesh.nx,
+            fabric_width,
             self.mesh.ny,
             pe_memory_bytes=self.pe_memory_bytes,
             pe_memory_reserved=self.pe_memory_reserved,
             vectorized=self.vectorized,
+            bypass_columns=bypass,
         )
         self.colors = ColorAllocator()
         self._card_color: dict[CardinalChannel, int] = {}
@@ -148,15 +173,30 @@ class FluxProgram:
                 self._setup_tasks()
 
     # ------------------------------------------------------------------ #
+    def program_pes(self):
+        """The PEs running the program as ``(lx, ly, pe)`` triples.
+
+        Iterates *logical* coordinates in row-major order — the same
+        order as ``fabric.pes()`` on a healthy fabric — so injection and
+        scheduling sequence numbers (and therefore event order and
+        summation order) are independent of any spare-column remap.
+        """
+        remap = self.remap
+        pes = self.fabric.pe_map
+        for ly in range(self.mesh.ny):
+            for lx in range(self.mesh.nx):
+                coord = (lx, ly) if remap is None else remap.physical((lx, ly))
+                yield lx, ly, pes[coord]
+
+    # ------------------------------------------------------------------ #
     # Memory (Sec. 5.1)
     # ------------------------------------------------------------------ #
     def _setup_memory(self) -> None:
         mesh = self.mesh
         trans_fields = padded_trans_fields(mesh, self.trans, self.dtype)
         elev = mesh.elevation
-        w, h = self.fabric.width, self.fabric.height
-        for pe in self.fabric.pes():
-            x, y = pe.coord
+        w, h = mesh.nx, mesh.ny
+        for x, y, pe in self.program_pes():
             layout = PEColumnLayout.build(
                 pe.memory,
                 mesh.nz,
@@ -166,8 +206,9 @@ class FluxProgram:
             layout.elevation[:] = elev[:, y, x]
             for conn in ALL_CONNECTIONS:
                 layout.trans[conn][:] = trans_fields[conn][:, y, x]
+            pe.state["logical"] = (x, y)
             pe.state["layout"] = layout
-            pe.state["expected"] = self._expected_messages(pe)
+            pe.state["expected"] = self._expected_messages(x, y)
             # per-halo kernel arguments resolved once: the receive task
             # runs per message and every dict/method hop shows up there
             pe.state["halo_args"] = {
@@ -182,17 +223,17 @@ class FluxProgram:
             pe.state["step1_channels"] = [
                 ch
                 for ch in CARDINAL_CHANNELS
-                if is_step1_sender(pe.coord, ch, w, h)
+                if is_step1_sender((x, y), ch, w, h)
             ]
 
-    def _expected_messages(self, pe: ProcessingElement) -> int:
-        """Data messages the PE receives per application: one per
-        in-bounds X-Y neighbour (Sec. 5.2 items a-b)."""
-        x, y = pe.coord
+    def _expected_messages(self, x: int, y: int) -> int:
+        """Data messages the PE at *logical* ``(x, y)`` receives per
+        application: one per in-bounds X-Y neighbour (Sec. 5.2 a-b)."""
+        nx, ny = self.mesh.nx, self.mesh.ny
         count = 0
         for conn in XY_CONNECTIONS:
             dx, dy, _ = conn.offset
-            if self.fabric.contains((x + dx, y + dy)):
+            if 0 <= x + dx < nx and 0 <= y + dy < ny:
                 count += 1
         return count
 
@@ -200,17 +241,30 @@ class FluxProgram:
     # Routing (Sec. 5.2, Figs. 5-6)
     # ------------------------------------------------------------------ #
     def _setup_routing(self) -> None:
-        w, h = self.fabric.width, self.fabric.height
+        # switch positions are a function of the *logical* coordinate —
+        # bypassed columns are latency-transparent wires, so a remapped
+        # router behaves exactly like the logical router it hosts
+        w, h = self.mesh.nx, self.mesh.ny
+        remap = self.remap
+
+        def logical_of(coord):
+            if remap is None:
+                return coord
+            return remap.logical(coord)
+
         for channel in CARDINAL_CHANNELS:
             color = self.colors.allocate(channel.name)
             self._card_color[channel] = color
 
             def positions_for(coord, _ch=channel):
-                positions, _ = switch_positions_for(coord, _ch, w, h)
+                lcoord = logical_of(coord)
+                if lcoord is None:
+                    return None
+                positions, _ = switch_positions_for(lcoord, _ch, w, h)
                 return positions
 
             def initial_for(coord, _ch=channel):
-                _, initial = switch_positions_for(coord, _ch, w, h)
+                _, initial = switch_positions_for(logical_of(coord), _ch, w, h)
                 return initial
 
             self.fabric.configure_color(
@@ -220,7 +274,12 @@ class FluxProgram:
             color = self.colors.allocate(channel.name)
             self._diag_color[channel] = color
             position = static_position(channel)
-            self.fabric.configure_color(color, lambda coord, _p=position: [_p])
+            self.fabric.configure_color(
+                color,
+                lambda coord, _p=position: (
+                    [_p] if logical_of(coord) is not None else None
+                ),
+            )
 
     # ------------------------------------------------------------------ #
     # Tasks
@@ -327,8 +386,7 @@ class FluxProgram:
         Sec. 7.2).
         """
         self.mesh.validate_field(pressure, name="pressure")
-        for pe in self.fabric.pes():
-            x, y = pe.coord
+        for x, y, pe in self.program_pes():
             layout = pe.state["layout"]
             layout.pressure[:] = pressure[:, y, x]
 
@@ -341,7 +399,7 @@ class FluxProgram:
         cardinal senders.  Step-2 senders are triggered by the control
         wavelets of the switch protocol.
         """
-        for pe in self.fabric.pes():
+        for _x, _y, pe in self.program_pes():
             pe.state["sent"] = set()
             pe.state["received"] = 0
             rt.schedule(0.0, self._start_pe, rt, pe)
@@ -417,8 +475,7 @@ class FluxProgram:
             out = np.zeros(self.mesh.shape_zyx, dtype=self.dtype)
         else:
             self.mesh.validate_field(out, name="out")
-        for pe in self.fabric.pes():
-            x, y = pe.coord
+        for x, y, pe in self.program_pes():
             out[:, y, x] = pe.state["layout"].residual
         return out
 
@@ -430,7 +487,7 @@ class FluxProgram:
         RuntimeError
             On any lost or duplicated delivery (protocol bug).
         """
-        for pe in self.fabric.pes():
+        for _x, _y, pe in self.program_pes():
             got, want = pe.state.get("received", 0), pe.state["expected"]
             if got != want:
                 raise RuntimeError(

@@ -1,0 +1,449 @@
+"""Chaos harness: run the backends under a fault plan, end to end.
+
+:func:`run_chaos` takes a :class:`~repro.faults.plan.FaultPlan` (or
+builds the canonical seeded one), derives one *scenario* per fault
+group, and reports for each whether the fault was actually injected,
+whether the stack **detected** it (structured error or cross-check
+mismatch), and whether the recovery mechanism **recovered** from it:
+
+- dead PEs      -> exactly-once delivery verification detects them; a
+                   :class:`~repro.dataflow.mapping.SpareColumnRemap`
+                   recovers bit-identically (CS-2 yield handling);
+- drop links    -> missing neighbour columns at verification;
+- corrupt links -> silent data corruption, caught by cross-checking the
+                   residual against a healthy run;
+- delay links   -> packets late, caught as extra device cycles;
+- router stalls -> the progress watchdog raises
+                   :class:`~repro.faults.errors.FabricStallError`;
+- rank failures -> halo re-exchange with retry/backoff recovers the
+                   lost strips and the residual still matches the
+                   reference kernel;
+- plus a checkpoint/restart drill: the implicit solver is killed
+  mid-campaign and must resume bit-identically from its last
+  checkpoint.
+
+Backends (dataflow/cluster/solver) are imported lazily inside
+:func:`run_chaos`, so ``repro.faults`` stays importable from the runtime
+layers without cycles.  ``repro chaos`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.errors import FabricStallError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, LinkFault
+
+__all__ = ["FaultOutcome", "ChaosReport", "run_chaos"]
+
+
+@dataclass
+class FaultOutcome:
+    """One chaos scenario: what was injected and what the stack did."""
+
+    scenario: str
+    fault: str
+    injected: bool
+    detected: bool
+    recovered: bool
+    benign: bool = False
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """An injected fault must be detected, recovered from, or proven
+        benign (it fired but demonstrably did not alter the result —
+        e.g. a bit flip in an upwind-unused payload word)."""
+        return self.injected and (self.detected or self.recovered or self.benign)
+
+    @property
+    def status(self) -> str:
+        if not self.injected:
+            return "NOT INJECTED"
+        if self.recovered:
+            return "RECOVERED"
+        if self.detected:
+            return "DETECTED"
+        if self.benign:
+            return "BENIGN"
+        return "MISSED"
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "fault": self.fault,
+            "injected": self.injected,
+            "detected": self.detected,
+            "recovered": self.recovered,
+            "benign": self.benign,
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Every scenario outcome of one chaos run."""
+
+    seed: int
+    fabric_shape: tuple[int, int]
+    ranks: int
+    plan: FaultPlan
+    outcomes: list[FaultOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All scenarios injected their fault and it was caught."""
+        return bool(self.outcomes) and all(o.ok for o in self.outcomes)
+
+    @property
+    def failed(self) -> list[FaultOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "fabric_shape": list(self.fabric_shape),
+            "ranks": self.ranks,
+            "plan": self.plan.to_dict(),
+            "outcomes": [o.as_dict() for o in self.outcomes],
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        from repro.util.reporting import Table
+
+        width, height = self.fabric_shape
+        lines = [
+            f"chaos run: seed {self.seed}, fabric {width}x{height}, "
+            f"{self.ranks} rank(s)",
+            "injected plan:",
+        ]
+        lines += [f"  - {line}" for line in self.plan.describe()]
+        table = Table(
+            "Fault scenarios",
+            ["Scenario", "Fault", "Status", "Detail"],
+        )
+        for o in self.outcomes:
+            table.add_row([o.scenario, o.fault, o.status, o.detail])
+        lines += ["", table.render()]
+        caught = sum(o.ok for o in self.outcomes)
+        verdict = "CHAOS PASSED" if self.ok else "CHAOS FAILED"
+        lines.append(
+            f"{verdict}: {caught}/{len(self.outcomes)} fault scenarios "
+            "detected or recovered"
+        )
+        return "\n".join(lines)
+
+
+def _first_line(exc: BaseException) -> str:
+    return str(exc).splitlines()[0]
+
+
+def run_chaos(
+    plan: FaultPlan | None = None,
+    *,
+    nx: int = 4,
+    ny: int = 4,
+    nz: int = 3,
+    seed: int = 7,
+    px: int = 2,
+    py: int = 2,
+    watchdog_cycles: float = 20_000.0,
+    steps: int = 4,
+    dt: float = 3600.0,
+    include_corruption: bool = True,
+    include_checkpoint_drill: bool = True,
+) -> ChaosReport:
+    """Run every backend under *plan* and report per-fault outcomes.
+
+    With ``plan=None`` the canonical seeded plan for the ``nx x ny``
+    fabric and ``px x py`` rank grid is used (1 dead PE, 1 lossy link,
+    1 transient rank failure).  The same seed always reproduces the
+    same plan, scenarios, and outcomes.
+    """
+    from repro.cluster.flux import ClusterFluxComputation
+    from repro.core import (
+        CartesianMesh3D,
+        FluidProperties,
+        Transmissibility,
+        compute_flux_residual,
+        random_pressure,
+    )
+    from repro.dataflow import SpareColumnRemap, WseFluxComputation
+
+    if plan is None:
+        plan = FaultPlan.seeded(seed, fabric_shape=(nx, ny), ranks=px * py)
+    report = ChaosReport(
+        seed=plan.seed, fabric_shape=(nx, ny), ranks=px * py, plan=plan
+    )
+
+    mesh = CartesianMesh3D(nx, ny, nz)
+    fluid = FluidProperties()
+    trans = Transmissibility(mesh)
+    pressure = random_pressure(mesh, seed=plan.seed)
+
+    def wse(**kwargs):
+        return WseFluxComputation(
+            mesh, fluid, trans, dtype=np.float64,
+            watchdog_cycles=watchdog_cycles, **kwargs,
+        )
+
+    healthy = wse().run_single(pressure)
+    healthy_bytes = healthy.residual.tobytes()
+
+    # ---------------------------------------------------------------- #
+    # Dead PEs: detection (missing deliveries), then spare-column
+    # recovery with a bit-identity check against the healthy fabric.
+    # ---------------------------------------------------------------- #
+    if plan.dead_pes:
+        label = ", ".join(str(d.coord) for d in plan.dead_pes)
+        sub = FaultPlan(seed=plan.seed, dead_pes=plan.dead_pes)
+        injector = FaultInjector(sub)
+        try:
+            wse(faults=injector).run_single(pressure)
+            detected, detail = False, "run completed without any error"
+        except RuntimeError as exc:
+            detected, detail = True, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="dead-pe/detect",
+                fault=f"dead PE {label}",
+                injected=injector.stats.fabric_events > 0,
+                detected=detected,
+                recovered=False,
+                detail=detail,
+            )
+        )
+
+        try:
+            remap = SpareColumnRemap.around_dead_pes(
+                (nx, ny), [d.coord for d in plan.dead_pes]
+            )
+            injector = FaultInjector(sub)
+            result = wse(faults=injector, remap=remap).run_single(pressure)
+            recovered = result.residual.tobytes() == healthy_bytes
+            detail = (
+                "spare column(s) "
+                f"{sorted(remap.bypassed_columns)} bypassed; residual "
+                + ("bit-identical to healthy fabric" if recovered else "DIFFERS")
+            )
+        except RuntimeError as exc:
+            recovered, detail = False, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="dead-pe/remap",
+                fault=f"dead PE {label}",
+                injected=True,
+                detected=False,
+                recovered=recovered,
+                detail=detail,
+            )
+        )
+
+    # ---------------------------------------------------------------- #
+    # Link faults, one scenario per mode present in the plan.
+    # ---------------------------------------------------------------- #
+    drops = tuple(lf for lf in plan.link_faults if lf.mode == "drop")
+    delays = tuple(lf for lf in plan.link_faults if lf.mode == "delay")
+    corrupts = tuple(lf for lf in plan.link_faults if lf.mode == "corrupt")
+    if include_corruption and drops and not corrupts:
+        # derive a silent-corruption twin of the first lossy link so the
+        # cross-check path is exercised even by pure-drop seeded plans
+        lf = drops[0]
+        corrupts = (LinkFault(lf.x, lf.y, lf.port, mode="corrupt"),)
+
+    def link_label(faults) -> str:
+        return ", ".join(f"{lf.coord}->{lf.port.name}" for lf in faults)
+
+    if drops:
+        injector = FaultInjector(FaultPlan(seed=plan.seed, link_faults=drops))
+        try:
+            wse(faults=injector).run_single(pressure)
+            detected, detail = False, "run completed without any error"
+        except RuntimeError as exc:
+            detected, detail = True, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="link-drop/detect",
+                fault=f"drop link {link_label(drops)}",
+                injected=injector.stats.packets_dropped > 0,
+                detected=detected,
+                recovered=False,
+                detail=f"{injector.stats.packets_dropped} packet(s) dropped; {detail}",
+            )
+        )
+
+    if corrupts:
+        injector = FaultInjector(FaultPlan(seed=plan.seed, link_faults=corrupts))
+        benign = False
+        try:
+            result = wse(faults=injector).run_single(pressure)
+            differs = result.residual.tobytes() != healthy_bytes
+            deviation = float(np.abs(result.residual - healthy.residual).max())
+            detected = differs and injector.stats.packets_corrupted > 0
+            detail = (
+                f"{injector.stats.packets_corrupted} packet(s) corrupted; "
+                f"residual cross-check deviation {deviation:.3e}"
+            )
+            if not differs:
+                # the flipped bits landed in words the receivers never
+                # read (e.g. upwind-unused densities): zero effect
+                benign = True
+                detail += " (absorbed: flipped words unused downstream)"
+        except RuntimeError as exc:
+            # a corrupted control word can also break the protocol outright
+            detected, detail = True, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="link-corrupt/cross-check",
+                fault=f"corrupt link {link_label(corrupts)}",
+                injected=injector.stats.packets_corrupted > 0,
+                detected=detected,
+                recovered=False,
+                benign=benign,
+                detail=detail,
+            )
+        )
+
+    if delays:
+        injector = FaultInjector(FaultPlan(seed=plan.seed, link_faults=delays))
+        benign = False
+        try:
+            result = wse(faults=injector).run_single(pressure)
+            slowdown = result.device_cycles - healthy.device_cycles
+            detected = injector.stats.packets_delayed > 0 and slowdown > 0
+            detail = (
+                f"{injector.stats.packets_delayed} packet(s) delayed; "
+                f"+{slowdown:g} device cycles vs healthy"
+            )
+            if not detected and result.residual.tobytes() == healthy_bytes:
+                # delays off the critical path are absorbed by overlap
+                benign = True
+                detail += " (absorbed by fabric slack)"
+        except FabricStallError as exc:
+            detected, detail = True, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="link-delay/detect",
+                fault=f"delay link {link_label(delays)}",
+                injected=injector.stats.packets_delayed > 0,
+                detected=detected,
+                recovered=False,
+                benign=benign,
+                detail=detail,
+            )
+        )
+
+    # ---------------------------------------------------------------- #
+    # Router stalls: the progress watchdog must fire with a stall report.
+    # ---------------------------------------------------------------- #
+    if plan.router_stalls:
+        label = ", ".join(str(st.coord) for st in plan.router_stalls)
+        injector = FaultInjector(
+            FaultPlan(seed=plan.seed, router_stalls=plan.router_stalls)
+        )
+        try:
+            wse(faults=injector).run_single(pressure)
+            detected, detail = False, "watchdog never fired"
+        except FabricStallError as exc:
+            in_flight = len(exc.report.get("in_flight", ()))
+            detected = True
+            detail = f"{_first_line(exc)} ({in_flight} in-flight sampled)"
+        except RuntimeError as exc:
+            detected, detail = True, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="router-stall/watchdog",
+                fault=f"stalled router {label}",
+                injected=injector.stats.hops_stalled > 0,
+                detected=detected,
+                recovered=False,
+                detail=detail,
+            )
+        )
+
+    # ---------------------------------------------------------------- #
+    # Transient rank failures: halo re-exchange with retry must recover
+    # and the residual must still match the reference kernel.
+    # ---------------------------------------------------------------- #
+    if plan.rank_failures:
+        label = ", ".join(str(rf.rank) for rf in plan.rank_failures)
+        reference = compute_flux_residual(mesh, fluid, pressure, trans)
+        injector = FaultInjector(plan.only_ranks())
+        try:
+            cluster = ClusterFluxComputation(
+                mesh, fluid, px=px, py=py, faults=injector
+            )
+            result = cluster.run([pressure])
+            recovered = bool(np.array_equal(result.residual, reference))
+            detected = result.retransmissions > 0
+            detail = (
+                f"{injector.stats.sends_dropped} send(s) dropped, "
+                f"{result.retransmissions} retransmission(s) in "
+                f"{result.recovery_seconds * 1e6:.1f} us; residual "
+                + ("matches reference" if recovered else "DIFFERS")
+            )
+        except RuntimeError as exc:
+            detected, recovered, detail = True, False, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="rank-failure/re-exchange",
+                fault=f"transient failure of rank(s) {label}",
+                injected=injector.stats.sends_dropped > 0,
+                detected=detected,
+                recovered=recovered,
+                detail=detail,
+            )
+        )
+
+    # ---------------------------------------------------------------- #
+    # Checkpoint/restart drill: kill the implicit solver mid-campaign,
+    # resume from its last checkpoint, demand a bit-identical trajectory.
+    # ---------------------------------------------------------------- #
+    if include_checkpoint_drill and steps >= 2:
+        from repro.solver import CheckpointStore, SinglePhaseFlowSimulator, Well
+
+        def make_sim():
+            return SinglePhaseFlowSimulator(
+                mesh, fluid, trans=trans,
+                wells=[Well(nx // 2, ny // 2, nz // 2, rate=0.5)],
+            )
+
+        crash_at = steps // 2
+        reference_sim = make_sim()
+        reference_sim.run(steps, dt)
+        store = CheckpointStore(keep=2)
+        victim = make_sim()
+        victim.run(crash_at, dt, checkpoint_store=store)
+        del victim  # the "crash": the process state is gone
+        resumed = make_sim()
+        resumed.restore(store.latest())
+        resumed.run(steps - crash_at, dt)
+        recovered = (
+            resumed.pressure.tobytes() == reference_sim.pressure.tobytes()
+            and resumed.time == reference_sim.time
+            and resumed.steps_completed == reference_sim.steps_completed
+        )
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="solver/checkpoint-restart",
+                fault=f"simulated crash after step {crash_at}/{steps}",
+                injected=True,
+                detected=True,
+                recovered=recovered,
+                detail=(
+                    f"resumed from checkpoint at step {crash_at}; "
+                    + (
+                        "trajectory bit-identical to uninterrupted run"
+                        if recovered
+                        else "trajectory DIFFERS from uninterrupted run"
+                    )
+                ),
+            )
+        )
+
+    return report

@@ -1,0 +1,136 @@
+"""Structured fault/robustness exceptions shared across layers.
+
+Every error here subclasses :class:`RuntimeError` so existing callers
+(and tests) that catch the old bare ``RuntimeError`` paths keep working;
+the subclasses add machine-readable context — iteration counts, in-flight
+diagnostics, retry budgets — for the chaos harness and the obs layer.
+
+Message wording is part of the contract: the event-budget error keeps
+the word "budget", the receive timeout keeps "deadlock" and the barrier
+leak keeps "never received", because downstream tooling (and the
+historical tests) match on those substrings.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "FaultPlanError",
+    "FabricStallError",
+    "EventBudgetError",
+    "CommTimeoutError",
+    "PendingLeakError",
+    "RankFailedError",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for fault-injection and fault-detection errors."""
+
+
+class FaultPlanError(FaultError):
+    """A fault plan is malformed or cannot be applied to this topology."""
+
+
+class EventBudgetError(FaultError):
+    """`EventRuntime.run(max_events=...)` hit its budget with work pending.
+
+    Attributes
+    ----------
+    processed:
+        Events processed before the budget fired.
+    pending:
+        Events still in the heap at that point.
+    now:
+        Simulation time when the budget fired.
+    """
+
+    def __init__(self, *, processed: int, pending: int, now: float) -> None:
+        self.processed = processed
+        self.pending = pending
+        self.now = now
+        super().__init__(
+            f"event budget exhausted after {processed} events with "
+            f"{pending} still pending at t={now:.0f} "
+            "(possible protocol livelock)"
+        )
+
+
+class FabricStallError(FaultError):
+    """The progress watchdog saw no delivery for too many cycles.
+
+    Attributes
+    ----------
+    now:
+        Simulation time of the event that tripped the watchdog.
+    idle_cycles:
+        Cycles since the last delivery made progress.
+    watchdog_cycles:
+        The configured no-progress threshold.
+    report:
+        Obs-layer diagnostic dict (in-flight messages, last-active
+        links, runtime stats) built by
+        :func:`repro.obs.report.stall_report`.
+    """
+
+    def __init__(
+        self,
+        *,
+        now: float,
+        idle_cycles: float,
+        watchdog_cycles: float,
+        report: dict | None = None,
+    ) -> None:
+        self.now = now
+        self.idle_cycles = idle_cycles
+        self.watchdog_cycles = watchdog_cycles
+        self.report = report if report is not None else {}
+        pending = self.report.get("pending_events", 0)
+        super().__init__(
+            f"fabric stalled: no delivery within {watchdog_cycles:.0f} "
+            f"cycles (idle {idle_cycles:.0f} cycles at t={now:.0f}, "
+            f"{pending} in-flight events)"
+        )
+
+
+class CommTimeoutError(FaultError):
+    """A `SimComm.recv` found no matching send, even after retries.
+
+    ``attempts`` is the number of retry attempts made (0 when no retry
+    policy was in effect — the legacy immediate-deadlock path).
+    """
+
+    def __init__(self, source: int, dest: int, tag: int, attempts: int = 0) -> None:
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.attempts = attempts
+        suffix = f" after {attempts} retries" if attempts else ""
+        super().__init__(
+            f"recv would deadlock: no message from rank {source} to "
+            f"rank {dest} with tag {tag}{suffix}"
+        )
+
+
+class PendingLeakError(FaultError):
+    """A phase barrier found sent-but-unreceived messages (leaked sends)."""
+
+    def __init__(self, phase: str, leaked: list[tuple[int, int, int]]) -> None:
+        self.phase = phase
+        self.leaked = list(leaked)
+        shown = ", ".join(str(key) for key in self.leaked[:8])
+        more = "" if len(self.leaked) <= 8 else f", ... ({len(self.leaked)} total)"
+        where = f" at end of {phase}" if phase else ""
+        super().__init__(
+            f"barrier{where}: {len(self.leaked)} message(s) were never "
+            f"received (leaked sends: {shown}{more})"
+        )
+
+
+class RankFailedError(FaultError):
+    """An operation required a rank that is currently failed."""
+
+    def __init__(self, rank: int, detail: str = "") -> None:
+        self.rank = rank
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"rank {rank} is down{suffix}")

@@ -39,7 +39,9 @@ from repro.obs.report import (
     consistency,
     render_heatmap,
     render_report,
+    render_stall,
     report_document,
+    stall_report,
 )
 from repro.obs.spans import (
     SpanRecorder,
@@ -78,6 +80,8 @@ __all__ = [
     "render_report",
     "render_heatmap",
     "report_document",
+    "stall_report",
+    "render_stall",
     "profile_call",
     "profile_rows",
     "diff_rows",

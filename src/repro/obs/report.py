@@ -12,10 +12,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.obs.trace import TraceSink, latency_bucket_bounds
+from repro.obs.trace import TraceSink, latency_bucket_bounds, unpack_link
 from repro.util.reporting import Table
 
-__all__ = ["render_report", "report_document", "render_heatmap", "consistency"]
+__all__ = [
+    "render_report",
+    "report_document",
+    "render_heatmap",
+    "consistency",
+    "stall_report",
+    "render_stall",
+]
 
 #: Glyph ramp for the ASCII heatmap, coldest to hottest.
 _HEAT_GLYPHS = " .:-=+*#%@"
@@ -38,6 +45,98 @@ def consistency(sink: TraceSink, stats) -> dict:
         "stats_fabric_word_hops": stats.fabric_word_hops,
         "word_hops_match": sink.link_word_hops == stats.fabric_word_hops,
     }
+
+
+def stall_report(runtime, *, max_items: int = 8) -> dict:
+    """Diagnostic snapshot of a (possibly stalled) event runtime.
+
+    Built by the progress watchdog when it raises
+    :class:`~repro.faults.errors.FabricStallError`: the earliest
+    ``max_items`` in-flight messages (what everyone is waiting for), the
+    most recently active directed links (where traffic last moved), and
+    the runtime counters at the moment of the stall.  Reads the
+    runtime's private heap/link-busy state on purpose — this runs on the
+    failure path, after the hot loop has stopped.
+    """
+    from dataclasses import asdict
+
+    from repro.wse.geometry import Port
+    from repro.wse.runtime import _EV_ARRIVE
+
+    in_flight = []
+    for event in sorted(runtime._heap)[:max_items]:
+        if event[2] == _EV_ARRIVE:
+            coord, in_port, msg = event[3], event[4], event[5]
+            in_flight.append(
+                {
+                    "due": event[0],
+                    "event": "arrival",
+                    "dest": list(coord),
+                    "in_port": Port(in_port).name,
+                    "color": msg.color,
+                    "kind": msg.kind,
+                    "source": None if msg.source is None else list(msg.source),
+                    "hops": msg.hops,
+                    "words": msg.num_words,
+                }
+            )
+        else:
+            in_flight.append(
+                {
+                    "due": event[0],
+                    "event": "call",
+                    "fn": getattr(event[3], "__name__", repr(event[3])),
+                }
+            )
+    last_active = [
+        {
+            "link": "({}, {})->{}".format(*unpack_link_named(key)),
+            "busy_until": busy,
+        }
+        for key, busy in sorted(
+            runtime._link_busy.items(), key=lambda kv: -kv[1]
+        )[:max_items]
+    ]
+    return {
+        "now": runtime.now,
+        "pending_events": len(runtime._heap),
+        "in_flight": in_flight,
+        "last_active_links": last_active,
+        "stats": asdict(runtime.stats),
+    }
+
+
+def unpack_link_named(key: int) -> tuple[int, int, str]:
+    """(x, y, port-name) of a packed directed-link key."""
+    from repro.wse.geometry import Port
+
+    x, y, port = unpack_link(key)
+    return x, y, Port(port).name
+
+
+def render_stall(report: dict) -> str:
+    """Printable form of a :func:`stall_report` dict."""
+    lines = [
+        f"stall diagnostic at t={report['now']:.0f}: "
+        f"{report['pending_events']} events pending"
+    ]
+    for item in report["in_flight"]:
+        if item["event"] == "arrival":
+            lines.append(
+                f"  due t={item['due']:.0f}: color {item['color']} "
+                f"{item['kind']} {item['source']} -> {item['dest']} "
+                f"via {item['in_port']} ({item['hops']} hops, "
+                f"{item['words']} words)"
+            )
+        else:
+            lines.append(f"  due t={item['due']:.0f}: call {item['fn']}")
+    if report["last_active_links"]:
+        lines.append("last-active links:")
+        for link in report["last_active_links"]:
+            lines.append(
+                f"  {link['link']} busy until t={link['busy_until']:.0f}"
+            )
+    return "\n".join(lines)
 
 
 def render_heatmap(sink: TraceSink, width: int, height: int) -> str:

@@ -5,6 +5,8 @@ BiCGSTAB), Newton with line search, and a backward-Euler single-phase
 flow simulator with injection wells.
 """
 
+from repro.solver.checkpoint import Checkpoint, CheckpointStore
+from repro.solver.errors import KrylovBreakdown, SolverDivergence
 from repro.solver.krylov import (
     KrylovResult,
     bicgstab,
@@ -26,6 +28,10 @@ from repro.solver.unstructured import (
 )
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "SolverDivergence",
+    "KrylovBreakdown",
     "FlowResidual",
     "MatrixFreeJacobian",
     "assemble_jacobian",

@@ -1,0 +1,104 @@
+"""Checkpoint/restart of the implicit time-stepping loop.
+
+Long-running implicit simulations (the multi-day CS-2 campaigns the
+related stencil papers describe) survive crashes by checkpointing the
+converged state after each accepted step and resuming from the last one.
+For backward Euler the converged pressure field *is* the whole state:
+restoring ``(step, time, pressure)`` and re-running produces the exact
+same trajectory, because each step depends only on the previous
+pressure.  ``numpy.savez`` round-trips float64 arrays bit-exactly, so a
+resumed run matches an uninterrupted one bit-for-bit (the checkpoint
+tests assert this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """The full restartable state after one accepted time step."""
+
+    step: int
+    time: float
+    pressure: np.ndarray
+    mass_in_place: float = 0.0
+
+    def save(self, path) -> None:
+        """Write the checkpoint as an ``.npz`` archive."""
+        np.savez(
+            path,
+            step=np.int64(self.step),
+            time=np.float64(self.time),
+            pressure=np.asarray(self.pressure, dtype=np.float64),
+            mass_in_place=np.float64(self.mass_in_place),
+        )
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        with np.load(path) as data:
+            return cls(
+                step=int(data["step"]),
+                time=float(data["time"]),
+                pressure=np.array(data["pressure"], dtype=np.float64),
+                mass_in_place=float(data["mass_in_place"]),
+            )
+
+
+class CheckpointStore:
+    """A rolling store of the most recent checkpoints.
+
+    Keeps the last ``keep`` checkpoints in memory and, when ``directory``
+    is given, mirrored on disk as ``checkpoint_NNNNNN.npz`` (older files
+    are pruned as the window rolls).
+    """
+
+    def __init__(self, directory=None, *, keep: int = 2) -> None:
+        if keep < 1:
+            raise ValueError("checkpoint store needs keep >= 1")
+        self.keep = keep
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._checkpoints: list[Checkpoint] = []
+
+    def _path(self, step: int) -> Path:
+        return self.directory / f"checkpoint_{step:06d}.npz"
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        """Record *checkpoint*, evicting beyond the keep window."""
+        self._checkpoints.append(checkpoint)
+        if self.directory is not None:
+            checkpoint.save(self._path(checkpoint.step))
+        while len(self._checkpoints) > self.keep:
+            evicted = self._checkpoints.pop(0)
+            if self.directory is not None:
+                self._path(evicted.step).unlink(missing_ok=True)
+
+    def latest(self) -> Checkpoint | None:
+        """Most recent checkpoint, or None when empty."""
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    @classmethod
+    def open(cls, directory, *, keep: int = 2) -> "CheckpointStore":
+        """Reload a store from the checkpoints present in *directory*.
+
+        This is the restart path after a crash: the surviving ``.npz``
+        files (oldest first, at most ``keep``) populate the new store,
+        and :meth:`latest` is the state to resume from.
+        """
+        store = cls(directory, keep=keep)
+        paths = sorted(Path(directory).glob("checkpoint_*.npz"))
+        for path in paths[-keep:]:
+            store._checkpoints.append(Checkpoint.load(path))
+        return store

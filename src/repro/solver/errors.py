@@ -1,0 +1,51 @@
+"""Structured solver failure exceptions.
+
+A diverging Newton loop or a broken-down Krylov iteration used to fail
+in one of two bad ways: silently returning NaN-laden "results", or
+raising a bare ``RuntimeError`` with no history attached.  These types
+keep the ``RuntimeError`` contract (existing callers and tests still
+catch them) while carrying the solver name, the iteration count, and
+the residual-norm history the obs spans were already recording — enough
+for a chaos harness or an operator to see *how* the solve died.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SolverDivergence", "KrylovBreakdown"]
+
+
+class SolverDivergence(RuntimeError):
+    """A solver produced non-finite numbers or failed to converge.
+
+    Attributes
+    ----------
+    solver:
+        Dotted solver name (``"newton"``, ``"krylov.bicgstab"``, ...).
+    iterations:
+        Iterations completed when the failure was detected.
+    history:
+        Residual norms per iteration up to the failure.
+    """
+
+    def __init__(
+        self,
+        solver: str,
+        message: str,
+        *,
+        iterations: int = 0,
+        history=None,
+    ) -> None:
+        self.solver = solver
+        self.iterations = iterations
+        self.history = [float(h) for h in (history or [])]
+        super().__init__(f"{solver}: {message}")
+
+
+class KrylovBreakdown(SolverDivergence):
+    """An exact-zero inner product broke the Krylov recurrence.
+
+    Distinct from slow convergence: the iteration *cannot* continue
+    (division by zero in the recurrence), so the caller must restart,
+    re-precondition, or fall back — silently returning the current
+    iterate would hide the failure.
+    """

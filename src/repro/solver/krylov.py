@@ -17,6 +17,7 @@ from typing import Callable
 import numpy as np
 
 from repro.obs.spans import span
+from repro.solver.errors import KrylovBreakdown, SolverDivergence
 
 __all__ = ["KrylovResult", "conjugate_gradient", "bicgstab", "jacobi_preconditioner"]
 
@@ -98,12 +99,23 @@ def conjugate_gradient(
     bnorm = float(np.linalg.norm(b))
     target = max(rtol * bnorm, atol)
     history = [float(np.linalg.norm(r))]
+    if not np.isfinite(history[-1]):
+        raise SolverDivergence(
+            "krylov.cg", "non-finite initial residual", history=history
+        )
     if history[-1] <= target:
         return KrylovResult(x, True, 0, history[-1], history)
     for it in range(1, max_iterations + 1):
         ap = np.asarray(matvec(p)).ravel()
         pap = float(p @ ap)
-        if pap <= 0:
+        if pap == 0.0:
+            raise KrylovBreakdown(
+                "krylov.cg",
+                f"breakdown at iteration {it}: p.Ap = 0 (zero inner product)",
+                iterations=it,
+                history=history,
+            )
+        if pap < 0:
             # operator not SPD along p: report non-convergence honestly
             return KrylovResult(x, False, it, history[-1], history)
         alpha = rz / pap
@@ -111,6 +123,13 @@ def conjugate_gradient(
         r -= alpha * ap
         rnorm = float(np.linalg.norm(r))
         history.append(rnorm)
+        if not np.isfinite(rnorm):
+            raise SolverDivergence(
+                "krylov.cg",
+                f"residual norm became {rnorm} at iteration {it}",
+                iterations=it,
+                history=history,
+            )
         if rnorm <= target:
             return KrylovResult(x, True, it, rnorm, history)
         z = psolve(r) if psolve else r
@@ -142,12 +161,21 @@ def bicgstab(
     bnorm = float(np.linalg.norm(b))
     target = max(rtol * bnorm, atol)
     history = [float(np.linalg.norm(r))]
+    if not np.isfinite(history[-1]):
+        raise SolverDivergence(
+            "krylov.bicgstab", "non-finite initial residual", history=history
+        )
     if history[-1] <= target:
         return KrylovResult(x, True, 0, history[-1], history)
     for it in range(1, max_iterations + 1):
         rho_new = float(r_hat @ r)
         if rho_new == 0.0:
-            return KrylovResult(x, False, it, history[-1], history)
+            raise KrylovBreakdown(
+                "krylov.bicgstab",
+                f"breakdown at iteration {it}: rhat.r = 0 (zero inner product)",
+                iterations=it,
+                history=history,
+            )
         beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
         rho = rho_new
         p = r + beta * (p - omega * v) if it > 1 else r.copy()
@@ -155,10 +183,22 @@ def bicgstab(
         v = np.asarray(matvec(phat)).ravel()
         denom = float(r_hat @ v)
         if denom == 0.0:
-            return KrylovResult(x, False, it, history[-1], history)
+            raise KrylovBreakdown(
+                "krylov.bicgstab",
+                f"breakdown at iteration {it}: rhat.v = 0 (zero inner product)",
+                iterations=it,
+                history=history,
+            )
         alpha = rho / denom
         s = r - alpha * v
         snorm = float(np.linalg.norm(s))
+        if not np.isfinite(snorm):
+            raise SolverDivergence(
+                "krylov.bicgstab",
+                f"intermediate residual norm became {snorm} at iteration {it}",
+                iterations=it,
+                history=history,
+            )
         if snorm <= target:
             x += alpha * phat
             history.append(snorm)
@@ -167,14 +207,31 @@ def bicgstab(
         t = np.asarray(matvec(shat)).ravel()
         tt = float(t @ t)
         if tt == 0.0:
-            return KrylovResult(x, False, it, snorm, history)
+            raise KrylovBreakdown(
+                "krylov.bicgstab",
+                f"breakdown at iteration {it}: t.t = 0 (zero inner product)",
+                iterations=it,
+                history=history,
+            )
         omega = float(t @ s) / tt
         x += alpha * phat + omega * shat
         r = s - omega * t
         rnorm = float(np.linalg.norm(r))
         history.append(rnorm)
+        if not np.isfinite(rnorm):
+            raise SolverDivergence(
+                "krylov.bicgstab",
+                f"residual norm became {rnorm} at iteration {it}",
+                iterations=it,
+                history=history,
+            )
         if rnorm <= target:
             return KrylovResult(x, True, it, rnorm, history)
         if omega == 0.0:
-            return KrylovResult(x, False, it, rnorm, history)
+            raise KrylovBreakdown(
+                "krylov.bicgstab",
+                f"breakdown at iteration {it}: omega = 0 (stagnation)",
+                iterations=it,
+                history=history,
+            )
     return KrylovResult(x, False, max_iterations, history[-1], history)

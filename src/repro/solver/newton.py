@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs.spans import span
+from repro.solver.errors import SolverDivergence
 from repro.solver.krylov import bicgstab, jacobi_preconditioner
 from repro.solver.operators import FlowResidual, MatrixFreeJacobian
 
@@ -70,6 +71,12 @@ def newton_solve(
     target = max(rtol * r0_norm, atol)
     linear_total = 0
 
+    if not np.isfinite(r0_norm):
+        raise SolverDivergence(
+            "newton",
+            f"initial residual is {r0_norm} (bad state or dt)",
+            history=history,
+        )
     if r0_norm <= target:
         return NewtonResult(p, True, 0, r0_norm, history, 0)
 
@@ -77,13 +84,21 @@ def newton_solve(
         with span("newton.iteration", cat="solver", iteration=it) as sp:
             jac = MatrixFreeJacobian(residual, p)
             psolve = jacobi_preconditioner(jac.diagonal())
-            lin = bicgstab(
-                jac.matvec,
-                -r.ravel(),
-                rtol=linear_rtol,
-                max_iterations=10 * jac.n,
-                psolve=psolve,
-            )
+            try:
+                lin = bicgstab(
+                    jac.matvec,
+                    -r.ravel(),
+                    rtol=linear_rtol,
+                    max_iterations=10 * jac.n,
+                    psolve=psolve,
+                )
+            except SolverDivergence as exc:
+                raise SolverDivergence(
+                    "newton",
+                    f"linear solve failed at iteration {it}: {exc}",
+                    iterations=it - 1,
+                    history=history,
+                ) from exc
             linear_total += lin.iterations
             dp = lin.x.reshape(mesh.shape_zyx)
 
@@ -106,6 +121,13 @@ def newton_solve(
 
             p, r = p_try, r_try
             history.append(best_norm)
+            if not np.isfinite(best_norm):
+                raise SolverDivergence(
+                    "newton",
+                    f"residual norm became {best_norm} at iteration {it}",
+                    iterations=it,
+                    history=history,
+                )
             sp.set(
                 linear_iterations=lin.iterations,
                 residual_norm=best_norm,

@@ -16,6 +16,8 @@ from repro.core import constants
 from repro.core.fluid import FluidProperties
 from repro.core.mesh import CartesianMesh3D
 from repro.core.transmissibility import Transmissibility
+from repro.solver.checkpoint import Checkpoint, CheckpointStore
+from repro.solver.errors import SolverDivergence
 from repro.solver.newton import NewtonResult, newton_solve
 from repro.solver.operators import FlowResidual
 
@@ -107,6 +109,7 @@ class SinglePhaseFlowSimulator:
             self.pressure = np.array(initial_pressure, dtype=np.float64)
             mesh.validate_field(self.pressure, name="initial_pressure")
         self.time = 0.0
+        self.steps_completed = 0
         self.reports: list[StepReport] = []
 
     # ------------------------------------------------------------------ #
@@ -125,9 +128,9 @@ class SinglePhaseFlowSimulator:
 
         Raises
         ------
-        RuntimeError
-            When Newton fails to converge (callers may retry with a
-            smaller dt).
+        SolverDivergence
+            When Newton fails to converge or diverges (callers may retry
+            with a smaller dt, or restore a checkpoint).
         """
         residual = FlowResidual(
             self.mesh,
@@ -140,13 +143,17 @@ class SinglePhaseFlowSimulator:
         )
         result = newton_solve(residual, self.pressure, **newton_kwargs)
         if not result.converged:
-            raise RuntimeError(
+            raise SolverDivergence(
+                "newton",
                 f"Newton failed at t={self.time:.6g}s with dt={dt:.6g}s "
                 f"(|R|={result.residual_norm:.3e} after "
-                f"{result.iterations} iterations)"
+                f"{result.iterations} iterations)",
+                iterations=result.iterations,
+                history=result.residual_history,
             )
         self.pressure = result.pressure
         self.time += dt
+        self.steps_completed += 1
         report = StepReport(
             time=self.time,
             dt=dt,
@@ -157,11 +164,58 @@ class SinglePhaseFlowSimulator:
         self.reports.append(report)
         return report
 
-    def run(self, num_steps: int, dt: float, **newton_kwargs) -> list[StepReport]:
-        """Advance *num_steps* equal steps; returns their reports."""
+    def run(
+        self,
+        num_steps: int,
+        dt: float,
+        *,
+        checkpoint_store: CheckpointStore | None = None,
+        checkpoint_every: int = 1,
+        **newton_kwargs,
+    ) -> list[StepReport]:
+        """Advance *num_steps* equal steps; returns their reports.
+
+        With a *checkpoint_store*, the converged state is checkpointed
+        after every ``checkpoint_every``-th accepted step, so a crashed
+        run can :meth:`restore` the store's latest checkpoint and resume
+        bit-identically.
+        """
         if num_steps < 1:
             raise ValueError("num_steps must be >= 1")
-        return [self.step(dt, **newton_kwargs) for _ in range(num_steps)]
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        reports = []
+        for _ in range(num_steps):
+            report = self.step(dt, **newton_kwargs)
+            reports.append(report)
+            if (
+                checkpoint_store is not None
+                and self.steps_completed % checkpoint_every == 0
+            ):
+                checkpoint_store.save(self.checkpoint())
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint/restart
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> Checkpoint:
+        """The current restartable state (converged pressure is all of it)."""
+        return Checkpoint(
+            step=self.steps_completed,
+            time=self.time,
+            pressure=self.pressure.copy(),
+            mass_in_place=self.mass_in_place(),
+        )
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Resume from *checkpoint*: subsequent steps reproduce the
+        uninterrupted trajectory bit-for-bit (backward Euler depends only
+        on the previous converged pressure)."""
+        pressure = np.array(checkpoint.pressure, dtype=np.float64)
+        self.mesh.validate_field(pressure, name="checkpoint pressure")
+        self.pressure = pressure
+        self.time = float(checkpoint.time)
+        self.steps_completed = int(checkpoint.step)
 
     # ------------------------------------------------------------------ #
     @property

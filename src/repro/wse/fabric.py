@@ -38,6 +38,12 @@ class Fabric:
     vectorized:
         Whether PE datapaths use the SIMD/DSD fast path (Sec. 5.3.3);
         affects cycle accounting only.
+    bypass_columns:
+        Physical columns taken out of service (CS-2 yield handling:
+        defective columns are fused out and east/west traffic passes
+        straight through them with no extra hop cost).  The runtime's
+        link-destination table walks past these columns transparently;
+        their PEs/routers exist but never see traffic.
     """
 
     def __init__(
@@ -48,6 +54,7 @@ class Fabric:
         pe_memory_bytes: int = WSE2_PE_MEMORY_BYTES,
         pe_memory_reserved: int = 0,
         vectorized: bool = True,
+        bypass_columns=(),
     ) -> None:
         if width < 1 or height < 1:
             raise ValueError("fabric dimensions must be positive")
@@ -57,6 +64,14 @@ class Fabric:
                 f"fabric {width}x{height} exceeds the usable WSE-2 fabric "
                 f"{max_w}x{max_h}"
             )
+        self.bypass_columns = frozenset(bypass_columns)
+        for col in self.bypass_columns:
+            if not 0 <= col < width:
+                raise ValueError(
+                    f"bypass column {col} outside fabric width {width}"
+                )
+        if len(self.bypass_columns) >= width:
+            raise ValueError("cannot bypass every fabric column")
         self.width = width
         self.height = height
         self._pes: dict[tuple[int, int], ProcessingElement] = {}

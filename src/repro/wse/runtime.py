@@ -34,6 +34,7 @@ import heapq
 from dataclasses import dataclass, fields
 from typing import Callable
 
+from repro.faults.errors import EventBudgetError, FabricStallError
 from repro.wse.fabric import Fabric
 from repro.wse.geometry import OFFSET, OPPOSITE, Port
 from repro.wse.packet import KIND_CONTROL, KIND_DATA, Message
@@ -59,9 +60,11 @@ class RuntimeStats:
     messages_injected: int = 0
     messages_delivered: int = 0
     messages_dropped_offchip: int = 0
+    messages_dropped_faulted: int = 0
     control_advances: int = 0
     fabric_word_hops: int = 0
     max_hops_seen: int = 0
+    runs_truncated: int = 0
 
     @property
     def fabric_bytes_moved(self) -> int:
@@ -107,6 +110,17 @@ class EventRuntime:
         Use this sink instead of creating one (implies ``trace=True``).
         Externally-owned sinks survive :meth:`reset`, so one sink can
         aggregate a whole multi-application run.
+    faults:
+        A :class:`~repro.faults.injector.FaultInjector` to consult on
+        every injection, hop and delivery.  ``None`` (the default)
+        compiles the fault hooks down to a single false boolean check —
+        the same zero-cost-when-disabled pattern as the trace guard.
+    watchdog_cycles:
+        Progress watchdog threshold: if the gap between an event's
+        timestamp and the last delivery exceeds this many cycles,
+        :meth:`run` raises :class:`~repro.faults.errors.FabricStallError`
+        with an obs-layer diagnostic report.  ``None`` disables the
+        watchdog (and keeps the tight event loop).
     """
 
     def __init__(
@@ -117,6 +131,8 @@ class EventRuntime:
         trace: bool = False,
         trace_capacity: int | None = 1024,
         trace_sink=None,
+        faults=None,
+        watchdog_cycles: float | None = None,
     ) -> None:
         self.fabric = fabric
         self.perf = perf
@@ -145,6 +161,12 @@ class EventRuntime:
             self._sink_ring_append = self.trace_sink._ring_append
             self._sink_agg = self.trace_sink._agg
             self._sink_links = self.trace_sink._links
+        self.faults = faults
+        #: single-boolean fault guard: True only when an injector with
+        #: fabric-side faults is attached (mirrors the trace guard)
+        self._fault_check = faults is not None and faults.fabric_active
+        self._fault_dead = faults.dead if self._fault_check else frozenset()
+        self.watchdog_cycles = watchdog_cycles
         self._heap: list[tuple] = []
         self._seq = 0
         #: busy-until time of each directed link, keyed by the packed int
@@ -160,17 +182,25 @@ class EventRuntime:
         self._injection_overhead = perf.injection_overhead_cycles
         #: coord -> port-indexed tuple of link destinations (None when the
         #: link leaves the fabric): replaces per-hop coordinate arithmetic
-        #: and bounds checks with one lookup
+        #: and bounds checks with one lookup.  Bypassed columns (spare-
+        #: column remap of dead PEs, CS-2 yield style) are walked past
+        #: transparently on east/west links: one logical hop still costs
+        #: one link transfer, so event timestamps — and summation order —
+        #: match the healthy fabric bit-for-bit.
         width, height = self._width, self._height
-        self._dests: dict[tuple[int, int], tuple] = {
-            (x, y): tuple(
-                (x + dx, y + dy)
-                if 0 <= x + dx < width and 0 <= y + dy < height
-                else None
-                for dx, dy in OFFSET
-            )
-            for (x, y) in self._pes
-        }
+        bypass = getattr(fabric, "bypass_columns", frozenset())
+        self._dests: dict[tuple[int, int], tuple] = {}
+        for (x, y) in self._pes:
+            row = []
+            for dx, dy in OFFSET:
+                nx, ny = x + dx, y + dy
+                if dx and bypass:
+                    while 0 <= nx < width and nx in bypass:
+                        nx += dx
+                row.append(
+                    (nx, ny) if 0 <= nx < width and 0 <= ny < height else None
+                )
+            self._dests[(x, y)] = tuple(row)
         #: coord -> bound ``table.get`` of that router's flattened route
         #: table.  Routers mutate their table dict in place (never rebind
         #: it), so the bound method stays valid across switch advances.
@@ -220,14 +250,37 @@ class EventRuntime:
         if self._owns_sink:
             self.trace_sink.clear()
 
-    def run(self, *, max_events: int | None = None) -> float:
-        """Drain the event queue; return the final simulation time."""
+    def run(
+        self,
+        *,
+        max_events: int | None = None,
+        watchdog_cycles: float | None = None,
+    ) -> float:
+        """Drain the event queue; return the final simulation time.
+
+        Raises
+        ------
+        EventBudgetError
+            When ``max_events`` is hit with events still pending.  The
+            truncation is also recorded in
+            :attr:`RuntimeStats.runs_truncated` — a budgeted run can no
+            longer silently masquerade as a completed one.
+        FabricStallError
+            When the watchdog (``watchdog_cycles`` here, or the
+            constructor default) sees the gap between the next event's
+            timestamp and the last delivery exceed the threshold.  The
+            error carries a diagnostic report of in-flight messages and
+            last-active links; the offending event is pushed back so the
+            heap stays inspectable post-mortem.
+        """
+        if watchdog_cycles is None:
+            watchdog_cycles = self.watchdog_cycles
         heap = self._heap
         pop = heapq.heappop
         arrive = self._arrive
         processed = 0
         try:
-            if max_events is None:
+            if max_events is None and watchdog_cycles is None:
                 # common path: no budget check, and the _arrive body is
                 # inlined to drop one Python call per fabric event
                 routers = self._routers
@@ -264,13 +317,33 @@ class EventRuntime:
                     else:
                         event[3](*event[4])
             else:
+                stats = self.stats
+                delivered = stats.messages_delivered
+                last_progress = self.now
                 while heap:
-                    if processed >= max_events:
-                        raise RuntimeError(
-                            f"event budget exhausted after {processed} events "
-                            "(possible protocol livelock)"
+                    if max_events is not None and processed >= max_events:
+                        stats.runs_truncated += 1
+                        raise EventBudgetError(
+                            processed=processed,
+                            pending=len(heap),
+                            now=self.now,
                         )
                     event = pop(heap)
+                    if watchdog_cycles is not None:
+                        if stats.messages_delivered != delivered:
+                            delivered = stats.messages_delivered
+                            last_progress = self.now
+                        idle = event[0] - last_progress
+                        if idle > watchdog_cycles:
+                            heapq.heappush(heap, event)
+                            from repro.obs.report import stall_report
+
+                            raise FabricStallError(
+                                now=self.now,
+                                idle_cycles=idle,
+                                watchdog_cycles=watchdog_cycles,
+                                report=stall_report(self),
+                            )
                     self.now = event[0]
                     processed += 1
                     if event[2] == _EV_ARRIVE:
@@ -311,6 +384,10 @@ class EventRuntime:
         msg = Message(color=color, payload=payload, kind=kind, source=coord)
         if meta:
             msg.meta.update(meta)
+        if self._fault_check and coord in self._fault_dead:
+            # a dead PE never gets to run its send
+            self.faults.stats.injections_suppressed += 1
+            return msg
         pe.messages_sent += 1
         pe.words_sent += msg.num_words
         entry = (at if at is not None else self.now) + self._injection_overhead
@@ -369,6 +446,14 @@ class EventRuntime:
         start = link_busy.get(key, 0.0)
         if start < self.now:
             start = self.now
+        if self._fault_check:
+            fate = self.faults.on_hop(coord, out_port, msg)
+            if fate < 0.0:
+                # dropped at the sender's egress: the packet never
+                # occupies the link
+                self.stats.messages_dropped_faulted += 1
+                return
+            start += fate
         words = msg.num_words
         finish = start + self._hop_latency + words / self._link_rate
         link_busy[key] = finish
@@ -404,6 +489,10 @@ class EventRuntime:
 
     def _deliver(self, coord: tuple[int, int], msg: Message) -> None:
         """Hand a message to the PE at *coord* and run its bound task."""
+        if self._fault_check and coord in self._fault_dead:
+            # a dead PE's RAMP eats the wavelet silently
+            self.faults.stats.deliveries_suppressed += 1
+            return
         pe = self._pes[coord]
         pe.messages_received += 1
         pe.words_received += msg.num_words

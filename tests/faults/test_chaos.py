@@ -1,0 +1,93 @@
+"""The chaos harness and the ``repro chaos`` CLI end to end."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults import ChaosReport, FaultOutcome, FaultPlan, run_chaos
+
+
+class TestOutcomeSemantics:
+    def test_status_ladder(self):
+        base = dict(scenario="s", fault="f", injected=True)
+        assert FaultOutcome(**base, detected=False, recovered=True).status == "RECOVERED"
+        assert FaultOutcome(**base, detected=True, recovered=False).status == "DETECTED"
+        assert (
+            FaultOutcome(**base, detected=False, recovered=False, benign=True).status
+            == "BENIGN"
+        )
+        assert FaultOutcome(**base, detected=False, recovered=False).status == "MISSED"
+        missed = FaultOutcome(
+            scenario="s", fault="f", injected=False, detected=True, recovered=True
+        )
+        assert missed.status == "NOT INJECTED"
+        assert not missed.ok
+
+    def test_empty_report_is_not_ok(self):
+        report = ChaosReport(seed=0, fabric_shape=(4, 4), ranks=4, plan=FaultPlan())
+        assert not report.ok
+
+
+class TestRunChaos:
+    def test_seeded_plan_fully_detected_or_recovered(self):
+        """The ISSUE acceptance scenario: seeded plan on a 4x4 fabric with
+        a dead PE, a lossy link and a transient rank failure."""
+        report = run_chaos(seed=7)
+        assert report.ok, report.render()
+        scenarios = {o.scenario: o for o in report.outcomes}
+        assert scenarios["dead-pe/detect"].detected
+        assert scenarios["dead-pe/remap"].recovered
+        assert "bit-identical" in scenarios["dead-pe/remap"].detail
+        assert scenarios["link-drop/detect"].detected
+        assert scenarios["rank-failure/re-exchange"].recovered
+        assert scenarios["solver/checkpoint-restart"].recovered
+
+    def test_report_is_deterministic(self):
+        a = run_chaos(seed=11, include_checkpoint_drill=False)
+        b = run_chaos(seed=11, include_checkpoint_drill=False)
+        assert a.as_dict() == b.as_dict()
+
+    def test_router_stall_plan_trips_watchdog(self):
+        plan = FaultPlan.seeded(
+            3, fabric_shape=(4, 4),
+            dead_pes=0, lossy_links=0, rank_failures=0,
+            router_stalls=1, stall_cycles=1e6,
+        )
+        report = run_chaos(
+            plan, include_corruption=False, include_checkpoint_drill=False
+        )
+        assert report.ok
+        (outcome,) = report.outcomes
+        assert outcome.scenario == "router-stall/watchdog"
+        assert "stalled" in outcome.detail
+
+    def test_render_names_every_scenario(self):
+        report = run_chaos(seed=7, include_checkpoint_drill=False)
+        text = report.render()
+        for outcome in report.outcomes:
+            assert outcome.scenario in text
+        assert "CHAOS PASSED" in text
+
+
+class TestChaosCli:
+    def test_chaos_exit_zero_and_json_report(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "chaos.json"
+        code = main(["chaos", "--seed", "7", "--out", str(path)], out=out)
+        assert code == 0
+        assert "CHAOS PASSED" in out.getvalue()
+        doc = json.loads(path.read_text())
+        assert doc["ok"] is True
+        assert len(doc["outcomes"]) == 6
+        assert doc["plan"]["seed"] == 7
+
+    def test_chaos_accepts_a_plan_file(self, tmp_path):
+        plan = FaultPlan.seeded(5, fabric_shape=(4, 4), ranks=4)
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan.to_dict()))
+        out = io.StringIO()
+        code = main(["chaos", "--plan", str(plan_path)], out=out)
+        assert code == 0
+        assert "seed 5" in out.getvalue()

@@ -1,0 +1,97 @@
+"""Checkpoint/restart of the implicit solver: bit-exact resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D, FluidProperties
+from repro.solver import (
+    Checkpoint,
+    CheckpointStore,
+    SinglePhaseFlowSimulator,
+    Well,
+)
+
+
+def make_sim(mesh):
+    return SinglePhaseFlowSimulator(
+        mesh, FluidProperties(), wells=[Well(2, 2, 1, rate=0.5)]
+    )
+
+
+class TestCheckpointIO:
+    def test_npz_round_trip_is_bit_exact(self, tmp_path):
+        pressure = np.random.default_rng(0).normal(1.5e7, 1e5, (2, 3, 4))
+        ck = Checkpoint(step=7, time=25200.0, pressure=pressure, mass_in_place=5.0)
+        path = tmp_path / "ck.npz"
+        ck.save(path)
+        loaded = Checkpoint.load(path)
+        assert loaded.step == 7
+        assert loaded.time == 25200.0
+        assert loaded.mass_in_place == 5.0
+        assert loaded.pressure.tobytes() == pressure.tobytes()
+
+    def test_store_keeps_a_rolling_window(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for step in range(4):
+            store.save(Checkpoint(step=step, time=step * 1.0, pressure=np.zeros(2)))
+        assert len(store) == 2
+        assert store.latest().step == 3
+        files = sorted(p.name for p in tmp_path.glob("checkpoint_*.npz"))
+        assert files == ["checkpoint_000002.npz", "checkpoint_000003.npz"]
+
+    def test_store_open_resumes_from_disk(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for step in range(3):
+            store.save(
+                Checkpoint(step=step, time=step * 1.0, pressure=np.full(3, step))
+            )
+        reopened = CheckpointStore.open(tmp_path, keep=2)
+        assert len(reopened) == 2
+        assert reopened.latest().step == 2
+        np.testing.assert_array_equal(reopened.latest().pressure, np.full(3, 2.0))
+
+    def test_store_needs_positive_keep(self):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointStore(keep=0)
+
+    def test_in_memory_store_needs_no_directory(self):
+        store = CheckpointStore(keep=1)
+        store.save(Checkpoint(step=0, time=0.0, pressure=np.zeros(1)))
+        assert store.latest().step == 0
+
+
+class TestRestartEquivalence:
+    def test_resumed_run_matches_uninterrupted_bit_for_bit(self, tmp_path):
+        mesh = CartesianMesh3D(5, 5, 2)
+        dt, steps, crash_at = 3600.0, 5, 3
+
+        reference = make_sim(mesh)
+        reference.run(steps, dt)
+
+        victim = make_sim(mesh)
+        victim.run(crash_at, dt, checkpoint_store=CheckpointStore(tmp_path))
+        del victim  # the crash: all in-process state is lost
+
+        resumed = make_sim(mesh)
+        resumed.restore(CheckpointStore.open(tmp_path).latest())
+        assert resumed.steps_completed == crash_at
+        assert resumed.time == crash_at * dt
+        resumed.run(steps - crash_at, dt)
+
+        assert resumed.pressure.tobytes() == reference.pressure.tobytes()
+        assert resumed.time == reference.time
+        assert resumed.steps_completed == reference.steps_completed
+
+    def test_checkpoint_every_thins_the_stream(self):
+        mesh = CartesianMesh3D(4, 4, 2)
+        store = CheckpointStore(keep=10)
+        sim = make_sim(mesh)
+        sim.run(4, 3600.0, checkpoint_store=store, checkpoint_every=2)
+        assert [ck.step for ck in store._checkpoints] == [2, 4]
+
+    def test_restore_validates_shape(self):
+        mesh = CartesianMesh3D(4, 4, 2)
+        sim = make_sim(mesh)
+        bad = Checkpoint(step=1, time=3600.0, pressure=np.zeros((1, 2, 3)))
+        with pytest.raises(ValueError):
+            sim.restore(bad)

@@ -1,0 +1,141 @@
+"""Unit tests for FaultInjector: hop fates, corruption, rank windows."""
+
+import numpy as np
+
+from repro.faults import (
+    DeadPE,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    LinkFault,
+    RankFailure,
+    RouterStall,
+)
+from repro.faults.injector import DROP
+from repro.wse.geometry import Port
+from repro.wse.packet import KIND_CONTROL, Message
+
+
+def make_msg(words=4):
+    return Message(0, np.arange(1, words + 1, dtype=np.float64), source=(0, 0))
+
+
+class TestFabricSide:
+    def test_dead_set_from_plan(self):
+        inj = FaultInjector(FaultPlan(dead_pes=(DeadPE(1, 2), DeadPE(0, 0))))
+        assert inj.dead == {(1, 2), (0, 0)}
+        assert inj.fabric_active
+
+    def test_inactive_when_plan_empty(self):
+        inj = FaultInjector(FaultPlan())
+        assert not inj.fabric_active and not inj.rank_active
+
+    def test_drop_link_returns_drop_and_counts(self):
+        inj = FaultInjector(
+            FaultPlan(link_faults=(LinkFault(1, 1, Port.EAST, mode="drop"),))
+        )
+        assert inj.on_hop((1, 1), Port.EAST, make_msg()) == DROP
+        assert inj.on_hop((1, 1), Port.WEST, make_msg()) == 0.0
+        assert inj.on_hop((2, 1), Port.EAST, make_msg()) == 0.0
+        assert inj.stats.packets_dropped == 1
+
+    def test_delay_link_adds_cycles(self):
+        inj = FaultInjector(
+            FaultPlan(
+                link_faults=(
+                    LinkFault(0, 0, Port.SOUTH, mode="delay", delay_cycles=33.0),
+                )
+            )
+        )
+        assert inj.on_hop((0, 0), Port.SOUTH, make_msg()) == 33.0
+        assert inj.stats.packets_delayed == 1
+
+    def test_router_stall_applies_to_every_egress(self):
+        inj = FaultInjector(
+            FaultPlan(router_stalls=(RouterStall(2, 2, stall_cycles=100.0),))
+        )
+        for port in (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH):
+            assert inj.on_hop((2, 2), port, make_msg()) == 100.0
+        assert inj.on_hop((1, 2), Port.EAST, make_msg()) == 0.0
+        assert inj.stats.hops_stalled == 4
+
+    def test_stall_and_link_delay_compose(self):
+        inj = FaultInjector(
+            FaultPlan(
+                link_faults=(
+                    LinkFault(2, 2, Port.EAST, mode="delay", delay_cycles=5.0),
+                ),
+                router_stalls=(RouterStall(2, 2, stall_cycles=100.0),),
+            )
+        )
+        assert inj.on_hop((2, 2), Port.EAST, make_msg()) == 105.0
+
+    def test_corruption_copies_payload(self):
+        """Multicast forks share payload arrays: corruption must replace
+        the message's payload with a flipped copy, not mutate in place."""
+        inj = FaultInjector(
+            FaultPlan(link_faults=(LinkFault(0, 0, Port.EAST, mode="corrupt"),))
+        )
+        original = np.arange(1, 5, dtype=np.float64)
+        msg = Message(0, original, source=(0, 0))
+        shared = msg.payload
+        assert inj.on_hop((0, 0), Port.EAST, msg) == 0.0
+        assert inj.stats.packets_corrupted == 1
+        assert msg.payload is not shared
+        np.testing.assert_array_equal(shared, np.arange(1, 5, dtype=np.float64))
+        assert int((msg.payload != shared).sum()) == 1  # exactly one word flipped
+
+    def test_control_wavelets_not_corrupted(self):
+        inj = FaultInjector(
+            FaultPlan(link_faults=(LinkFault(0, 0, Port.EAST, mode="corrupt"),))
+        )
+        msg = Message(0, kind=KIND_CONTROL, source=(0, 0))
+        assert inj.on_hop((0, 0), Port.EAST, msg) == 0.0
+        assert msg.payload is None
+        assert inj.stats.packets_corrupted == 0
+
+    def test_probabilistic_fault_is_seed_deterministic(self):
+        plan = FaultPlan(
+            seed=21,
+            link_faults=(LinkFault(0, 0, Port.EAST, mode="drop", probability=0.5),),
+        )
+        fates_a = [FaultInjector(plan).on_hop((0, 0), Port.EAST, make_msg())]
+        inj_a, inj_b = FaultInjector(plan), FaultInjector(plan)
+        fates_a = [inj_a.on_hop((0, 0), Port.EAST, make_msg()) for _ in range(32)]
+        fates_b = [inj_b.on_hop((0, 0), Port.EAST, make_msg()) for _ in range(32)]
+        assert fates_a == fates_b
+        assert DROP in fates_a and 0.0 in fates_a  # both fates occur
+
+
+class TestRankSide:
+    def test_failure_window_scopes_to_exchange_and_attempt(self):
+        inj = FaultInjector(
+            FaultPlan(rank_failures=(RankFailure(rank=1, exchange=1, attempts=2),))
+        )
+        assert not inj.rank_down(1)  # before any exchange
+        inj.begin_exchange()  # exchange 0
+        assert not inj.rank_down(1)
+        inj.begin_exchange()  # exchange 1: down for 2 attempts
+        assert inj.rank_down(1)
+        assert not inj.rank_down(0)
+        inj.begin_retry()  # attempt 1: still down
+        assert inj.rank_down(1)
+        inj.begin_retry()  # attempt 2: recovered
+        assert not inj.rank_down(1)
+        inj.begin_exchange()  # exchange 2: stays up
+        assert not inj.rank_down(1)
+
+
+class TestFaultStats:
+    def test_merge_and_fabric_events(self):
+        a = FaultStats(packets_dropped=1, hops_stalled=2)
+        b = FaultStats(packets_dropped=3, sends_dropped=7, packets_corrupted=1)
+        a.merge(b)
+        assert a.packets_dropped == 4
+        assert a.sends_dropped == 7
+        assert a.fabric_events == 4 + 2 + 1  # sends_dropped is cluster-side
+        assert set(a.as_dict()) == {
+            "packets_dropped", "packets_corrupted", "packets_delayed",
+            "hops_stalled", "injections_suppressed", "deliveries_suppressed",
+            "sends_dropped",
+        }

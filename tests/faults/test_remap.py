@@ -1,0 +1,82 @@
+"""Spare-column remapping: mapping algebra and fabric bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D, FluidProperties, random_pressure
+from repro.dataflow import SpareColumnRemap, WseFluxComputation
+from repro.faults import DeadPE, FaultInjector, FaultPlan, FaultPlanError
+
+
+class TestMappingAlgebra:
+    def test_identity(self):
+        remap = SpareColumnRemap.identity(3, 2)
+        assert remap.physical_width == 3
+        assert remap.bypassed_columns == frozenset()
+        for x in range(3):
+            assert remap.physical((x, 1)) == (x, 1)
+            assert remap.logical((x, 1)) == (x, 1)
+
+    def test_around_dead_pes_skips_their_columns(self):
+        remap = SpareColumnRemap.around_dead_pes((4, 4), [(1, 2)])
+        assert remap.physical_width == 5
+        assert remap.column_map == (0, 2, 3, 4)
+        assert remap.bypassed_columns == frozenset({1})
+        assert remap.physical((1, 0)) == (2, 0)
+        assert remap.logical((2, 0)) == (1, 0)
+        assert remap.logical((1, 0)) is None  # bypassed column hosts nothing
+
+    def test_multiple_dead_columns_need_enough_spares(self):
+        remap = SpareColumnRemap.around_dead_pes(
+            (4, 4), [(0, 0), (2, 3)], spare_columns=2
+        )
+        assert remap.column_map == (1, 3, 4, 5)
+        with pytest.raises(FaultPlanError, match="spare"):
+            SpareColumnRemap.around_dead_pes((4, 4), [(0, 0), (2, 3)])
+
+    def test_two_dead_pes_in_one_column_cost_one_spare(self):
+        remap = SpareColumnRemap.around_dead_pes((4, 4), [(1, 0), (1, 3)])
+        assert remap.bypassed_columns == frozenset({1})
+
+    def test_column_map_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError, match="increasing"):
+            SpareColumnRemap(2, 2, physical_width=3, column_map=(2, 1))
+
+    def test_column_map_length_must_match(self):
+        with pytest.raises(ValueError, match="entries"):
+            SpareColumnRemap(3, 2, physical_width=4, column_map=(0, 1))
+
+
+class TestFabricBitIdentity:
+    def test_remapped_fabric_matches_healthy_bit_for_bit(self):
+        """The ISSUE acceptance check: a 4x4 mesh with a dead PE, remapped
+        around a spare column, reproduces the healthy residual exactly
+        (same timestamps, same summation order, same bits)."""
+        mesh = CartesianMesh3D(4, 4, 3)
+        fluid = FluidProperties()
+        pressure = random_pressure(mesh, seed=3)
+        healthy = WseFluxComputation(mesh, fluid, dtype=np.float64)
+        expected = healthy.run_single(pressure)
+
+        dead = (1, 2)
+        injector = FaultInjector(FaultPlan(dead_pes=(DeadPE(*dead),)))
+        remap = SpareColumnRemap.around_dead_pes((4, 4), [dead])
+        wse = WseFluxComputation(
+            mesh, fluid, dtype=np.float64, remap=remap, faults=injector
+        )
+        result = wse.run_single(pressure)
+
+        assert result.residual.tobytes() == expected.residual.tobytes()
+        assert result.stats == expected.stats
+        assert result.device_cycles == expected.device_cycles
+        # the dead PE is bypassed entirely: the injector never fires
+        assert injector.stats.fabric_events == 0
+
+    def test_without_remap_the_dead_pe_is_detected(self):
+        mesh = CartesianMesh3D(4, 4, 3)
+        injector = FaultInjector(FaultPlan(dead_pes=(DeadPE(1, 2),)))
+        wse = WseFluxComputation(
+            mesh, FluidProperties(), dtype=np.float64, faults=injector
+        )
+        with pytest.raises(RuntimeError, match="expected"):
+            wse.run_single(random_pressure(mesh, seed=3))
