@@ -32,6 +32,11 @@ lockstep:
 gpu_model:
     The GPU execution-model backend (RAJA-style tiled kernels) on the
     same workload — the last backend that was untracked here.
+verifier:
+    Wall-clock time of the static verifier (``repro check``) over the
+    full example-program registry plus the determinism lint of
+    ``src/repro``.  Gated at <10 s by ``--check`` so the merge gate
+    stays cheap enough to run on every PR.
 
 Usage
 -----
@@ -92,6 +97,9 @@ CHECK_TOLERANCE = 0.30
 
 #: Allowed wall-clock overhead of trace=True before --check fails.
 TRACE_OVERHEAD_TOLERANCE = 0.10
+
+#: Wall-clock budget for the static verifier pass before --check fails.
+VERIFIER_BUDGET_SECONDS = 10.0
 
 
 def calibrate(n: int = 200_000) -> float:
@@ -258,6 +266,34 @@ def bench_gpu(
     }
 
 
+def bench_verifier() -> dict:
+    """Static-verifier wall time over the example registry + lint.
+
+    Exactly the work the CI ``check`` job runs, so the tracked number is
+    the cost of the merge gate itself.  Errors found would make the gate
+    fail, so the benchmark also asserts the registry is clean.
+    """
+    from repro.check import check_examples, lint_paths
+
+    t0 = time.perf_counter()
+    reports = check_examples()
+    examples_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    lint = lint_paths(REPO_ROOT / "src" / "repro")
+    lint_seconds = time.perf_counter() - t0
+    errors = sum(len(r.errors) for r in reports.values())
+    findings = sum(len(r.findings) for r in reports.values())
+    return {
+        "programs": len(reports),
+        "examples_seconds": round(examples_seconds, 4),
+        "lint_findings": len(lint),
+        "lint_seconds": round(lint_seconds, 4),
+        "wall_seconds": round(examples_seconds + lint_seconds, 4),
+        "findings": findings,
+        "errors": errors,
+    }
+
+
 def bench_peak_fabric(budget_seconds: float, *, nz: int = 8) -> dict:
     """Largest square fabric whose single application fits the budget."""
     fluid = FluidProperties()
@@ -296,6 +332,7 @@ def measure_entry(*, smoke_only: bool, budget_seconds: float, repeats: int) -> d
         entry["smoke"]["events_per_sec"] / calib, 6
     )
     entry["trace_overhead"] = bench_trace_overhead(**TRACE_WORKLOAD, repeats=repeats)
+    entry["verifier"] = bench_verifier()
     if smoke_only:
         entry["lockstep"] = bench_lockstep(**SMOKE_WORKLOAD, repeats=repeats)
         entry["gpu_model"] = bench_gpu(**SMOKE_WORKLOAD, repeats=repeats)
@@ -372,7 +409,18 @@ def run_check(path: Path, repeats: int) -> int:
         )
         if trace_verdict == "ok":
             break
-    return 0 if (verdict == "ok" and trace_verdict == "ok") else 1
+    verifier = bench_verifier()
+    ver_ok = (
+        verifier["wall_seconds"] < VERIFIER_BUDGET_SECONDS
+        and verifier["errors"] == 0
+    )
+    print(
+        f"check: verifier pass {verifier['wall_seconds']:.2f}s over "
+        f"{verifier['programs']} example program(s) + lint "
+        f"(limit {VERIFIER_BUDGET_SECONDS:.0f}s, {verifier['errors']} error(s)) "
+        f"-> {'ok' if ver_ok else 'REGRESSION'}"
+    )
+    return 0 if (verdict == "ok" and trace_verdict == "ok" and ver_ok) else 1
 
 
 def main(argv: list[str] | None = None) -> int:

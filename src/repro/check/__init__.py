@@ -1,0 +1,78 @@
+"""Static verification of fabric programs (``repro check``).
+
+The paper's CS-2 mapping is only trustworthy because its routing is
+conflict-free *by construction*: dedicated colors per cardinal direction
+and a rotating clockwise schedule for the two-hop diagonals (Sec. 5.2).
+On real hardware a mis-routed color or a switch-schedule slip hangs the
+wafer — and the PR-3 watchdog only catches that *while* the event engine
+is running.  This package proves a compiled fabric program well-formed
+without executing it:
+
+* :mod:`repro.check.graph` — channel-dependency-graph construction and
+  Dally–Seitz deadlock detection (cycle search over the packed route
+  tables, across *all* switch positions including the rotating diagonal
+  schedule);
+* :mod:`repro.check.routes` — color-conflict and dead-route analysis
+  (merging streams on one link, routes that terminate at no RAMP,
+  expected receivers no route can reach, switch schedules that can
+  never advance);
+* :mod:`repro.check.resources` — per-PE scratchpad audit against the
+  48 KB WSE-2 model, buffer-reuse aliasing sanity, DSD descriptor
+  bounds, and ahead-of-build Z-column capacity planning;
+* :mod:`repro.check.determinism` — an AST lint over the source tree
+  flagging unordered-set iteration feeding accumulation, unseeded RNG
+  use, and time-dependent control flow (the hazards that would break
+  the bit-identical cross-validation tests);
+* :mod:`repro.check.runner` — orchestration: one-call verification of a
+  :class:`~repro.dataflow.program.FluxProgram`, a bare fabric, or the
+  registry of shipped example programs.
+
+Every finding carries a severity, the fabric coordinate, and the
+reproducing route/color, so a failed check is actionable; ``repro
+check`` exits nonzero on any ERROR-severity finding.
+"""
+
+from repro.check.determinism import lint_paths, lint_source
+from repro.check.findings import CheckReport, Finding, Severity
+from repro.check.graph import ChannelGraph, build_channel_graph, find_deadlocks
+from repro.check.resources import (
+    check_column_plan,
+    check_dsd_bounds,
+    check_memory,
+)
+from repro.check.routes import (
+    check_color_conflicts,
+    check_cross_program_conflicts,
+    check_routes,
+    check_switch_schedules,
+    claimed_links,
+)
+from repro.check.runner import (
+    EXAMPLE_PROGRAMS,
+    check_examples,
+    check_fabric,
+    check_program,
+)
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "CheckReport",
+    "ChannelGraph",
+    "build_channel_graph",
+    "find_deadlocks",
+    "check_color_conflicts",
+    "check_cross_program_conflicts",
+    "check_routes",
+    "check_switch_schedules",
+    "claimed_links",
+    "check_memory",
+    "check_column_plan",
+    "check_dsd_bounds",
+    "lint_paths",
+    "lint_source",
+    "check_fabric",
+    "check_program",
+    "check_examples",
+    "EXAMPLE_PROGRAMS",
+]

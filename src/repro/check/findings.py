@@ -1,0 +1,155 @@
+"""Finding/report model shared by every static analyzer.
+
+A :class:`Finding` is one verifier observation: a stable machine-readable
+``code``, a :class:`Severity`, a human message, and — whenever the
+analyzer can name them — the fabric coordinate, color, and port that
+reproduce the problem.  Determinism-lint findings carry ``file``/``line``
+instead of fabric coordinates.  :class:`CheckReport` aggregates findings
+across analyzers and decides the process exit code: any ERROR fails.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding", "CheckReport"]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.  Orderable: ``ERROR > WARNING > INFO``."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier observation.
+
+    Attributes
+    ----------
+    code:
+        Stable kebab-case identifier (``deadlock-cycle``,
+        ``color-conflict``, ``mem-overflow``, ``det-unseeded-rng``, ...).
+    severity:
+        ERROR findings gate merges; WARNING/INFO are advisory.
+    message:
+        One-line human description.
+    coord:
+        Fabric coordinate ``(x, y)`` of the offending PE/router.
+    color / color_name:
+        The routing color involved, by id and (when known) name.
+    port:
+        The link direction involved (``"EAST"`` etc.).
+    file / line:
+        Source location for determinism-lint findings.
+    detail:
+        The reproducing route/cycle/measurement, free-form but specific.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    coord: tuple[int, int] | None = None
+    color: int | None = None
+    color_name: str | None = None
+    port: str | None = None
+    file: str | None = None
+    line: int | None = None
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.name,
+            "message": self.message,
+            "coord": list(self.coord) if self.coord is not None else None,
+            "color": self.color,
+            "color_name": self.color_name,
+            "port": self.port,
+            "file": self.file,
+            "line": self.line,
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        where = ""
+        if self.coord is not None:
+            where = f" at PE {self.coord}"
+        elif self.file is not None:
+            where = f" at {self.file}:{self.line}"
+        color = ""
+        if self.color is not None:
+            name = f" ({self.color_name})" if self.color_name else ""
+            color = f" [color {self.color}{name}]"
+        port = f" via {self.port}" if self.port else ""
+        tail = f" -- {self.detail}" if self.detail else ""
+        return (
+            f"{self.severity.name:<7} {self.code}{where}{port}{color}: "
+            f"{self.message}{tail}"
+        )
+
+
+@dataclass
+class CheckReport:
+    """Aggregated findings of one verification pass."""
+
+    subject: str = "fabric program"
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, other: "CheckReport | list[Finding]") -> "CheckReport":
+        self.findings.extend(
+            other.findings if isinstance(other, CheckReport) else other
+        )
+        return self
+
+    # -------------------------------------------------------------- #
+    def by_severity(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity finding is present."""
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def counts(self) -> dict[str, int]:
+        out = {s.name: 0 for s in Severity}
+        for f in self.findings:
+            out[f.severity.name] += 1
+        return out
+
+    # -------------------------------------------------------------- #
+    def as_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [f"check: {self.subject}"]
+        for f in sorted(
+            self.findings, key=lambda f: (-int(f.severity), f.code)
+        ):
+            lines.append("  " + f.render())
+        c = self.counts()
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"  {verdict}: {len(self.findings)} finding(s) "
+            f"({c['ERROR']} error, {c['WARNING']} warning, {c['INFO']} info)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Verification orchestration: one call per program, fabric, or registry.
+
+:func:`check_fabric` runs every fabric-level analyzer (deadlock, color
+conflict, dead route, switch schedule, memory audit) over a configured
+:class:`~repro.wse.fabric.Fabric`.  :func:`check_program` adds the
+program-aware checks (expected receivers, DSD bounds, column plan) via
+the :mod:`repro.dataflow.export` view.  :func:`check_examples` builds
+the registry of shipped example configurations and verifies each — the
+CI merge gate (`repro check --examples`) and the
+``BENCH_event_runtime.json`` verifier wall-time entry both run exactly
+this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.check.findings import CheckReport
+from repro.check.graph import build_channel_graph, find_deadlocks
+from repro.check.resources import (
+    check_column_plan,
+    check_dsd_bounds,
+    check_memory,
+)
+from repro.check.routes import (
+    check_color_conflicts,
+    check_routes,
+    check_switch_schedules,
+)
+from repro.wse.fabric import Fabric
+from repro.wse.memory import WSE2_PE_MEMORY_BYTES
+
+__all__ = ["check_fabric", "check_program", "check_examples", "EXAMPLE_PROGRAMS"]
+
+
+def check_fabric(
+    fabric: Fabric,
+    *,
+    colors: dict[int, str] | None = None,
+    expected_receivers: dict[int, frozenset] | None = None,
+    memory_budget: int = WSE2_PE_MEMORY_BYTES,
+    subject: str = "fabric",
+) -> CheckReport:
+    """Run every fabric-level static analyzer; no events are executed."""
+    report = CheckReport(subject=subject)
+    if colors is None:
+        colors = {cid: "" for cid in sorted(fabric.configured_colors())}
+    expected = expected_receivers or {}
+    for color in sorted(colors):
+        name = colors[color] or None
+        graph = build_channel_graph(fabric, color)
+        report.extend(
+            find_deadlocks(fabric, color, color_name=name, graph=graph)
+        )
+        report.extend(check_color_conflicts(fabric, color, color_name=name))
+        report.extend(
+            check_routes(
+                fabric,
+                color,
+                color_name=name,
+                expected_receivers=expected.get(color),
+                graph=graph,
+            )
+        )
+        report.extend(
+            check_switch_schedules(fabric, color, color_name=name, graph=graph)
+        )
+    report.extend(check_memory(fabric, budget=memory_budget))
+    return report
+
+
+def check_program(program, *, subject: str | None = None) -> CheckReport:
+    """Verify a built :class:`~repro.dataflow.program.FluxProgram`.
+
+    Fabric-level analyses plus the program-aware ones: every expected
+    receiver must be reachable, DSD descriptors must agree on train
+    sizes, and the Z-column plan must fit the WSE-2 memory model even
+    when the simulated fabric was built with a roomier scratchpad.
+    """
+    from repro.dataflow.export import ProgramExport, export_program
+
+    export = program if isinstance(program, ProgramExport) else export_program(program)
+    mesh_nz = export.nz
+    report = check_fabric(
+        export.fabric,
+        colors=export.colors,
+        expected_receivers=export.expected_receivers,
+        subject=subject or f"program on {export.fabric.width}x{export.fabric.height}",
+    )
+    report.extend(
+        check_column_plan(
+            mesh_nz,
+            capacity_bytes=WSE2_PE_MEMORY_BYTES,
+            reserved_bytes=export.pe_memory_reserved,
+            reuse_buffers=export.reuse_buffers,
+        )
+    )
+    report.extend(check_dsd_bounds(export.layouts))
+    return report
+
+
+# ------------------------------------------------------------------ #
+# Shipped example programs
+# ------------------------------------------------------------------ #
+def _flux_program(nx: int, ny: int, nz: int, **kwargs):
+    from repro.core import CartesianMesh3D, FluidProperties
+    from repro.dataflow.program import FluxProgram
+
+    return FluxProgram(CartesianMesh3D(nx, ny, nz), FluidProperties(), **kwargs)
+
+
+def _remap_program(nx: int, ny: int, nz: int, dead):
+    from repro.dataflow.mapping import SpareColumnRemap
+
+    remap = SpareColumnRemap.around_dead_pes((nx, ny), dead)
+    return _flux_program(nx, ny, nz, remap=remap)
+
+
+#: name -> zero-argument factory building the example's fabric program.
+#: Mirrors the configurations exercised by the scripts in ``examples/``
+#: (mesh shapes and program variants), kept small enough that the whole
+#: registry verifies in seconds — the CI gate and the tracked
+#: ``verifier`` bench entry iterate exactly this table.
+EXAMPLE_PROGRAMS: dict[str, Callable[[], object]] = {
+    "quickstart-10x8x6": lambda: _flux_program(10, 8, 6),
+    "communication-trace-6x5x4": lambda: _flux_program(6, 5, 4),
+    "no-reuse-ablation-6x5x4": lambda: _flux_program(
+        6, 5, 4, reuse_buffers=False
+    ),
+    "no-overlap-ablation-5x4x3": lambda: _flux_program(
+        5, 4, 3, reuse_buffers=False, overlap_compute=False
+    ),
+    "comm-only-table3-6x6x4": lambda: _flux_program(
+        6, 6, 4, compute_fluxes=False
+    ),
+    "spare-column-remap-6x5x4": lambda: _remap_program(6, 5, 4, [(2, 1)]),
+    "weak-scaling-16x16x8": lambda: _flux_program(16, 16, 8),
+}
+
+
+def check_examples(
+    names: list[str] | None = None,
+) -> dict[str, CheckReport]:
+    """Build and verify every registered example program."""
+    selected = names or sorted(EXAMPLE_PROGRAMS)
+    out: dict[str, CheckReport] = {}
+    for name in selected:
+        try:
+            factory = EXAMPLE_PROGRAMS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown example program {name!r} "
+                f"(registered: {sorted(EXAMPLE_PROGRAMS)})"
+            ) from None
+        out[name] = check_program(factory(), subject=f"example {name}")
+    return out

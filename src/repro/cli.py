@@ -12,7 +12,11 @@ code:
   aggregated traffic report plus a Perfetto-loadable trace
   (DESIGN.md Sec. 9);
 * ``chaos``   — run the backends under a deterministic fault plan and
-  report which faults were detected and recovered (DESIGN.md Sec. 10).
+  report which faults were detected and recovered (DESIGN.md Sec. 10);
+* ``check``   — statically verify a compiled fabric program without
+  executing it: deadlock cycles, color conflicts, dead routes, stale
+  switch schedules, memory budgets, plus the determinism lint
+  (DESIGN.md Sec. 11).  Exits nonzero on any ERROR finding.
 """
 
 from __future__ import annotations
@@ -138,6 +142,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch.add_argument(
         "--out", default=None, metavar="FILE",
         help="also write the chaos report (plan + outcomes) as JSON",
+    )
+
+    p_chk = sub.add_parser(
+        "check",
+        help="statically verify a fabric program (no execution)",
+    )
+    p_chk.add_argument("--nx", type=int, default=6)
+    p_chk.add_argument("--ny", type=int, default=5)
+    p_chk.add_argument("--nz", type=int, default=4)
+    p_chk.add_argument(
+        "--examples", action="store_true",
+        help="verify every registered example program instead of one mesh",
+    )
+    p_chk.add_argument(
+        "--lint", action="append", default=None, metavar="PATH",
+        help="also run the determinism lint over PATH (repeatable)",
+    )
+    p_chk.add_argument(
+        "--lint-only", action="store_true",
+        help="run only the determinism lint (requires --lint)",
+    )
+    p_chk.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write machine-readable findings as JSON",
     )
     return parser
 
@@ -539,6 +567,15 @@ def _cmd_chaos(args, out) -> int:
     plan = None
     if args.plan:
         plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
+        if plan.empty:
+            # an empty plan would "pass" without exercising anything —
+            # reject it loudly instead of reporting a hollow green run
+            print(
+                f"error: fault plan {args.plan} injects no faults "
+                "(empty plan); drop --plan to use the seeded plan",
+                file=sys.stderr,
+            )
+            return 2
     report = run_chaos(
         plan,
         nx=args.nx,
@@ -559,6 +596,70 @@ def _cmd_chaos(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_check(args, out) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.check import (
+        CheckReport,
+        Severity,
+        check_examples,
+        check_program,
+        lint_paths,
+    )
+
+    if args.lint_only and not args.lint:
+        print("error: --lint-only requires at least one --lint PATH", file=sys.stderr)
+        return 2
+
+    t0 = time.perf_counter()
+    reports: list[CheckReport] = []
+    if not args.lint_only:
+        if args.examples:
+            reports.extend(check_examples().values())
+        else:
+            from repro.core import CartesianMesh3D, FluidProperties
+            from repro.dataflow.program import FluxProgram
+
+            program = FluxProgram(
+                CartesianMesh3D(args.nx, args.ny, args.nz), FluidProperties()
+            )
+            reports.append(
+                check_program(
+                    program, subject=f"program {args.nx}x{args.ny}x{args.nz}"
+                )
+            )
+    for path in args.lint or ():
+        lint = CheckReport(subject=f"determinism lint {path}")
+        lint.extend(lint_paths(path))
+        reports.append(lint)
+    elapsed = time.perf_counter() - t0
+
+    for report in reports:
+        print(report.render(), file=out)
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.by_severity(Severity.WARNING)) for r in reports)
+    verdict = "CHECK PASSED" if errors == 0 else "CHECK FAILED"
+    print(
+        f"{verdict}: {len(reports)} subject(s), {errors} error(s), "
+        f"{warnings} warning(s) in {elapsed:.2f}s",
+        file=out,
+    )
+
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "ok": errors == 0,
+            "elapsed_seconds": elapsed,
+            "subjects": [r.as_dict() for r in reports],
+        }
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {path}", file=out)
+    return 0 if errors == 0 else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -577,6 +678,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "check":
+        return _cmd_check(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

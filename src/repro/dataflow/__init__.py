@@ -15,6 +15,7 @@ from repro.dataflow.cardinal import (
 )
 from repro.dataflow.diagonal import DIAGONAL_CHANNELS, DiagonalChannel, static_position
 from repro.dataflow.codegen import generate_listing
+from repro.dataflow.export import ProgramExport, export_program
 from repro.dataflow.collectives import FabricCollectives
 from repro.dataflow.driver import WseFluxComputation, WseRunResult
 from repro.dataflow.flux_pe import (
@@ -48,6 +49,8 @@ __all__ = [
     "WseFluxComputation",
     "WseRunResult",
     "FluxProgram",
+    "ProgramExport",
+    "export_program",
     "padded_trans_fields",
     "LockstepWseSimulation",
     "LockstepReport",

@@ -1,0 +1,95 @@
+"""Program-graph export: what the static verifier needs to know.
+
+A :class:`~repro.dataflow.program.FluxProgram` is an *executable* object
+— routers, memories and bound tasks.  The verifier wants a declarative
+view of the same program: which colors exist and what they are called,
+which PEs the program expects each color to reach, what the per-PE
+memory layouts look like, and which fabric the routing lives on.
+:func:`export_program` derives that view without touching runtime state,
+so ``repro check`` can analyze a program it never runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stencil import Connection
+from repro.dataflow.cardinal import CARDINAL_CHANNELS
+from repro.dataflow.diagonal import DIAGONAL_CHANNELS
+from repro.wse.fabric import Fabric
+
+__all__ = ["ProgramExport", "export_program"]
+
+
+@dataclass
+class ProgramExport:
+    """Declarative view of one compiled fabric program.
+
+    Attributes
+    ----------
+    fabric:
+        The configured PE/router grid (physical coordinates).
+    colors:
+        ``color id -> name`` for every allocated color.
+    expected_receivers:
+        ``color id -> frozenset of physical coordinates`` the program
+        expects to receive a data wavelet of that color per application
+        (derived from the mesh stencil, remap-aware).
+    layouts:
+        ``physical coordinate -> PEColumnLayout`` of every program PE.
+    nz / reuse_buffers / pe_memory_bytes / pe_memory_reserved:
+        The memory-plan parameters of the program.
+    """
+
+    fabric: Fabric
+    colors: dict[int, str]
+    expected_receivers: dict[int, frozenset] = field(default_factory=dict)
+    layouts: dict = field(default_factory=dict)
+    nz: int = 0
+    reuse_buffers: bool = True
+    pe_memory_bytes: int = 0
+    pe_memory_reserved: int = 0
+
+
+def _receivers_for(
+    program, conn: Connection
+) -> frozenset:
+    """Physical coordinates expected to receive the *conn* neighbour's
+    column: every logical PE whose *conn* neighbour is in bounds."""
+    nx, ny = program.mesh.nx, program.mesh.ny
+    dx, dy, _ = conn.offset
+    remap = program.remap
+    out = []
+    for y in range(ny):
+        for x in range(nx):
+            if 0 <= x + dx < nx and 0 <= y + dy < ny:
+                coord = (x, y)
+                out.append(coord if remap is None else remap.physical(coord))
+    return frozenset(out)
+
+
+def export_program(program) -> ProgramExport:
+    """Derive the verifier-facing view of a built :class:`FluxProgram`."""
+    colors = {
+        cid: name
+        for name, cid in (
+            (name, program.colors.lookup(name)) for name in program.colors.names()
+        )
+    }
+    expected: dict[int, frozenset] = {}
+    for channel in (*CARDINAL_CHANNELS, *DIAGONAL_CHANNELS):
+        cid = program.colors.lookup(channel.name)
+        expected[cid] = _receivers_for(program, channel.delivers)
+    layouts = {
+        pe.coord: pe.state["layout"] for _x, _y, pe in program.program_pes()
+    }
+    return ProgramExport(
+        fabric=program.fabric,
+        colors=colors,
+        expected_receivers=expected,
+        layouts=layouts,
+        nz=program.mesh.nz,
+        reuse_buffers=program.reuse_buffers,
+        pe_memory_bytes=program.pe_memory_bytes,
+        pe_memory_reserved=program.pe_memory_reserved,
+    )

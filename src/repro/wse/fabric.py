@@ -134,6 +134,13 @@ class Fabric:
             for x in range(self.width):
                 yield self._pes[(x, y)]
 
+    def configured_colors(self) -> set[int]:
+        """Union of colors with routing installed on any router."""
+        colors: set[int] = set()
+        for router in self._routers.values():
+            colors.update(router.configs)
+        return colors
+
     # ------------------------------------------------------------------ #
     def configure_color(
         self,

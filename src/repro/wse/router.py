@@ -146,7 +146,30 @@ class Router:
             for c, cfg in self.configs.items():
                 self._refresh(c, cfg)
         else:
-            self._refresh(color, self.configs[color])
+            cfg = self.configs.get(color)
+            if cfg is None:
+                raise ValueError(
+                    f"router {self.coord}: cannot refresh color {color}: "
+                    f"not configured here (configured colors: "
+                    f"{sorted(self.configs) or 'none'})"
+                )
+            self._refresh(color, cfg)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (static verifier / tooling; not hot-path)
+    # ------------------------------------------------------------------ #
+    def configured_colors(self) -> tuple[int, ...]:
+        """Colors with routing installed on this router, ascending."""
+        return tuple(sorted(self.configs))
+
+    def positions_of(self, color: int) -> list[RoutePosition]:
+        """Copies of every switch position of *color* (all of them, not
+        just the current one) — the static verifier's view of the full
+        rotating schedule.  Empty when the color is unconfigured."""
+        cfg = self.configs.get(color)
+        if cfg is None:
+            return []
+        return [dict(pos) for pos in cfg.positions]
 
     def routes(self, color: int, in_port: Port) -> tuple[Port, ...]:
         """Output ports for a wavelet of *color* entering via *in_port*.

@@ -1,0 +1,110 @@
+"""The determinism lint: every rule family, suppression, and the gate."""
+
+import textwrap
+from pathlib import Path
+
+from repro.check import Severity, lint_paths, lint_source
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _lint(code: str):
+    return lint_source(textwrap.dedent(code), filename="sample.py")
+
+
+class TestSetIteration:
+    def test_accumulation_over_set_literal_is_error(self):
+        findings = _lint(
+            """
+            total = 0.0
+            for v in {a, b, c}:
+                total += v
+            """
+        )
+        assert [f.code for f in findings] == ["det-set-iter"]
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].line == 3
+
+    def test_accumulation_over_set_call_is_error(self):
+        findings = _lint(
+            """
+            for v in set(values):
+                acc *= v
+            """
+        )
+        assert [f.severity for f in findings] == [Severity.ERROR]
+
+    def test_bare_set_iteration_is_warning(self):
+        findings = _lint(
+            """
+            for v in {a, b}:
+                print(v)
+            """
+        )
+        assert [f.severity for f in findings] == [Severity.WARNING]
+
+    def test_sorted_set_is_clean(self):
+        assert _lint("for v in sorted({a, b}):\n    total += v\n") == []
+
+    def test_list_iteration_is_clean(self):
+        assert _lint("for v in [a, b]:\n    total += v\n") == []
+
+
+class TestUnseededRng:
+    def test_random_module_convenience(self):
+        findings = _lint("x = random.random()\n")
+        assert [f.code for f in findings] == ["det-unseeded-rng"]
+
+    def test_numpy_legacy_global(self):
+        findings = _lint("x = np.random.normal(0, 1, 10)\n")
+        assert [f.code for f in findings] == ["det-unseeded-rng"]
+
+    def test_unseeded_default_rng(self):
+        findings = _lint("rng = np.random.default_rng()\n")
+        assert [f.code for f in findings] == ["det-unseeded-rng"]
+
+    def test_seeded_generators_are_clean(self):
+        assert _lint("rng = np.random.default_rng(7)\n") == []
+        assert _lint("rng = random.Random(7)\n") == []
+
+
+class TestTimeControl:
+    def test_clock_in_if_condition(self):
+        findings = _lint(
+            """
+            if time.perf_counter() > deadline:
+                bail()
+            """
+        )
+        assert [f.code for f in findings] == ["det-time-control"]
+
+    def test_clock_in_while_condition(self):
+        findings = _lint(
+            """
+            while time.monotonic() < t_end:
+                step()
+            """
+        )
+        assert [f.code for f in findings] == ["det-time-control"]
+
+    def test_measurement_outside_control_flow_is_clean(self):
+        assert _lint("t0 = time.perf_counter()\nrun()\n") == []
+
+
+class TestSuppressionAndParse:
+    def test_det_allow_pragma_suppresses(self):
+        findings = _lint("x = random.random()  # det: allow\n")
+        assert findings == []
+
+    def test_syntax_error_is_a_finding_not_an_exception(self):
+        findings = lint_source("def broken(:\n", filename="bad.py")
+        assert [f.code for f in findings] == ["det-parse"]
+        assert findings[0].severity is Severity.ERROR
+
+
+class TestRepoGate:
+    def test_src_repro_is_lint_clean(self):
+        """The CI gate: zero ERROR findings over the whole package."""
+        findings = lint_paths(REPO_SRC)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert errors == [], "\n".join(f.render() for f in errors)

@@ -1,0 +1,73 @@
+"""Finding/report model: severities, rendering, exit codes."""
+
+from repro.check import CheckReport, Finding, Severity
+
+
+def _finding(severity=Severity.ERROR, **kwargs):
+    defaults = dict(
+        code="deadlock-cycle",
+        severity=severity,
+        message="cycle",
+        coord=(3, 4),
+        color=2,
+        color_name="diag_se",
+        port="EAST",
+        detail="cycle: (3,4)->EAST -> (4,4)->WEST",
+    )
+    defaults.update(kwargs)
+    return Finding(**defaults)
+
+
+class TestFinding:
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_render_names_coordinates_color_and_port(self):
+        text = _finding().render()
+        for needle in ("ERROR", "deadlock-cycle", "(3, 4)", "EAST", "diag_se"):
+            assert needle in text
+
+    def test_render_lint_findings_use_file_line(self):
+        text = _finding(
+            coord=None, color=None, color_name=None, port=None,
+            code="det-unseeded-rng", file="src/x.py", line=12,
+        ).render()
+        assert "src/x.py:12" in text
+
+    def test_as_dict_round_trips_the_coordinate(self):
+        d = _finding().as_dict()
+        assert d["coord"] == [3, 4]
+        assert d["severity"] == "ERROR"
+        assert d["color_name"] == "diag_se"
+
+
+class TestCheckReport:
+    def test_ok_and_exit_code_gate_on_errors_only(self):
+        report = CheckReport()
+        report.add(_finding(Severity.INFO))
+        report.add(_finding(Severity.WARNING))
+        assert report.ok and report.exit_code == 0
+        report.add(_finding(Severity.ERROR))
+        assert not report.ok and report.exit_code == 1
+
+    def test_counts(self):
+        report = CheckReport()
+        for sev in (Severity.ERROR, Severity.ERROR, Severity.INFO):
+            report.add(_finding(sev))
+        assert report.counts() == {"ERROR": 2, "WARNING": 0, "INFO": 1}
+
+    def test_extend_accepts_reports_and_lists(self):
+        a = CheckReport()
+        a.extend([_finding()])
+        b = CheckReport()
+        b.extend(a)
+        assert len(b.findings) == 1
+
+    def test_render_sorts_errors_first_and_states_verdict(self):
+        report = CheckReport(subject="unit")
+        report.add(_finding(Severity.INFO, code="offchip-exit"))
+        report.add(_finding(Severity.ERROR))
+        lines = report.render().splitlines()
+        assert lines[0] == "check: unit"
+        assert "ERROR" in lines[1]
+        assert "FAIL" in lines[-1]

@@ -1,0 +1,162 @@
+"""Color-conflict, dead-route, and switch-schedule analyzers."""
+
+from repro.check import (
+    Severity,
+    check_color_conflicts,
+    check_cross_program_conflicts,
+    check_routes,
+    check_switch_schedules,
+)
+from repro.wse.fabric import Fabric
+from repro.wse.geometry import Port
+
+COLOR = 5
+
+
+class TestColorConflicts:
+    def test_injected_conflict_is_exactly_one_error_with_coordinates(self):
+        """ISSUE bad fabric (a): two input streams merged onto one link."""
+        fabric = Fabric(3, 1)
+        fabric.router(0, 0).configure(COLOR, [{Port.RAMP: (Port.EAST,)}])
+        fabric.router(1, 0).configure(
+            COLOR, [{Port.RAMP: (Port.EAST,), Port.WEST: (Port.EAST,)}]
+        )
+        fabric.router(2, 0).configure(COLOR, [{Port.WEST: (Port.RAMP,)}])
+        findings = check_color_conflicts(fabric, COLOR, color_name="merge")
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert len(errors) == 1
+        err = errors[0]
+        assert err.code == "color-conflict"
+        assert err.coord == (1, 0)
+        assert err.port == "EAST"
+        assert err.color == COLOR and err.color_name == "merge"
+        assert "RAMP->EAST" in err.detail and "WEST->EAST" in err.detail
+
+    def test_ramp_gather_is_not_a_conflict(self):
+        fabric = Fabric(3, 1)
+        fabric.router(1, 0).configure(
+            COLOR, [{Port.WEST: (Port.RAMP,), Port.EAST: (Port.RAMP,)}]
+        )
+        assert check_color_conflicts(fabric, COLOR) == []
+
+    def test_conflicts_in_later_positions_are_found(self):
+        fabric = Fabric(2, 1)
+        fabric.router(0, 0).configure(
+            COLOR,
+            [
+                {Port.RAMP: (Port.EAST,)},
+                {Port.RAMP: (Port.EAST,), Port.SOUTH: (Port.EAST,)},
+            ],
+        )
+        findings = check_color_conflicts(fabric, COLOR)
+        assert len(findings) == 1
+        assert "position 1" in findings[0].message
+
+
+class TestCheckRoutes:
+    def test_dead_route_names_the_dropping_pe(self):
+        fabric = Fabric(3, 1)
+        fabric.router(0, 0).configure(COLOR, [{Port.RAMP: (Port.EAST,)}])
+        # (1, 0) forwards but (2, 0) has no route: traffic dropped there
+        fabric.router(1, 0).configure(COLOR, [{Port.WEST: (Port.EAST,)}])
+        fabric.router(2, 0).configure(COLOR, [{Port.NORTH: (Port.RAMP,)}])
+        findings = check_routes(fabric, COLOR)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert len(errors) == 1
+        err = errors[0]
+        assert err.code == "dead-route"
+        assert err.coord == (1, 0) and err.port == "EAST"
+        assert "(2, 0)" in err.message
+
+    def test_boundary_exit_is_info_not_error(self):
+        fabric = Fabric(2, 1)
+        fabric.router(0, 0).configure(COLOR, [{Port.RAMP: (Port.EAST,)}])
+        fabric.router(1, 0).configure(
+            COLOR, [{Port.WEST: (Port.RAMP, Port.EAST)}]
+        )
+        findings = check_routes(fabric, COLOR)
+        assert [f.severity for f in findings] == [Severity.INFO]
+        assert findings[0].code == "offchip-exit"
+
+    def test_unreachable_expected_receiver(self):
+        fabric = Fabric(2, 2)
+        fabric.router(0, 0).configure(COLOR, [{Port.RAMP: (Port.EAST,)}])
+        fabric.router(1, 0).configure(COLOR, [{Port.WEST: (Port.RAMP,)}])
+        findings = check_routes(
+            fabric, COLOR, expected_receivers=frozenset({(1, 0), (1, 1)})
+        )
+        unreachable = [f for f in findings if f.code == "unreachable-pe"]
+        assert len(unreachable) == 1
+        assert unreachable[0].coord == (1, 1)
+        assert unreachable[0].severity is Severity.ERROR
+
+
+class TestSwitchSchedules:
+    def test_stale_schedule_is_exactly_one_error_with_coordinates(self):
+        """ISSUE bad fabric (d): two positions, no wavelet ever arrives."""
+        fabric = Fabric(2, 1)
+        fabric.router(1, 0).configure(
+            COLOR,
+            [{Port.WEST: (Port.RAMP,)}, {Port.NORTH: (Port.RAMP,)}],
+        )
+        findings = check_switch_schedules(fabric, COLOR, color_name="stuck")
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert len(errors) == 1
+        err = errors[0]
+        assert err.code == "switch-stale"
+        assert err.coord == (1, 0)
+        assert err.color == COLOR and err.color_name == "stuck"
+
+    def test_injector_advances_its_own_schedule(self):
+        fabric = Fabric(2, 1)
+        fabric.router(0, 0).configure(
+            COLOR,
+            [{Port.RAMP: (Port.EAST,)}, {Port.EAST: (Port.RAMP,)}],
+        )
+        assert check_switch_schedules(fabric, COLOR) == []
+
+    def test_identical_positions_are_not_stale(self):
+        """Seed-edge PEs hold two identical Sending positions (cardinal
+        protocol); flips are deliberate no-ops, not a hazard."""
+        fabric = Fabric(2, 1)
+        fabric.router(1, 0).configure(
+            COLOR,
+            [{Port.WEST: (Port.RAMP,)}, {Port.WEST: (Port.RAMP,)}],
+        )
+        assert check_switch_schedules(fabric, COLOR) == []
+
+    def test_fed_arrival_advances_remote_schedule(self):
+        fabric = Fabric(2, 1)
+        fabric.router(0, 0).configure(COLOR, [{Port.RAMP: (Port.EAST,)}])
+        fabric.router(1, 0).configure(
+            COLOR,
+            [{Port.WEST: (Port.RAMP,)}, {Port.NORTH: (Port.RAMP,)}],
+        )
+        assert check_switch_schedules(fabric, COLOR) == []
+
+
+class TestCrossProgramConflicts:
+    def _claiming_fabric(self) -> Fabric:
+        fabric = Fabric(2, 1)
+        fabric.router(0, 0).configure(COLOR, [{Port.RAMP: (Port.EAST,)}])
+        fabric.router(1, 0).configure(COLOR, [{Port.WEST: (Port.RAMP,)}])
+        return fabric
+
+    def test_two_programs_claiming_one_link(self):
+        findings = check_cross_program_conflicts(
+            [
+                ("prog-a", self._claiming_fabric(), COLOR),
+                ("prog-b", self._claiming_fabric(), COLOR),
+            ]
+        )
+        assert len(findings) == 1
+        err = findings[0]
+        assert err.severity is Severity.ERROR
+        assert err.coord == (0, 0) and err.port == "EAST"
+        assert "prog-a" in err.message and "prog-b" in err.message
+
+    def test_single_program_claims_freely(self):
+        findings = check_cross_program_conflicts(
+            [("solo", self._claiming_fabric(), COLOR)]
+        )
+        assert findings == []

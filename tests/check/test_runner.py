@@ -1,0 +1,85 @@
+"""End-to-end verification: programs, the example registry, the CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.check import EXAMPLE_PROGRAMS, check_examples, check_program
+from repro.cli import main
+from repro.core import CartesianMesh3D, FluidProperties
+from repro.dataflow.program import FluxProgram
+
+
+class TestCheckProgram:
+    def test_healthy_program_passes_with_boundary_info_only(self):
+        program = FluxProgram(CartesianMesh3D(5, 4, 3), FluidProperties())
+        report = check_program(program)
+        assert report.ok, report.render()
+        assert {f.code for f in report.findings} == {"offchip-exit"}
+
+    def test_remapped_program_passes(self):
+        from repro.dataflow.mapping import SpareColumnRemap
+
+        remap = SpareColumnRemap.around_dead_pes((5, 4), [(2, 1)])
+        program = FluxProgram(
+            CartesianMesh3D(5, 4, 3), FluidProperties(), remap=remap
+        )
+        report = check_program(program)
+        assert report.ok, report.render()
+
+    def test_every_registered_example_passes(self):
+        reports = check_examples()
+        assert set(reports) == set(EXAMPLE_PROGRAMS)
+        for name, report in reports.items():
+            assert report.ok, f"{name}:\n{report.render()}"
+
+
+class TestCliCheck:
+    def test_single_program_passes(self):
+        out = io.StringIO()
+        code = main(["check", "--nx", "5", "--ny", "4", "--nz", "3"], out=out)
+        assert code == 0
+        assert "CHECK PASSED" in out.getvalue()
+
+    def test_examples_and_lint_gate(self, tmp_path):
+        out = io.StringIO()
+        json_path = tmp_path / "findings.json"
+        code = main(
+            ["check", "--examples", "--lint", "src/repro", "--json", str(json_path)],
+            out=out,
+        )
+        assert code == 0
+        doc = json.loads(json_path.read_text())
+        assert doc["ok"] is True
+        subjects = {s["subject"] for s in doc["subjects"]}
+        assert any(s.startswith("example ") for s in subjects)
+        assert any(s.startswith("determinism lint") for s in subjects)
+
+    def test_lint_failure_sets_exit_code(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        out = io.StringIO()
+        code = main(
+            ["check", "--lint-only", "--lint", str(bad)], out=out
+        )
+        assert code == 1
+        assert "det-unseeded-rng" in out.getvalue()
+
+    def test_lint_only_without_lint_is_usage_error(self, capsys):
+        assert main(["check", "--lint-only"], out=io.StringIO()) == 2
+        assert "--lint" in capsys.readouterr().err
+
+    def test_json_findings_carry_coordinates(self, tmp_path):
+        json_path = tmp_path / "f.json"
+        code = main(
+            ["check", "--nx", "4", "--ny", "3", "--nz", "2", "--json", str(json_path)],
+            out=io.StringIO(),
+        )
+        assert code == 0
+        doc = json.loads(json_path.read_text())
+        findings = doc["subjects"][0]["findings"]
+        assert findings, "boundary exits should be reported at INFO"
+        for f in findings:
+            assert f["severity"] in {"INFO", "WARNING", "ERROR"}
+            assert f["coord"] is not None

@@ -91,3 +91,13 @@ class TestChaosCli:
         code = main(["chaos", "--plan", str(plan_path)], out=out)
         assert code == 0
         assert "seed 5" in out.getvalue()
+
+    def test_empty_plan_file_is_a_usage_error(self, tmp_path, capsys):
+        """An empty plan exercises nothing; exiting 0 on it would report
+        a hollow green run.  It must be rejected as a usage error."""
+        plan_path = tmp_path / "empty.json"
+        plan_path.write_text(json.dumps(FaultPlan().to_dict()))
+        out = io.StringIO()
+        code = main(["chaos", "--plan", str(plan_path)], out=out)
+        assert code == 2
+        assert "injects no faults" in capsys.readouterr().err

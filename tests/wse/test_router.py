@@ -125,3 +125,27 @@ class TestRouter:
             0, [{Port.RAMP: (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST)}]
         )
         assert len(r.routes(0, Port.RAMP)) == 4
+
+    def test_refresh_applies_in_place_edits(self):
+        r = Router(coord=(0, 0))
+        r.configure(4, [{Port.RAMP: (Port.EAST,)}])
+        r.configs[4].positions[0][Port.RAMP] = (Port.WEST,)
+        r.refresh(4)
+        assert r.routes(4, Port.RAMP) == (Port.WEST,)
+
+    def test_refresh_unknown_color_names_router_and_color(self):
+        r = Router(coord=(3, 7))
+        r.configure(1, [{Port.RAMP: (Port.EAST,)}])
+        with pytest.raises(ValueError, match=r"\(3, 7\).*color 9"):
+            r.refresh(9)
+
+    def test_introspection_copies_all_positions(self):
+        r = Router(coord=(0, 0))
+        positions = [{Port.RAMP: (Port.EAST,)}, {Port.WEST: (Port.RAMP,)}]
+        r.configure(2, positions)
+        assert r.configured_colors() == (2,)
+        seen = r.positions_of(2)
+        assert seen == positions
+        seen[0][Port.RAMP] = (Port.SOUTH,)  # copies: live config untouched
+        assert r.routes(2, Port.RAMP) == (Port.EAST,)
+        assert r.positions_of(99) == []
