@@ -37,6 +37,13 @@ verifier:
     full example-program registry plus the determinism lint of
     ``src/repro``.  Gated at <10 s by ``--check`` so the merge gate
     stays cheap enough to run on every PR.
+par_runtime:
+    The multiprocess SPMD runtime (``repro.par``) against the serial
+    cluster backend on the same workload: measured speedup, parallel
+    efficiency, worker PID count and residual bit-identity.  ``--check``
+    gates on *correctness* (bit-identical residual, >= 2 distinct worker
+    PIDs), not on speedup — CI hosts may expose a single core, where
+    real processes legitimately run no faster than the serial loop.
 
 Usage
 -----
@@ -91,6 +98,9 @@ TRACE_WORKLOAD = dict(nx=20, ny=20, nz=8, applications=2)
 
 #: Square fabric sizes probed by the peak-fabric search (nz fixed at 8).
 PEAK_SIZES = (8, 12, 16, 24, 32, 48, 64, 96)
+
+#: SPMD-runtime workload: 2x2 ranks over 4 worker processes.
+PAR_WORKLOAD = dict(nx=16, ny=16, nz=4, applications=2, px=2, py=2, workers=4)
 
 #: Allowed normalized-throughput regression before --check fails.
 CHECK_TOLERANCE = 0.30
@@ -266,6 +276,64 @@ def bench_gpu(
     }
 
 
+def bench_par_runtime(
+    nx: int, ny: int, nz: int, applications: int, px: int, py: int,
+    workers: int, *, repeats: int = 3,
+) -> dict:
+    """Multiprocess SPMD runtime vs the serial cluster backend.
+
+    Both sides run identical applications on identical meshes; the
+    entry records measured speedup and parallel efficiency *and* the
+    correctness facts (bit-identity, distinct worker PIDs) that
+    ``--check`` gates on.
+    """
+    from repro.cluster.flux import ClusterFluxComputation
+    from repro.par import ParClusterFluxComputation
+    from repro.workloads import make_geomodel
+
+    mesh = make_geomodel(nx, ny, nz, kind="lognormal", seed=7)
+    fluid = FluidProperties()
+    seq = PressureSequence(mesh, num_applications=applications, seed=7)
+    pressures = [seq.field(i) for i in range(applications)]
+
+    serial = ClusterFluxComputation(mesh, fluid, px=px, py=py)
+    serial.run(pressures)  # warm-up
+    best_serial = np.inf
+    reference = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        reference = serial.run(pressures)
+        best_serial = min(best_serial, time.perf_counter() - t0)
+
+    with ParClusterFluxComputation(
+        mesh, fluid, px=px, py=py, workers=workers, record_spans=False
+    ) as par:
+        par.run(pressures)  # warm-up (pool spawn + first-touch)
+        best_par = np.inf
+        result = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = par.run(pressures)
+            best_par = min(best_par, time.perf_counter() - t0)
+
+    speedup = best_serial / best_par
+    return {
+        "mesh": [nx, ny, nz],
+        "rank_grid": [px, py],
+        "workers": workers,
+        "applications": applications,
+        "serial_seconds": round(best_serial, 6),
+        "par_seconds": round(best_par, 6),
+        "speedup": round(speedup, 4),
+        "parallel_efficiency": round(speedup / workers, 4),
+        "distinct_pids": result.distinct_pids,
+        "bit_identical": bool(
+            np.array_equal(result.residual, reference.residual)
+        ),
+        "messages_per_application": result.messages_per_application,
+    }
+
+
 def bench_verifier() -> dict:
     """Static-verifier wall time over the example registry + lint.
 
@@ -333,6 +401,7 @@ def measure_entry(*, smoke_only: bool, budget_seconds: float, repeats: int) -> d
     )
     entry["trace_overhead"] = bench_trace_overhead(**TRACE_WORKLOAD, repeats=repeats)
     entry["verifier"] = bench_verifier()
+    entry["par_runtime"] = bench_par_runtime(**PAR_WORKLOAD, repeats=repeats)
     if smoke_only:
         entry["lockstep"] = bench_lockstep(**SMOKE_WORKLOAD, repeats=repeats)
         entry["gpu_model"] = bench_gpu(**SMOKE_WORKLOAD, repeats=repeats)
@@ -420,7 +489,17 @@ def run_check(path: Path, repeats: int) -> int:
         f"(limit {VERIFIER_BUDGET_SECONDS:.0f}s, {verifier['errors']} error(s)) "
         f"-> {'ok' if ver_ok else 'REGRESSION'}"
     )
-    return 0 if (verdict == "ok" and trace_verdict == "ok" and ver_ok) else 1
+    par = bench_par_runtime(**PAR_WORKLOAD, repeats=max(1, repeats - 1))
+    par_ok = par["bit_identical"] and par["distinct_pids"] >= 2
+    print(
+        f"check: par runtime speedup {par['speedup']:.2f}x over "
+        f"{par['workers']} workers ({par['distinct_pids']} distinct PIDs), "
+        f"residual {'bit-identical' if par['bit_identical'] else 'DIFFERS'} "
+        f"-> {'ok' if par_ok else 'REGRESSION'}"
+    )
+    return 0 if (
+        verdict == "ok" and trace_verdict == "ok" and ver_ok and par_ok
+    ) else 1
 
 
 def main(argv: list[str] | None = None) -> int:

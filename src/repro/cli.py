@@ -13,6 +13,10 @@ code:
   (DESIGN.md Sec. 9);
 * ``chaos``   — run the backends under a deterministic fault plan and
   report which faults were detected and recovered (DESIGN.md Sec. 10);
+* ``par-scale`` — weak-scaling sweep of the real multiprocess SPMD
+  runtime: measured efficiency next to the modelled prediction, every
+  point verified bit-identical against the serial cluster backend
+  (DESIGN.md Sec. 12);
 * ``check``   — statically verify a compiled fabric program without
   executing it: deadlock cycles, color conflicts, dead routes, stale
   switch schedules, memory budgets, plus the determinism lint
@@ -144,6 +148,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the chaos report (plan + outcomes) as JSON",
     )
 
+    p_ps = sub.add_parser(
+        "par-scale",
+        help="measured weak scaling of the multiprocess SPMD runtime",
+    )
+    p_ps.add_argument(
+        "--grids", default="1x1,2x1,2x2", metavar="SPEC",
+        help="comma-separated rank grids, e.g. '1x1,2x2,3x2'",
+    )
+    p_ps.add_argument(
+        "--base-nx", type=int, default=16, help="owned cells per rank along X"
+    )
+    p_ps.add_argument(
+        "--base-ny", type=int, default=16, help="owned cells per rank along Y"
+    )
+    p_ps.add_argument("--nz", type=int, default=4)
+    p_ps.add_argument(
+        "--applications", type=int, default=2,
+        help="timed applications of Algorithm 1 per grid point",
+    )
+    p_ps.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes per point (default: one per rank)",
+    )
+    p_ps.add_argument("--seed", type=int, default=0)
+    p_ps.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the bit-identity check against the serial backend",
+    )
+    p_ps.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the scaling points as JSON",
+    )
+
     p_chk = sub.add_parser(
         "check",
         help="statically verify a fabric program (no execution)",
@@ -171,6 +208,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # --------------------------------------------------------------------- #
+def _check_rank_grid(px: int, py: int, nx: int, ny: int) -> str | None:
+    """The BlockDecomposition oversubscription guard, surfaced before
+    any backend is built: an error message, or None when the grid fits."""
+    if px > nx:
+        return (
+            f"error: --px {px} ranks along X exceed mesh Nx={nx} "
+            "(every rank needs at least one owned cell column)"
+        )
+    if py > ny:
+        return (
+            f"error: --py {py} ranks along Y exceed mesh Ny={ny} "
+            "(every rank needs at least one owned cell row)"
+        )
+    return None
+
+
 def _cmd_tables(out) -> int:
     from repro.core.constants import PAPER_MESH, PAPER_WEAK_SCALING_MESHES
     from repro.dataflow import interior_cell_table
@@ -386,6 +439,11 @@ def _cmd_trace(args, out) -> int:
     from repro.util.reporting import Table
     from repro.workloads import make_geomodel
 
+    if args.backend == "cluster":
+        problem = _check_rank_grid(args.px, args.py, args.nx, args.ny)
+        if problem is not None:
+            print(problem, file=sys.stderr)
+            return 2
     mesh = make_geomodel(args.nx, args.ny, args.nz, kind=args.geomodel, seed=args.seed)
     fluid = FluidProperties()
     pressures = [
@@ -564,6 +622,10 @@ def _cmd_chaos(args, out) -> int:
 
     from repro.faults import FaultPlan, run_chaos
 
+    problem = _check_rank_grid(args.px, args.py, args.nx, args.ny)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 2
     plan = None
     if args.plan:
         plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
@@ -594,6 +656,53 @@ def _cmd_chaos(args, out) -> int:
         path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
         print(f"wrote {path}", file=out)
     return 0 if report.ok else 1
+
+
+def _cmd_par_scale(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.par.scale import parse_grids, render_scaling, weak_scaling
+
+    try:
+        grids = parse_grids(args.grids)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verify = not args.no_verify
+    points = weak_scaling(
+        grids,
+        base_nx=args.base_nx,
+        base_ny=args.base_ny,
+        nz=args.nz,
+        applications=args.applications,
+        workers=args.workers,
+        seed=args.seed,
+        verify=verify,
+    )
+    print(
+        f"weak scaling, {args.base_nx}x{args.base_ny}x{args.nz} owned "
+        f"cells per rank, {args.applications} applications per point "
+        f"(+1 warm-up){'' if verify else ', verification OFF'}",
+        file=out,
+    )
+    print(render_scaling(points), file=out)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps([pt.as_dict() for pt in points], indent=2) + "\n"
+        )
+        print(f"wrote {path}", file=out)
+    if verify and not all(pt.bit_identical for pt in points):
+        bad = [f"{pt.px}x{pt.py}" for pt in points if not pt.bit_identical]
+        print(
+            f"error: residual mismatch vs serial cluster backend at "
+            f"grid(s) {', '.join(bad)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_check(args, out) -> int:
@@ -678,6 +787,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "par-scale":
+        return _cmd_par_scale(args, out)
     if args.command == "check":
         return _cmd_check(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

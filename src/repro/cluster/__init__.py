@@ -6,12 +6,18 @@ as a simulated rank grid with explicit tagged messaging, an 8-neighbour
 halo exchange per application, and an alpha-beta cost model.
 """
 
-from repro.cluster.comm import CartGrid, RankStats, RetryPolicy, SimComm
+from repro.cluster.comm import CartGrid, HaloComm, RankStats, RetryPolicy, SimComm
 from repro.cluster.decomposition import Block, BlockDecomposition
-from repro.cluster.flux import ClusterFluxComputation, ClusterRunResult
+from repro.cluster.flux import (
+    ClusterFluxComputation,
+    ClusterRunResult,
+    HaloLink,
+    halo_links,
+)
 from repro.cluster.perf import ClusterPerfModel
 
 __all__ = [
+    "HaloComm",
     "SimComm",
     "RankStats",
     "RetryPolicy",
@@ -21,4 +27,6 @@ __all__ = [
     "ClusterFluxComputation",
     "ClusterRunResult",
     "ClusterPerfModel",
+    "HaloLink",
+    "halo_links",
 ]

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.faults.errors import CommTimeoutError, PendingLeakError
 
-__all__ = ["SimComm", "RankStats", "CartGrid", "RetryPolicy"]
+__all__ = ["HaloComm", "SimComm", "RankStats", "CartGrid", "RetryPolicy"]
 
 
 @dataclass
@@ -60,11 +60,96 @@ class RetryPolicy:
             raise ValueError("retry policy needs base_delay >= 0, multiplier >= 1")
 
     def delay(self, attempt: int) -> float:
-        """Backoff before retry number *attempt* (0-based)."""
-        return self.base_delay * self.multiplier**attempt
+        """Backoff before retry number *attempt* (0-based).
+
+        Saturates to ``inf`` instead of raising ``OverflowError`` when
+        ``multiplier**attempt`` exceeds float range (attempt counts in
+        the thousands), so pathological retry loops degrade into an
+        infinite wait charge rather than a crash mid-recovery.  A zero
+        ``base_delay`` stays exactly zero at every attempt.
+        """
+        if self.base_delay == 0.0:
+            return 0.0
+        try:
+            return self.base_delay * self.multiplier**attempt
+        except OverflowError:
+            return float("inf")
 
 
-class SimComm:
+class HaloComm:
+    """The communicator surface the halo-exchange layers program against.
+
+    Extracted from :class:`SimComm` so the multiprocess runtime
+    (:class:`repro.par.comm.ProcComm`) can implement the same contract
+    over shared-memory buffers: tagged point-to-point transfers executed
+    in the deadlock-free all-send-then-all-receive phase schedule, with
+    per-rank :class:`RankStats` accounting and an optional
+    :class:`~repro.faults.injector.FaultInjector` attached.
+
+    Subclasses provide :meth:`isend`, :meth:`recv`, :meth:`barrier` and
+    :attr:`pending`; the traffic roll-ups below are shared because every
+    implementation keeps one :class:`RankStats` per rank in ``stats``.
+    """
+
+    #: Per-rank traffic counters, indexable by rank (set by subclasses).
+    stats: list[RankStats]
+    size: int
+
+    def isend(self, source: int, dest: int, tag: int, array: np.ndarray) -> None:
+        """Post ``array`` from ``source`` to ``dest`` under ``tag`` (non-blocking)."""
+        raise NotImplementedError
+
+    def recv(
+        self,
+        dest: int,
+        source: int,
+        tag: int,
+        *,
+        retry: RetryPolicy | None = None,
+        on_missing=None,
+    ) -> np.ndarray:
+        """Receive the message ``source`` sent to ``dest`` under ``tag``.
+
+        ``retry`` bounds the wait; ``on_missing`` (if given) is invoked to
+        re-drive a lost transfer before the final attempt gives up.
+        """
+        raise NotImplementedError
+
+    def barrier(self, phase: str = "") -> None:
+        """Synchronize all ranks; ``phase`` names the fence in diagnostics."""
+        raise NotImplementedError
+
+    @property
+    def pending(self) -> int:
+        """Sent-but-unreceived messages (must be 0 between phases)."""
+        raise NotImplementedError
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"{what} rank {rank} outside communicator of size {self.size}")
+
+    def total_bytes(self, *, side: str = "sent") -> int:
+        """Bytes moved through the communicator so far.
+
+        ``side`` selects the accounting side: ``"sent"`` (default),
+        ``"received"``, or ``"both"``.  Sent and received totals only
+        differ when traffic was dropped by a fault (or is still
+        pending) — symmetry tests compare the two.
+        """
+        if side == "sent":
+            return sum(st.bytes_sent for st in self.stats)
+        if side == "received":
+            return sum(st.bytes_received for st in self.stats)
+        if side == "both":
+            return sum(st.bytes_sent + st.bytes_received for st in self.stats)
+        raise ValueError(f"side must be 'sent', 'received' or 'both', got {side!r}")
+
+    def total_messages(self) -> int:
+        """Messages moved through the communicator so far."""
+        return sum(st.messages_sent for st in self.stats)
+
+
+class SimComm(HaloComm):
     """A size-``n`` communicator with tagged point-to-point messaging.
 
     Messages are keyed ``(source, dest, tag)``; sending twice on one key
@@ -89,10 +174,6 @@ class SimComm:
         self._fault_check = faults is not None and faults.rank_active
         #: Simulated seconds spent in retry backoff waits.
         self.waited_seconds = 0.0
-
-    def _check_rank(self, rank: int, what: str) -> None:
-        if not 0 <= rank < self.size:
-            raise ValueError(f"{what} rank {rank} outside communicator of size {self.size}")
 
     def isend(self, source: int, dest: int, tag: int, array: np.ndarray) -> None:
         """Buffered nonblocking send of a contiguous array.
@@ -185,26 +266,6 @@ class SimComm:
     def pending(self) -> int:
         """Sent-but-unreceived messages (must be 0 between phases)."""
         return len(self._mailbox)
-
-    def total_bytes(self, *, side: str = "sent") -> int:
-        """Bytes moved through the communicator so far.
-
-        ``side`` selects the accounting side: ``"sent"`` (default),
-        ``"received"``, or ``"both"``.  Sent and received totals only
-        differ when traffic was dropped by a fault (or is still
-        pending) — symmetry tests compare the two.
-        """
-        if side == "sent":
-            return sum(st.bytes_sent for st in self.stats)
-        if side == "received":
-            return sum(st.bytes_received for st in self.stats)
-        if side == "both":
-            return sum(st.bytes_sent + st.bytes_received for st in self.stats)
-        raise ValueError(f"side must be 'sent', 'received' or 'both', got {side!r}")
-
-    def total_messages(self) -> int:
-        """Messages moved through the communicator so far."""
-        return sum(st.messages_sent for st in self.stats)
 
 
 @dataclass(frozen=True)

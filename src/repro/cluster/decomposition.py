@@ -70,10 +70,18 @@ class BlockDecomposition:
     def __init__(self, mesh: CartesianMesh3D, px: int, py: int) -> None:
         if px < 1 or py < 1:
             raise ValueError("process grid dimensions must be >= 1")
-        if px > mesh.nx or py > mesh.ny:
+        # px > Nx (or py > Ny) would make _split hand some ranks
+        # zero-width pieces: name the offending axis and both sizes
+        # instead of silently yielding empty blocks downstream.
+        if px > mesh.nx:
             raise ValueError(
-                f"process grid {px}x{py} exceeds mesh plane "
-                f"{mesh.nx}x{mesh.ny} (empty blocks)"
+                f"process grid {px}x{py}: px={px} ranks along X exceed "
+                f"mesh Nx={mesh.nx} (empty blocks)"
+            )
+        if py > mesh.ny:
+            raise ValueError(
+                f"process grid {px}x{py}: py={py} ranks along Y exceed "
+                f"mesh Ny={mesh.ny} (empty blocks)"
             )
         self.mesh = mesh
         self.px = px

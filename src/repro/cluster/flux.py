@@ -25,13 +25,20 @@ from repro.cluster.comm import CartGrid, RetryPolicy, SimComm
 from repro.cluster.decomposition import Block, BlockDecomposition
 from repro.obs.spans import span
 
-__all__ = ["ClusterFluxComputation", "ClusterRunResult"]
+__all__ = [
+    "ClusterFluxComputation",
+    "ClusterRunResult",
+    "HaloLink",
+    "halo_links",
+    "HALO_DIRECTIONS",
+]
 
 #: The eight halo directions (dx, dy) with their message tags.
-_HALO_DIRECTIONS = [
+HALO_DIRECTIONS = [
     (1, 0), (-1, 0), (0, 1), (0, -1),
     (1, 1), (1, -1), (-1, 1), (-1, -1),
 ]
+_HALO_DIRECTIONS = HALO_DIRECTIONS  # historical alias
 
 
 def _halo_intersection(sender: Block, receiver: Block) -> tuple[int, int, int, int] | None:
@@ -45,6 +52,52 @@ def _halo_intersection(sender: Block, receiver: Block) -> tuple[int, int, int, i
     if x_lo >= x_hi or y_lo >= y_hi:
         return None
     return (x_lo, x_hi, y_lo, y_hi)
+
+
+@dataclass(frozen=True)
+class HaloLink:
+    """One directed halo transfer: sender-owned cells a receiver pads.
+
+    ``x_lo:x_hi / y_lo:y_hi`` is the strip in *global* coordinates; both
+    endpoints derive the same range deterministically, so no coordinate
+    metadata ever travels with the data (and the shared-memory runtime
+    can pre-allocate one fixed slot per link).
+    """
+
+    source: int
+    dest: int
+    tag: int
+    x_lo: int
+    x_hi: int
+    y_lo: int
+    y_hi: int
+
+    @property
+    def shape_yx(self) -> tuple[int, int]:
+        """Strip extent as ``(ny, nx)``, matching the padded-array axes."""
+        return (self.y_hi - self.y_lo, self.x_hi - self.x_lo)
+
+    def cells(self, nz: int) -> int:
+        """Number of cells this link carries for an ``nz``-layer mesh."""
+        return nz * (self.y_hi - self.y_lo) * (self.x_hi - self.x_lo)
+
+
+def halo_links(decomp: BlockDecomposition, grid: CartGrid) -> list[HaloLink]:
+    """Every directed halo link of the decomposition, in the canonical
+    deterministic order (sender rank major, tag minor) that both the
+    serial exchange and the multiprocess runtime's shared-memory layout
+    follow."""
+    links: list[HaloLink] = []
+    for block in decomp.blocks:
+        for tag, (dx, dy) in enumerate(HALO_DIRECTIONS):
+            dest = grid.neighbour(block.rank, dx, dy)
+            if dest is None:
+                continue
+            rng = _halo_intersection(block, decomp.block(dest))
+            if rng is None:
+                continue
+            links.append(HaloLink(block.rank, dest, tag, *rng))
+    return links
 
 
 @dataclass
@@ -122,6 +175,7 @@ class ClusterFluxComputation:
             RetryPolicy() if faults is not None else None
         )
         self.comm = SimComm(self.grid.size, faults=faults)
+        self._links = halo_links(self.decomp, self.grid)
         # per-rank state: local padded mesh + flux kernel + pressure buffer
         self._local = []
         for block in self.decomp.blocks:
@@ -190,14 +244,9 @@ class ClusterFluxComputation:
         asserts nothing leaked."""
         if self.faults is not None:
             self.faults.begin_exchange()
-        for state in self._local:
-            block: Block = state["block"]
-            for tag, (dx, dy) in enumerate(_HALO_DIRECTIONS):
-                dest = self.grid.neighbour(block.rank, dx, dy)
-                if dest is None:
-                    continue
-                if self._send_strip(block.rank, dest, tag):
-                    self._messages += 1
+        for link in self._links:
+            if self._send_strip(link.source, link.dest, link.tag):
+                self._messages += 1
         for state in self._local:
             block: Block = state["block"]
             for tag, (dx, dy) in enumerate(_HALO_DIRECTIONS):

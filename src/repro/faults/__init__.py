@@ -29,6 +29,7 @@ from repro.faults.errors import (
     FaultPlanError,
     PendingLeakError,
     RankFailedError,
+    WorkerCrashError,
 )
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.plan import (
@@ -48,6 +49,7 @@ __all__ = [
     "CommTimeoutError",
     "PendingLeakError",
     "RankFailedError",
+    "WorkerCrashError",
     "FaultPlan",
     "FaultInjector",
     "FaultStats",

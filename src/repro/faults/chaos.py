@@ -157,6 +157,7 @@ def run_chaos(
     dt: float = 3600.0,
     include_corruption: bool = True,
     include_checkpoint_drill: bool = True,
+    include_par_drill: bool = True,
 ) -> ChaosReport:
     """Run every backend under *plan* and report per-fault outcomes.
 
@@ -395,6 +396,84 @@ def run_chaos(
                 fault=f"transient failure of rank(s) {label}",
                 injected=injector.stats.sends_dropped > 0,
                 detected=detected,
+                recovered=recovered,
+                detail=detail,
+            )
+        )
+
+    # ---------------------------------------------------------------- #
+    # Multiprocess worker kill: the same rank failures, but the plan
+    # now terminates a *real* worker process (os._exit) — the pool must
+    # detect the death and, with respawn on, recover bit-identically.
+    # ---------------------------------------------------------------- #
+    if include_par_drill and plan.rank_failures:
+        from repro.faults.errors import WorkerCrashError
+        from repro.par.flux import ParClusterFluxComputation
+        from repro.par.worker import KILL_EXIT_CODE
+
+        label = ", ".join(str(rf.rank) for rf in plan.rank_failures)
+        rank_plan = plan.only_ranks()
+        # enough applications to reach the latest failure window
+        par_apps = max(rf.exchange for rf in rank_plan.rank_failures) + 1
+        par_pressures = [
+            random_pressure(mesh, seed=plan.seed + i) for i in range(par_apps)
+        ]
+        serial_ref = ClusterFluxComputation(mesh, fluid, px=px, py=py).run(
+            list(par_pressures)
+        )
+
+        try:
+            with ParClusterFluxComputation(
+                mesh, fluid, px=px, py=py, workers=px * py,
+                plan=rank_plan, respawn=False, record_spans=False,
+            ) as par:
+                par.run(list(par_pressures))
+            detected, injected, detail = False, False, (
+                "run completed without any worker death"
+            )
+        except WorkerCrashError as exc:
+            detected = True
+            injected = any(code == KILL_EXIT_CODE for _, _, code, _ in exc.crashed)
+            # summarize without the OS pid so seeded reports stay
+            # byte-identical across runs
+            detail = "; ".join(
+                f"worker {idx} died (exit {code}, ranks {list(ranks)})"
+                for idx, _pid, code, ranks in exc.crashed
+            )
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="par/worker-kill/detect",
+                fault=f"killed worker process of rank(s) {label}",
+                injected=injected,
+                detected=detected,
+                recovered=False,
+                detail=detail,
+            )
+        )
+
+        try:
+            with ParClusterFluxComputation(
+                mesh, fluid, px=px, py=py, workers=px * py,
+                plan=rank_plan, respawn=True, record_spans=False,
+            ) as par:
+                result = par.run(list(par_pressures))
+            recovered = bool(
+                np.array_equal(result.residual, serial_ref.residual)
+            )
+            injected = result.respawns > 0
+            detail = (
+                f"{result.respawns} respawn(s); residual "
+                + ("bit-identical to serial cluster backend"
+                   if recovered else "DIFFERS")
+            )
+        except RuntimeError as exc:
+            injected, recovered, detail = True, False, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="par/worker-kill/respawn",
+                fault=f"killed worker process of rank(s) {label}",
+                injected=injected,
+                detected=injected,
                 recovered=recovered,
                 detail=detail,
             )

@@ -21,6 +21,7 @@ __all__ = [
     "CommTimeoutError",
     "PendingLeakError",
     "RankFailedError",
+    "WorkerCrashError",
 ]
 
 
@@ -134,3 +135,35 @@ class RankFailedError(FaultError):
         self.rank = rank
         suffix = f": {detail}" if detail else ""
         super().__init__(f"rank {rank} is down{suffix}")
+
+
+class WorkerCrashError(FaultError):
+    """A multiprocess SPMD worker died mid-run (real process death).
+
+    Raised by the :mod:`repro.par` pool when a worker process exits
+    while an application is in flight — the genuine-crash analogue of
+    the modelled :class:`RankFailedError`.
+
+    Attributes
+    ----------
+    crashed:
+        ``(worker_index, pid, exitcode, ranks)`` per dead worker.
+    phase:
+        What the pool was waiting on when the crash surfaced.
+    """
+
+    def __init__(
+        self,
+        crashed: list[tuple[int, int, int | None, tuple[int, ...]]],
+        phase: str = "",
+    ) -> None:
+        self.crashed = list(crashed)
+        self.phase = phase
+        where = f" during {phase}" if phase else ""
+        desc = ", ".join(
+            f"worker {idx} (pid {pid}, exit {code}, ranks {list(ranks)})"
+            for idx, pid, code, ranks in self.crashed
+        )
+        super().__init__(
+            f"{len(self.crashed)} SPMD worker(s) died{where}: {desc}"
+        )

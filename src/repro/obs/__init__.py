@@ -47,8 +47,10 @@ from repro.obs.spans import (
     SpanRecorder,
     chrome_trace_document,
     get_recorder,
+    ingest_spans,
     set_recorder,
     span,
+    spans_to_payload,
     write_chrome_trace,
 )
 from repro.obs.trace import (
@@ -71,6 +73,8 @@ __all__ = [
     "set_recorder",
     "chrome_trace_document",
     "write_chrome_trace",
+    "spans_to_payload",
+    "ingest_spans",
     "MetricsRegistry",
     "merge_metrics",
     "runtime_stats_metrics",

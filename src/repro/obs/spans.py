@@ -31,6 +31,8 @@ __all__ = [
     "set_recorder",
     "chrome_trace_document",
     "write_chrome_trace",
+    "spans_to_payload",
+    "ingest_spans",
 ]
 
 
@@ -146,6 +148,48 @@ class SpanRecorder:
                 event["args"] = sp.args
             events.append(event)
         return events
+
+
+def spans_to_payload(recorder: SpanRecorder) -> list[dict]:
+    """Recorded spans as plain picklable dicts for cross-process merge.
+
+    The multiprocess SPMD runtime (:mod:`repro.par`) records spans in
+    each worker and ships them to the parent over a pipe; ``start_ns``
+    values come from ``time.perf_counter_ns`` whose Linux clock
+    (CLOCK_MONOTONIC) is system-wide, so worker timelines align with the
+    parent's recorder epoch without translation.
+    """
+    return [
+        {
+            "name": sp.name,
+            "cat": sp.cat,
+            "start_ns": sp.start_ns,
+            "duration_ns": sp.duration_ns,
+            "tid": sp.tid,
+            "args": dict(sp.args),
+        }
+        for sp in recorder.spans
+    ]
+
+
+def ingest_spans(
+    recorder: SpanRecorder, payload: list[dict], **extra_args: Any
+) -> int:
+    """Merge a :func:`spans_to_payload` list into *recorder*.
+
+    ``extra_args`` (e.g. ``pid=...``, ``rank=...``) are stamped onto
+    every ingested span's args so merged timelines stay attributable.
+    Returns the number of spans ingested.
+    """
+    for rec in payload:
+        sp = Span(rec["name"], rec.get("cat", "phase"), rec["start_ns"],
+                  rec.get("tid", 0))
+        sp.duration_ns = rec.get("duration_ns", 0)
+        sp.args.update(rec.get("args", ()))
+        if extra_args:
+            sp.args.update(extra_args)
+        recorder.spans.append(sp)
+    return len(payload)
 
 
 def chrome_trace_document(

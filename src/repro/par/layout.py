@@ -1,0 +1,141 @@
+"""Deterministic shared-memory map for one SPMD rank grid.
+
+Both the parent and every worker derive the identical
+:class:`HaloLayout` from ``(mesh shape, px, py, dtype)``, so no offsets
+ever travel between processes — only the segment name does.  The
+segment holds, in order:
+
+* the global **pressure** field (parent writes, workers read their
+  padded slices at scatter time);
+* the global **residual** field (each worker writes its ranks' owned
+  blocks — disjoint regions, so no locking is needed);
+* one **link slot** per directed halo link, in the canonical
+  :func:`~repro.cluster.flux.halo_links` order: an 8-byte sequence
+  header followed by the strip payload.  The sequence number is the
+  publication protocol: a sender writes the payload, then stores
+  ``exchange_index + 1`` into the header; a receiver spins until the
+  header reaches the value it expects.  Per-link monotonic sequence
+  numbers make lost, duplicate and stale strips all detectable.
+
+Everything is 8-byte aligned so the ``uint64`` headers and float
+payload views are aligned regardless of dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.comm import CartGrid
+from repro.cluster.decomposition import BlockDecomposition
+from repro.cluster.flux import HaloLink, halo_links
+
+__all__ = ["LinkSlot", "HaloLayout", "SEQ_BYTES"]
+
+#: Bytes of the per-link sequence header (one little-endian uint64).
+SEQ_BYTES = 8
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+@dataclass(frozen=True)
+class LinkSlot:
+    """One halo link's fixed region inside the shared segment."""
+
+    link: HaloLink
+    seq_offset: int
+    payload_offset: int
+    payload_bytes: int
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        """(source, dest, tag) — the same key SimComm's mailbox uses."""
+        return (self.link.source, self.link.dest, self.link.tag)
+
+
+class HaloLayout:
+    """Byte map of the shared arena for a ``px x py`` decomposition.
+
+    Picklable (plain ints, dataclasses and a dtype string), so it can be
+    shipped to spawned workers; under ``fork`` it is inherited.
+    """
+
+    def __init__(
+        self,
+        *,
+        shape_zyx: tuple[int, int, int],
+        px: int,
+        py: int,
+        links: list[HaloLink],
+        dtype=np.float64,
+    ) -> None:
+        self.shape_zyx = tuple(int(n) for n in shape_zyx)
+        self.px = int(px)
+        self.py = int(py)
+        self.dtype = np.dtype(dtype)
+        nz, ny, nx = self.shape_zyx
+        field_bytes = nz * ny * nx * self.dtype.itemsize
+        self.pressure_offset = 0
+        self.residual_offset = _align8(field_bytes)
+        offset = _align8(self.residual_offset + field_bytes)
+        slots: list[LinkSlot] = []
+        for link in links:
+            payload_bytes = link.cells(nz) * self.dtype.itemsize
+            seq_offset = offset
+            payload_offset = _align8(seq_offset + SEQ_BYTES)
+            slots.append(
+                LinkSlot(
+                    link=link,
+                    seq_offset=seq_offset,
+                    payload_offset=payload_offset,
+                    payload_bytes=payload_bytes,
+                )
+            )
+            offset = _align8(payload_offset + payload_bytes)
+        self.slots = tuple(slots)
+        self.total_bytes = max(offset, 1)  # SharedMemory rejects size 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_decomposition(
+        cls, decomp: BlockDecomposition, grid: CartGrid, *, dtype=np.float64
+    ) -> "HaloLayout":
+        """The canonical layout for *decomp* on *grid*."""
+        nz = decomp.mesh.nz
+        return cls(
+            shape_zyx=(nz, decomp.mesh.ny, decomp.mesh.nx),
+            px=grid.px,
+            py=grid.py,
+            links=halo_links(decomp, grid),
+            dtype=dtype,
+        )
+
+    @property
+    def size(self) -> int:
+        """Communicator size (number of ranks)."""
+        return self.px * self.py
+
+    @property
+    def links(self) -> list[HaloLink]:
+        return [slot.link for slot in self.slots]
+
+    def slot(self, source: int, dest: int, tag: int) -> LinkSlot:
+        """The slot for link ``(source, dest, tag)``; KeyError when the
+        pair shares no halo cells."""
+        return self._by_key[(source, dest, tag)]
+
+    @property
+    def _by_key(self) -> dict[tuple[int, int, int], LinkSlot]:
+        by_key = self.__dict__.get("_by_key_cache")
+        if by_key is None:
+            by_key = {slot.key: slot for slot in self.slots}
+            self.__dict__["_by_key_cache"] = by_key
+        return by_key
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_by_key_cache", None)
+        return state

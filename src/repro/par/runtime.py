@@ -1,0 +1,169 @@
+"""Process-pool plumbing: spawn, command pipes, crash detection.
+
+:class:`ProcPool` owns the worker processes for one
+:class:`~repro.par.flux.ParClusterFluxComputation` run.  The parent
+drives applications with a per-worker command pipe — send ``("run",)``
+to every worker, then collect one reply from each.  The collect loop
+polls each pipe in short slices interleaved with liveness checks, so a
+worker that died (injected kill, OOM, organic crash) surfaces as a
+structured :class:`~repro.faults.errors.WorkerCrashError` within one
+poll slice instead of hanging the parent until a timeout.
+
+``fork`` is preferred (the spec is inherited, no re-import cost);
+everything is pickle-clean so ``spawn`` works where fork is
+unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+from repro.faults.errors import WorkerCrashError
+from repro.par.worker import WorkerSpec, worker_main
+
+__all__ = ["ProcPool"]
+
+#: Seconds per pipe-poll slice in :meth:`ProcPool.collect`.
+POLL_SLICE_SECONDS = 0.05
+
+
+def _context() -> mp.context.BaseContext:
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context("spawn")
+
+
+class ProcPool:
+    """A fixed set of SPMD worker processes with command pipes."""
+
+    def __init__(self, specs: list[WorkerSpec]) -> None:
+        ctx = _context()
+        self.specs = list(specs)
+        self.procs: list[mp.Process] = []
+        self.conns = []
+        for spec in self.specs:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(spec, child_conn),
+                daemon=True,
+                name=f"repro-par-w{spec.index}",
+            )
+            proc.start()
+            child_conn.close()
+            self.procs.append(proc)
+            self.conns.append(parent_conn)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return len(self.procs)
+
+    def pids(self) -> list[int]:
+        """OS process id of every worker, in worker-index order."""
+        return [proc.pid for proc in self.procs]
+
+    def send_run(self) -> None:
+        """Start one application on every worker."""
+        for conn in self.conns:
+            conn.send(("run",))
+
+    def dead_workers(self) -> list[tuple[int, int, int | None, tuple[int, ...]]]:
+        """``(index, pid, exitcode, ranks)`` for every non-live worker."""
+        dead = []
+        for i, proc in enumerate(self.procs):
+            if not proc.is_alive():
+                dead.append(
+                    (i, proc.pid, proc.exitcode, tuple(self.specs[i].ranks))
+                )
+        return dead
+
+    def collect(self, *, timeout_seconds: float = 120.0,
+                phase: str = "application") -> list[dict]:
+        """One ``("ok", payload)`` reply per worker, in worker order.
+
+        Raises
+        ------
+        WorkerCrashError
+            When a worker dies (or its pipe hits EOF) before replying.
+        RuntimeError
+            When a worker reports an application-level error, or no
+            reply arrives within the poll budget.
+        """
+        payloads: list[dict | None] = [None] * self.size
+        # a fixed slice count, not a wall-clock deadline: deterministic
+        # control flow, and each slice doubles as a liveness check
+        budget = max(1, int(timeout_seconds / POLL_SLICE_SECONDS))
+        for _ in range(budget):
+            waiting = False
+            for i, conn in enumerate(self.conns):
+                if payloads[i] is not None:
+                    continue
+                try:
+                    ready = conn.poll(POLL_SLICE_SECONDS)
+                except (OSError, EOFError):
+                    ready = False
+                if not ready:
+                    waiting = True
+                    continue
+                try:
+                    kind, body = conn.recv()
+                except (EOFError, OSError):
+                    waiting = True
+                    continue
+                if kind == "error":
+                    raise RuntimeError(
+                        f"worker {self.specs[i].index} failed during "
+                        f"{phase}: {body}"
+                    )
+                payloads[i] = body
+            dead = [
+                entry for entry in self.dead_workers()
+                if payloads[entry[0]] is None
+            ]
+            if dead:
+                raise WorkerCrashError(dead, phase)
+            if not waiting:
+                return [p for p in payloads if p is not None]
+        missing = [
+            self.specs[i].index for i, p in enumerate(payloads) if p is None
+        ]
+        raise RuntimeError(
+            f"timed out waiting for worker(s) {missing} during {phase} "
+            f"({timeout_seconds:.0f}s budget)"
+        )
+
+    # ------------------------------------------------------------------ #
+    def terminate(self) -> None:
+        """Hard-stop every worker (crash recovery path)."""
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs:
+            proc.join(timeout=2.0)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def shutdown(self) -> None:
+        """Graceful stop: quit commands, join, terminate stragglers."""
+        for conn, proc in zip(self.conns, self.procs):
+            if proc.is_alive():
+                try:
+                    conn.send(("quit",))
+                except (OSError, BrokenPipeError):
+                    pass
+        for proc in self.procs:
+            proc.join(timeout=2.0)
+        for proc in self.procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass

@@ -1,0 +1,136 @@
+"""One shared-memory segment per SPMD run, with typed numpy views.
+
+The parent *owns* the segment (``create=True``): it allocates, repairs
+sequence headers across respawns, and unlinks at shutdown.  Workers
+*attach* by name and immediately unregister from the
+``resource_tracker`` — the stdlib registers every attach and would
+otherwise unlink the segment when the first worker exits (the
+long-standing bpo-38119 behaviour); ownership stays with the parent.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.par.layout import HaloLayout, LinkSlot
+
+__all__ = ["SharedArena"]
+
+
+class SharedArena:
+    """Typed views over one :class:`HaloLayout`-shaped shared segment."""
+
+    def __init__(
+        self, layout: HaloLayout, *, name: str | None = None, create: bool = False
+    ) -> None:
+        self.layout = layout
+        self.owner = create
+        if create:
+            self.shm = shared_memory.SharedMemory(
+                name=name, create=True, size=layout.total_bytes
+            )
+        else:
+            self.shm = self._attach_untracked(name, layout.total_bytes)
+        nz, ny, nx = layout.shape_zyx
+        buf = self.shm.buf
+        #: Global pressure field (parent writes before each application).
+        self.pressure = np.ndarray(
+            (nz, ny, nx), dtype=layout.dtype, buffer=buf,
+            offset=layout.pressure_offset,
+        )
+        #: Global residual field (workers write disjoint owned blocks).
+        self.residual = np.ndarray(
+            (nz, ny, nx), dtype=layout.dtype, buffer=buf,
+            offset=layout.residual_offset,
+        )
+        self._seqs: dict[tuple[int, int, int], np.ndarray] = {}
+        self._payloads: dict[tuple[int, int, int], np.ndarray] = {}
+        for slot in layout.slots:
+            self._seqs[slot.key] = np.ndarray(
+                (1,), dtype=np.uint64, buffer=buf, offset=slot.seq_offset
+            )
+            sy, sx = slot.link.shape_yx
+            self._payloads[slot.key] = np.ndarray(
+                (nz, sy, sx), dtype=layout.dtype, buffer=buf,
+                offset=slot.payload_offset,
+            )
+
+    @staticmethod
+    def _attach_untracked(name: str, size: int) -> shared_memory.SharedMemory:
+        """Attach without registering with the ``resource_tracker``.
+
+        The stdlib registers *every* attach as an ownership claim (the
+        bpo-38119 behaviour); with several workers sharing the parent's
+        forked tracker, the N attach registrations collapse into one set
+        entry and the N matching unregisters then spray KeyErrors at
+        shutdown.  Ownership lives solely with the creating parent —
+        its ``unlink()`` already unregisters — so attaching processes
+        simply skip registration.
+        """
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(rname, rtype):
+            if rtype != "shared_memory":  # pragma: no cover - unused types
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name, create=False,
+                                              size=size)
+        finally:
+            resource_tracker.register = original
+
+    # ------------------------------------------------------------------ #
+    def seq(self, key: tuple[int, int, int]) -> int:
+        """Current sequence number of link *key*."""
+        return int(self._seqs[key][0])
+
+    def set_seq(self, key: tuple[int, int, int], value: int) -> None:
+        """Publish sequence ``value`` into the link's uint64 header."""
+        self._seqs[key][0] = value
+
+    def payload(self, key: tuple[int, int, int]) -> np.ndarray:
+        """The (nz, sy, sx) payload view of link *key* (live, not a copy)."""
+        return self._payloads[key]
+
+    def slot(self, key: tuple[int, int, int]) -> LinkSlot:
+        """The :class:`LinkSlot` backing ``key`` ``(source, dest, tag)``."""
+        return self.layout.slot(*key)
+
+    def reset_seqs(self, value: int = 0) -> None:
+        """Repair every link header to *value* (completed exchanges).
+
+        Used by the parent after a worker crash: a partially executed
+        exchange leaves some links already published at ``value + 1``;
+        rewinding them lets the respawned pool re-run the application
+        from a clean, consistent sequence state.
+        """
+        for seq in self._seqs.values():
+            seq[0] = value
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the local mapping (owner also unlinks the segment)."""
+        # numpy views keep exported pointers into the mmap; drop them
+        # before closing or mmap.close() raises BufferError
+        self._seqs = {}
+        self._payloads = {}
+        self.pressure = None
+        self.residual = None
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            return
+        if self.owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    @property
+    def name(self) -> str:
+        return self.shm.name

@@ -1,0 +1,268 @@
+"""The SPMD worker process body.
+
+One worker executes one or more contiguous ranks of the decomposition.
+It rebuilds all per-rank state (padded local mesh, flux kernel,
+pressure/residual buffers) from the picklable :class:`WorkerSpec`,
+attaches the shared arena by name, then serves ``("run",)`` commands
+from the parent pipe — one command per flux application:
+
+1. scatter: copy each owned block's pressure cells from the arena's
+   global pressure field into the rank's padded buffer;
+2. exchange: publish every outgoing halo strip, then spin-receive every
+   incoming one (all-send-then-all-receive across *all* owned ranks, so
+   the schedule stays deadlock-free even with several ranks per
+   process);
+3. compute: run the reference flux kernel per rank and write the owned
+   residual block into the arena's global residual field (disjoint
+   regions across workers — no locking).
+
+Each application replies ``("ok", payload)`` with per-rank stats
+deltas, span records and phase nanosecond timings.  Fault injection is
+real here: when the plan downs one of this worker's ranks and
+``kill_for_real`` is set, the process dies with ``os._exit`` — the
+parent's crash detector, not a simulated flag, has to notice.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import constants
+from repro.core.flux import FluxKernel
+from repro.core.fluid import FluidProperties
+from repro.core.mesh import CartesianMesh3D
+from repro.cluster.decomposition import Block, BlockDecomposition
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.obs.spans import Span, SpanRecorder, spans_to_payload
+from repro.par.comm import ProcComm
+from repro.par.layout import HaloLayout
+from repro.par.shm import SharedArena
+
+__all__ = ["WorkerSpec", "worker_main", "KILL_EXIT_CODE"]
+
+#: Exit code of a worker killed by an injected rank failure — lets the
+#: parent (and tests) tell an injected crash from an organic one.
+KILL_EXIT_CODE = 73
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to rebuild its world (picklable)."""
+
+    index: int
+    ranks: tuple[int, ...]
+    arena_name: str
+    layout: HaloLayout
+    mesh: CartesianMesh3D
+    fluid: FluidProperties
+    px: int
+    py: int
+    gravity: float = constants.GRAVITY
+    dtype: str = "float64"
+    plan: FaultPlan | None = None
+    #: Die with ``os._exit(KILL_EXIT_CODE)`` when the plan downs one of
+    #: our ranks (a *real* crashed process, not a dropped send).
+    kill_for_real: bool = False
+    #: Completed exchanges to resume from (respawn after a crash).
+    start_exchange: int = 0
+    #: ``begin_retry`` calls to replay on the first application so a
+    #: respawned worker lands past the failure window instead of
+    #: re-dying on the same exchange.
+    attempt_offset: int = 0
+    record_spans: bool = True
+
+
+def _build_states(spec: WorkerSpec, decomp: BlockDecomposition) -> list[dict]:
+    dtype = np.dtype(spec.dtype)
+    states = []
+    for rank in spec.ranks:
+        block = decomp.block(rank)
+        local_mesh = decomp.local_mesh(block)
+        kernel = FluxKernel(
+            local_mesh, spec.fluid, gravity=spec.gravity, dtype=dtype
+        )
+        states.append(
+            {
+                "rank": rank,
+                "block": block,
+                "kernel": kernel,
+                "pressure": np.zeros(local_mesh.shape_zyx, dtype),
+                "residual": np.zeros(local_mesh.shape_zyx, dtype),
+            }
+        )
+    return states
+
+
+def _global_to_local(block: Block, x_lo, x_hi, y_lo, y_hi):
+    return (
+        slice(None),
+        slice(y_lo - block.gy0, y_hi - block.gy0),
+        slice(x_lo - block.gx0, x_hi - block.gx0),
+    )
+
+
+def _record(recorder: SpanRecorder | None, name: str, start_ns: int,
+            end_ns: int, **args) -> None:
+    """Append one explicitly-timed span (measured with perf_counter_ns,
+    the same system-wide monotonic clock as the parent's recorder)."""
+    if recorder is None:
+        return
+    sp = Span(name, "phase", start_ns, 0)
+    sp.duration_ns = end_ns - start_ns
+    sp.args.update(args)
+    recorder.spans.append(sp)
+
+
+def worker_main(spec: WorkerSpec, conn) -> None:
+    """Process entry point: serve applications until ``("quit",)``.
+
+    Module-level (not a closure) so it pickles under the ``spawn`` start
+    method as well as inheriting under ``fork``.
+    """
+    try:
+        _worker_loop(spec, conn)
+    except BaseException as exc:  # noqa: BLE001 - report, then die nonzero
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        os._exit(1)
+
+
+def _worker_loop(spec: WorkerSpec, conn) -> None:
+    decomp = BlockDecomposition(spec.mesh, spec.px, spec.py)
+    states = _build_states(spec, decomp)
+    arena = SharedArena(spec.layout, name=spec.arena_name, create=False)
+    my_ranks = set(spec.ranks)
+    state_of = {state["rank"]: state for state in states}
+
+    injector = None
+    if spec.plan is not None and spec.plan.rank_failures:
+        injector = FaultInjector(spec.plan)
+        # fast-forward past the exchanges completed before a respawn so
+        # exchange-scoped failure windows line up with the global index
+        for _ in range(spec.start_exchange):
+            injector.begin_exchange()
+
+    comm = ProcComm(
+        spec.layout,
+        arena,
+        ranks=spec.ranks,
+        faults=injector,
+        start_exchange=spec.start_exchange,
+    )
+    # canonical halo_links order restricted to this worker's endpoints
+    out_links = [lk for lk in spec.layout.links if lk.source in my_ranks]
+    in_links = sorted(
+        (lk for lk in spec.layout.links if lk.dest in my_ranks),
+        key=lambda lk: (lk.dest, lk.tag),
+    )
+
+    recorder = SpanRecorder() if spec.record_spans else None
+    applications = 0
+    pid = os.getpid()
+
+    while True:
+        cmd = conn.recv()
+        if cmd[0] == "quit":
+            break
+        if cmd[0] != "run":
+            raise RuntimeError(f"unknown worker command {cmd[0]!r}")
+
+        if injector is not None:
+            injector.begin_exchange()
+            if applications == 0:
+                for _ in range(spec.attempt_offset):
+                    injector.begin_retry()
+            if spec.kill_for_real and any(
+                injector.rank_down(r) for r in spec.ranks
+            ):
+                # a real crash: no reply, no cleanup — the parent's
+                # liveness checks must detect and recover
+                os._exit(KILL_EXIT_CODE)
+
+        if recorder is not None:
+            recorder.clear()
+        waited_before = comm.waited_seconds
+        t_app0 = time.perf_counter_ns()
+
+        # scatter owned pressure cells from the shared global field
+        for state in states:
+            block: Block = state["block"]
+            ys, xs = block.owned_slices_in_padded()
+            state["pressure"][:, ys, xs] = arena.pressure[
+                :, block.y0 : block.y1, block.x0 : block.x1
+            ]
+        t_scatter = time.perf_counter_ns()
+        _record(recorder, "par.scatter", t_app0, t_scatter,
+                worker=spec.index)
+
+        # halo exchange: all sends for all owned ranks, then all recvs
+        for link in out_links:
+            state = state_of[link.source]
+            strip = state["pressure"][
+                _global_to_local(state["block"], link.x_lo, link.x_hi,
+                                 link.y_lo, link.y_hi)
+            ]
+            comm.isend(link.source, link.dest, link.tag, strip)
+        for link in in_links:
+            state = state_of[link.dest]
+            data = comm.recv(link.dest, link.source, link.tag)
+            state["pressure"][
+                _global_to_local(state["block"], link.x_lo, link.x_hi,
+                                 link.y_lo, link.y_hi)
+            ] = data
+        comm.complete_exchange()
+        t_exchange = time.perf_counter_ns()
+        exchange_ns = t_exchange - t_scatter
+        _record(recorder, "par.exchange", t_scatter, t_exchange,
+                worker=spec.index)
+
+        # compute: reference kernel per rank, residual into shared field
+        per_rank_ns = {}
+        for state in states:
+            block = state["block"]
+            t_c0 = time.perf_counter_ns()
+            state["kernel"].residual(state["pressure"], out=state["residual"])
+            ys, xs = block.owned_slices_in_padded()
+            arena.residual[
+                :, block.y0 : block.y1, block.x0 : block.x1
+            ] = state["residual"][:, ys, xs]
+            t_c1 = time.perf_counter_ns()
+            per_rank_ns[state["rank"]] = {
+                "compute_ns": t_c1 - t_c0,
+                "exchange_ns": exchange_ns // len(states),
+            }
+            _record(recorder, "par.compute", t_c0, t_c1,
+                    worker=spec.index, rank=state["rank"])
+
+        applications += 1
+        payload = {
+            "pid": pid,
+            "worker": spec.index,
+            "ranks": list(spec.ranks),
+            "wall_ns": time.perf_counter_ns() - t_app0,
+            "waited_seconds": comm.waited_seconds - waited_before,
+            "per_rank_ns": {int(r): dict(ns) for r, ns in per_rank_ns.items()},
+            "stats": {
+                int(r): {
+                    "messages_sent": comm.stats[r].messages_sent,
+                    "messages_received": comm.stats[r].messages_received,
+                    "bytes_sent": comm.stats[r].bytes_sent,
+                    "bytes_received": comm.stats[r].bytes_received,
+                    "sends_dropped": comm.stats[r].sends_dropped,
+                    "retry_waits": comm.stats[r].retry_waits,
+                }
+                for r in spec.ranks
+            },
+            "spans": spans_to_payload(recorder) if recorder is not None else [],
+        }
+        conn.send(("ok", payload))
+
+    arena.close()
+    conn.close()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.comm import CartGrid, SimComm
+from repro.cluster.comm import CartGrid, RetryPolicy, SimComm
 
 
 class TestSimComm:
@@ -63,6 +63,51 @@ class TestSimComm:
         np.testing.assert_array_equal(out, src)
         assert out.flags["C_CONTIGUOUS"]
 
+    def test_total_bytes_sides(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, 0, np.zeros(10, dtype=np.float64))
+        assert comm.total_bytes(side="sent") == 80
+        assert comm.total_bytes(side="received") == 0
+        comm.recv(1, 0, 0)
+        assert comm.total_bytes(side="received") == 80
+        assert comm.total_bytes(side="both") == 160
+
+    def test_total_bytes_rejects_unknown_side(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError, match="'sent', 'received' or 'both'"):
+            comm.total_bytes(side="transmitted")
+        with pytest.raises(ValueError, match="transmitted"):
+            comm.total_bytes(side="transmitted")
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(attempts=3, base_delay=1e-6, multiplier=2.0)
+        assert policy.delay(0) == 1e-6
+        assert policy.delay(1) == 2e-6
+        assert policy.delay(10) == pytest.approx(1e-6 * 1024)
+
+    def test_huge_attempt_saturates_to_inf(self):
+        # 2.0**10000 overflows a double; the policy must saturate, not
+        # crash mid-recovery with OverflowError
+        policy = RetryPolicy(attempts=3, base_delay=1e-6, multiplier=2.0)
+        assert policy.delay(10_000) == float("inf")
+        assert policy.delay(1_000_000) == float("inf")
+
+    def test_zero_base_delay_stays_zero(self):
+        # 0 * inf is nan: the zero-delay policy must short-circuit first
+        policy = RetryPolicy(attempts=3, base_delay=0.0, multiplier=2.0)
+        assert policy.delay(0) == 0.0
+        assert policy.delay(10_000) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
 
 class TestCartGrid:
     def test_rank_coord_roundtrip(self):
@@ -86,6 +131,37 @@ class TestCartGrid:
         """One lookup, one message: MPI corners need no intermediary."""
         grid = CartGrid(4, 4)
         assert grid.neighbour(grid.rank_of(1, 1), 1, 1) == grid.rank_of(2, 2)
+
+    def test_neighbours_non_square_wide(self):
+        # px != py: the rank <-> coord arithmetic must use the right
+        # axis in each direction (a classic row-major/column-major slip)
+        grid = CartGrid(5, 2)
+        assert grid.neighbour(grid.rank_of(3, 0), 1, 0) == grid.rank_of(4, 0)
+        assert grid.neighbour(grid.rank_of(3, 0), 0, 1) == grid.rank_of(3, 1)
+        assert grid.neighbour(grid.rank_of(4, 1), 1, 0) is None
+        assert grid.neighbour(grid.rank_of(4, 1), 0, 1) is None
+        assert grid.neighbour(grid.rank_of(4, 0), -1, 1) == grid.rank_of(3, 1)
+
+    def test_neighbours_non_square_tall(self):
+        grid = CartGrid(2, 5)
+        assert grid.neighbour(grid.rank_of(0, 3), 0, 1) == grid.rank_of(0, 4)
+        assert grid.neighbour(grid.rank_of(1, 4), 0, 1) is None
+        assert grid.neighbour(grid.rank_of(0, 0), 1, 1) == grid.rank_of(1, 1)
+        # every interior rank of a 2x5 grid still has all 8 neighbours
+        interior = grid.rank_of(0, 2)
+        count = sum(
+            grid.neighbour(interior, dx, dy) is not None
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            if (dx, dy) != (0, 0)
+        )
+        assert count == 5  # left edge: 3 of 8 fall off the grid
+
+    def test_degenerate_single_row(self):
+        grid = CartGrid(4, 1)
+        assert grid.neighbour(grid.rank_of(1, 0), 1, 0) == grid.rank_of(2, 0)
+        assert grid.neighbour(grid.rank_of(1, 0), 0, 1) is None
+        assert grid.neighbour(grid.rank_of(1, 0), 0, -1) is None
 
     def test_bounds_checks(self):
         grid = CartGrid(2, 2)

@@ -66,6 +66,21 @@ class TestBlockDecomposition:
         with pytest.raises(ValueError, match="empty blocks"):
             BlockDecomposition(mesh, 4, 1)
 
+    def test_oversubscription_names_x_axis(self):
+        mesh = CartesianMesh3D(3, 8, 1)
+        with pytest.raises(ValueError, match=r"px=4 ranks along X exceed mesh Nx=3"):
+            BlockDecomposition(mesh, 4, 2)
+
+    def test_oversubscription_names_y_axis(self):
+        mesh = CartesianMesh3D(8, 3, 1)
+        with pytest.raises(ValueError, match=r"py=5 ranks along Y exceed mesh Ny=3"):
+            BlockDecomposition(mesh, 2, 5)
+
+    def test_oversubscription_message_includes_grid(self):
+        mesh = CartesianMesh3D(2, 9, 1)
+        with pytest.raises(ValueError, match=r"process grid 3x3"):
+            BlockDecomposition(mesh, 3, 3)
+
 
 class TestClusterFlux:
     @pytest.fixture(scope="class")

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.perf",
     "repro.solver",
     "repro.cluster",
+    "repro.par",
     "repro.wave",
     "repro.workloads",
     "repro.util",

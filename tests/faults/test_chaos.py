@@ -42,6 +42,9 @@ class TestRunChaos:
         assert "bit-identical" in scenarios["dead-pe/remap"].detail
         assert scenarios["link-drop/detect"].detected
         assert scenarios["rank-failure/re-exchange"].recovered
+        assert scenarios["par/worker-kill/detect"].detected
+        assert scenarios["par/worker-kill/respawn"].recovered
+        assert "bit-identical" in scenarios["par/worker-kill/respawn"].detail
         assert scenarios["solver/checkpoint-restart"].recovered
 
     def test_report_is_deterministic(self):
@@ -80,7 +83,7 @@ class TestChaosCli:
         assert "CHAOS PASSED" in out.getvalue()
         doc = json.loads(path.read_text())
         assert doc["ok"] is True
-        assert len(doc["outcomes"]) == 6
+        assert len(doc["outcomes"]) == 8
         assert doc["plan"]["seed"] == 7
 
     def test_chaos_accepts_a_plan_file(self, tmp_path):

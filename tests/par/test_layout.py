@@ -1,0 +1,108 @@
+"""Unit tests for the shared-memory layout and arena."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D
+from repro.cluster.comm import CartGrid
+from repro.cluster.decomposition import BlockDecomposition
+from repro.cluster.flux import halo_links
+from repro.par.layout import SEQ_BYTES, HaloLayout
+from repro.par.shm import SharedArena
+
+
+def make_layout(nx=8, ny=8, nz=3, px=2, py=2, dtype=np.float64):
+    mesh = CartesianMesh3D(nx, ny, nz)
+    decomp = BlockDecomposition(mesh, px, py)
+    grid = CartGrid(px, py)
+    return HaloLayout.from_decomposition(decomp, grid, dtype=dtype), decomp, grid
+
+
+class TestHaloLayout:
+    def test_fields_disjoint_and_aligned(self):
+        layout, _, _ = make_layout()
+        field_bytes = 3 * 8 * 8 * 8
+        assert layout.pressure_offset == 0
+        assert layout.residual_offset >= field_bytes
+        assert layout.residual_offset % 8 == 0
+        for slot in layout.slots:
+            assert slot.seq_offset % 8 == 0
+            assert slot.payload_offset % 8 == 0
+            assert slot.payload_offset >= slot.seq_offset + SEQ_BYTES
+
+    def test_slots_do_not_overlap(self):
+        layout, _, _ = make_layout(px=3, py=2, nx=9)
+        regions = [(layout.pressure_offset, layout.residual_offset)]
+        prev_end = layout.residual_offset + 3 * 8 * 9 * 8
+        for slot in layout.slots:
+            assert slot.seq_offset >= prev_end
+            prev_end = slot.payload_offset + slot.payload_bytes
+        assert layout.total_bytes >= prev_end
+
+    def test_one_slot_per_halo_link(self):
+        layout, decomp, grid = make_layout(px=3, py=2, nx=9)
+        links = halo_links(decomp, grid)
+        assert [slot.link for slot in layout.slots] == links
+        for link in links:
+            slot = layout.slot(link.source, link.dest, link.tag)
+            assert slot.link == link
+        with pytest.raises(KeyError):
+            layout.slot(0, 0, 99)
+
+    def test_payload_bytes_match_strip(self):
+        layout, decomp, _ = make_layout()
+        nz = decomp.mesh.nz
+        for slot in layout.slots:
+            assert slot.payload_bytes == slot.link.cells(nz) * 8
+
+    def test_picklable(self):
+        layout, _, _ = make_layout()
+        layout.slot(0, 1, 0)  # populate the key cache
+        clone = pickle.loads(pickle.dumps(layout))
+        assert clone.total_bytes == layout.total_bytes
+        assert clone.slot(0, 1, 0).payload_offset == layout.slot(0, 1, 0).payload_offset
+
+
+class TestSharedArena:
+    def test_views_roundtrip(self):
+        layout, _, _ = make_layout()
+        arena = SharedArena(layout, create=True)
+        try:
+            arena.pressure[:] = 7.5
+            key = layout.slots[0].key
+            arena.payload(key)[:] = 1.25
+            assert arena.seq(key) == 0
+            arena.set_seq(key, 3)
+            # a second attachment sees the same bytes
+            other = SharedArena(layout, name=arena.name, create=False)
+            try:
+                assert float(other.pressure[0, 0, 0]) == 7.5
+                assert float(other.payload(key).ravel()[0]) == 1.25
+                assert other.seq(key) == 3
+            finally:
+                other.close()
+        finally:
+            arena.close()
+
+    def test_reset_seqs(self):
+        layout, _, _ = make_layout()
+        arena = SharedArena(layout, create=True)
+        try:
+            for slot in layout.slots:
+                arena.set_seq(slot.key, 5)
+            arena.reset_seqs(2)
+            assert all(arena.seq(slot.key) == 2 for slot in layout.slots)
+        finally:
+            arena.close()
+
+    def test_owner_unlinks(self):
+        layout, _, _ = make_layout()
+        arena = SharedArena(layout, create=True)
+        name = arena.name
+        arena.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)

@@ -1,0 +1,127 @@
+"""In-process unit tests for ProcComm's publication protocol.
+
+Both endpoints run in this process over one arena — the protocol logic
+(sequence publication, skew detection, stats) is independent of which
+process executes which rank.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D
+from repro.cluster.comm import CartGrid
+from repro.cluster.decomposition import BlockDecomposition
+from repro.faults.errors import CommTimeoutError
+from repro.par.comm import ProcComm
+from repro.par.layout import HaloLayout
+from repro.par.shm import SharedArena
+
+
+@pytest.fixture()
+def world():
+    mesh = CartesianMesh3D(8, 4, 2)
+    decomp = BlockDecomposition(mesh, 2, 1)
+    grid = CartGrid(2, 1)
+    layout = HaloLayout.from_decomposition(decomp, grid)
+    arena = SharedArena(layout, create=True)
+    yield layout, arena
+    arena.close()
+
+
+def make_comm(layout, arena, ranks=(0, 1), **kwargs):
+    kwargs.setdefault("busy_spins", 10)
+    kwargs.setdefault("sleep_seconds", 1e-6)
+    kwargs.setdefault("max_sleeps", 50)
+    return ProcComm(layout, arena, ranks=ranks, **kwargs)
+
+
+class TestProcComm:
+    def test_send_recv_roundtrip(self, world):
+        layout, arena = world
+        comm = make_comm(layout, arena)
+        link = layout.links[0]
+        data = np.arange(float(link.cells(2))).reshape(
+            2, *link.shape_yx
+        )
+        comm.isend(link.source, link.dest, link.tag, data)
+        out = comm.recv(link.dest, link.source, link.tag)
+        np.testing.assert_array_equal(out, data)
+        assert not out.flags.writeable
+        assert comm.pending == 0
+
+    def test_traffic_accounting(self, world):
+        layout, arena = world
+        comm = make_comm(layout, arena)
+        link = layout.links[0]
+        data = np.zeros((2, *link.shape_yx))
+        comm.isend(link.source, link.dest, link.tag, data)
+        comm.recv(link.dest, link.source, link.tag)
+        assert comm.stats[link.source].messages_sent == 1
+        assert comm.stats[link.source].bytes_sent == data.nbytes
+        assert comm.stats[link.dest].messages_received == 1
+        assert comm.total_messages() == 1
+        assert comm.total_bytes(side="received") == data.nbytes
+
+    def test_double_send_same_link_rejected(self, world):
+        layout, arena = world
+        comm = make_comm(layout, arena)
+        link = layout.links[0]
+        data = np.zeros((2, *link.shape_yx))
+        comm.isend(link.source, link.dest, link.tag, data)
+        with pytest.raises(RuntimeError, match="unmatched"):
+            comm.isend(link.source, link.dest, link.tag, data)
+
+    def test_recv_without_send_times_out_as_deadlock(self, world):
+        layout, arena = world
+        comm = make_comm(layout, arena)
+        link = layout.links[0]
+        with pytest.raises(CommTimeoutError, match="deadlock"):
+            comm.recv(link.dest, link.source, link.tag)
+        assert comm.stats[link.dest].retry_waits > 0
+        assert comm.waited_seconds > 0
+
+    def test_sequence_advances_per_exchange(self, world):
+        layout, arena = world
+        comm = make_comm(layout, arena)
+        link = layout.links[0]
+        data = np.zeros((2, *link.shape_yx))
+        for exchange in range(3):
+            comm.isend(link.source, link.dest, link.tag, data)
+            comm.recv(link.dest, link.source, link.tag)
+            comm.complete_exchange()
+            assert arena.seq((link.source, link.dest, link.tag)) == exchange + 1
+        assert comm.exchange_index == 3
+
+    def test_stale_header_is_sequence_skew(self, world):
+        layout, arena = world
+        comm = make_comm(layout, arena)
+        link = layout.links[0]
+        arena.set_seq((link.source, link.dest, link.tag), 7)
+        with pytest.raises(RuntimeError, match="sequence skew"):
+            comm.isend(
+                link.source, link.dest, link.tag,
+                np.zeros((2, *link.shape_yx)),
+            )
+
+    def test_start_exchange_resumes_midstream(self, world):
+        layout, arena = world
+        arena.reset_seqs(4)
+        comm = make_comm(layout, arena, start_exchange=4)
+        link = layout.links[0]
+        data = np.ones((2, *link.shape_yx))
+        comm.isend(link.source, link.dest, link.tag, data)
+        assert arena.seq((link.source, link.dest, link.tag)) == 5
+        np.testing.assert_array_equal(
+            comm.recv(link.dest, link.source, link.tag), data
+        )
+
+    def test_rank_bounds(self, world):
+        layout, arena = world
+        comm = make_comm(layout, arena)
+        with pytest.raises(ValueError, match="outside communicator"):
+            comm.isend(0, 99, 0, np.zeros(1))
+
+    def test_barrier_is_noop(self, world):
+        layout, arena = world
+        comm = make_comm(layout, arena)
+        comm.barrier("any phase")  # must not raise

@@ -1,0 +1,81 @@
+"""Tests for the weak-scaling harness and its CLI front end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.par.scale import parse_grids, render_scaling, weak_scaling
+
+
+class TestParseGrids:
+    def test_basic(self):
+        assert parse_grids("1x1,2x2,3x2") == [(1, 1), (2, 2), (3, 2)]
+
+    def test_whitespace_and_case(self):
+        assert parse_grids(" 1x1 , 2X2 ") == [(1, 1), (2, 2)]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="expected PXxPY"):
+            parse_grids("1x1,banana")
+        with pytest.raises(ValueError, match="no grids"):
+            parse_grids(" , ")
+
+
+class TestWeakScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return weak_scaling(
+            [(1, 1), (2, 1)], base_nx=6, base_ny=6, nz=2, applications=1
+        )
+
+    def test_base_point_is_reference(self, points):
+        assert points[0].measured_efficiency == 1.0
+        assert points[0].modelled_efficiency == 1.0
+        assert points[0].ranks == 1
+
+    def test_measured_alongside_modelled(self, points):
+        for pt in points:
+            assert pt.measured_seconds > 0
+            assert pt.modelled_seconds > 0
+            assert pt.measured_efficiency > 0
+            assert pt.modelled_efficiency > 0
+
+    def test_every_point_verified(self, points):
+        assert all(pt.bit_identical for pt in points)
+
+    def test_weak_scaling_grows_mesh(self, points):
+        assert points[0].nx == 6
+        assert points[1].nx == 12
+        assert points[1].ny == 6
+
+    def test_distinct_pids_reported(self, points):
+        assert points[1].distinct_pids == 2
+
+    def test_render_table(self, points):
+        table = render_scaling(points)
+        assert "model eff" in table
+        assert "1x1" in table and "2x1" in table
+        assert "yes" in table
+
+
+class TestParScaleCli:
+    def test_cli_runs_and_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "scale.json"
+        code = main(
+            [
+                "par-scale",
+                "--grids", "1x1,2x1",
+                "--base-nx", "6", "--base-ny", "6", "--nz", "2",
+                "--applications", "1",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        assert len(doc) == 2
+        assert doc[0]["measured_efficiency"] == 1.0
+        assert all(pt["bit_identical"] for pt in doc)
+
+    def test_cli_rejects_bad_grids(self, capsys):
+        assert main(["par-scale", "--grids", "nope"]) == 2
