@@ -150,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ps = sub.add_parser(
         "par-scale",
-        help="measured weak scaling of the multiprocess SPMD runtime",
+        help="measured scaling of the multiprocess SPMD runtime",
     )
     p_ps.add_argument(
         "--grids", default="1x1,2x1,2x2", metavar="SPEC",
@@ -168,8 +168,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="timed applications of Algorithm 1 per grid point",
     )
     p_ps.add_argument(
-        "--workers", type=int, default=None,
-        help="worker processes per point (default: one per rank)",
+        "--workers", default=None, metavar="N[,N...]",
+        help="worker processes per point (default: one per rank); with "
+        "--mesh, a comma list sweeps worker counts, e.g. '1,2,4'.  "
+        "Explicit counts above the host's usable CPUs are a usage "
+        "error (exit 2)",
+    )
+    p_ps.add_argument(
+        "--mesh", default=None, metavar="NXxNYxNZ",
+        help="strong-scaling mode: fix this global mesh and sweep "
+        "--workers on the --grid rank grid instead of weak scaling",
+    )
+    p_ps.add_argument(
+        "--grid", default="2x2", metavar="PXxPY",
+        help="rank grid for the --mesh worker sweep (default 2x2)",
+    )
+    p_ps.add_argument(
+        "--gate-speedup", action="store_true",
+        help="with --mesh: exit 1 unless the largest swept worker "
+        "count beats the serial backend (only enforced when the host "
+        "has at least that many usable CPUs)",
     )
     p_ps.add_argument("--seed", type=int, default=0)
     p_ps.add_argument(
@@ -662,21 +680,55 @@ def _cmd_par_scale(args, out) -> int:
     import json
     from pathlib import Path
 
-    from repro.par.scale import parse_grids, render_scaling, weak_scaling
+    from repro.par.runtime import available_cpus
+    from repro.par.scale import (
+        parse_grids,
+        parse_workers,
+        render_scaling,
+        weak_scaling,
+    )
 
+    verify = not args.no_verify
+    worker_counts = None
+    if args.workers is not None:
+        try:
+            worker_counts = parse_workers(str(args.workers))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cpus = available_cpus()
+        if max(worker_counts) > cpus:
+            print(
+                f"error: --workers {max(worker_counts)} exceeds the "
+                f"{cpus} CPU(s) this process may run on; an "
+                f"oversubscribed sweep measures scheduler contention, "
+                f"not scaling",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.mesh is not None:
+        return _par_scale_sweep(args, out, worker_counts, verify)
+
+    if worker_counts is not None and len(worker_counts) != 1:
+        print(
+            "error: weak scaling takes a single --workers count; "
+            "a comma sweep needs --mesh",
+            file=sys.stderr,
+        )
+        return 2
     try:
         grids = parse_grids(args.grids)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    verify = not args.no_verify
     points = weak_scaling(
         grids,
         base_nx=args.base_nx,
         base_ny=args.base_ny,
         nz=args.nz,
         applications=args.applications,
-        workers=args.workers,
+        workers=worker_counts[0] if worker_counts else None,
         seed=args.seed,
         verify=verify,
     )
@@ -702,6 +754,84 @@ def _cmd_par_scale(args, out) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _par_scale_sweep(args, out, worker_counts, verify) -> int:
+    """Strong-scaling worker sweep on a fixed mesh (``--mesh`` mode)."""
+    import json
+    from pathlib import Path
+
+    from repro.par.runtime import available_cpus
+    from repro.par.scale import (
+        parse_grids,
+        parse_mesh,
+        render_sweep,
+        worker_sweep,
+    )
+
+    try:
+        nx, ny, nz = parse_mesh(args.mesh)
+        (px, py), = parse_grids(args.grid)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if worker_counts is None:
+        worker_counts = sorted(
+            {w for w in (1, 2, 4) if w <= min(px * py, available_cpus())}
+        )
+    if max(worker_counts) > px * py:
+        print(
+            f"error: --workers {max(worker_counts)} exceeds the "
+            f"{px * py} rank(s) of the {px}x{py} grid",
+            file=sys.stderr,
+        )
+        return 2
+    points = worker_sweep(
+        worker_counts,
+        nx=nx, ny=ny, nz=nz, px=px, py=py,
+        applications=args.applications,
+        seed=args.seed,
+        verify=verify,
+    )
+    print(
+        f"strong scaling, {nx}x{ny}x{nz} global mesh on a {px}x{py} "
+        f"rank grid, {args.applications} applications per point "
+        f"(+1 warm-up){'' if verify else ', verification OFF'}",
+        file=out,
+    )
+    print(render_sweep(points), file=out)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps([pt.as_dict() for pt in points], indent=2) + "\n"
+        )
+        print(f"wrote {path}", file=out)
+    if verify and not all(pt.bit_identical for pt in points):
+        bad = [str(pt.workers) for pt in points if not pt.bit_identical]
+        print(
+            f"error: residual mismatch vs serial cluster backend at "
+            f"worker count(s) {', '.join(bad)}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.gate_speedup:
+        top = max(points, key=lambda pt: pt.workers)
+        if available_cpus() < top.workers:
+            print(
+                f"speedup gate skipped: {available_cpus()} usable "
+                f"CPU(s) < {top.workers} workers",
+                file=out,
+            )
+        elif top.speedup <= 1.0:
+            print(
+                f"error: speedup {top.speedup:.2f} <= 1 at "
+                f"{top.workers} workers on a host with "
+                f"{available_cpus()} usable CPUs",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -32,11 +32,26 @@ class ClusterPerfModel:
         Link bandwidth beta per rank.
     compute_cells_per_s:
         Flux-kernel throughput gamma of one rank (cells/second).
+    overlap_fraction:
+        Fraction of the halo-exchange cost hidden under interior
+        compute (communication/computation overlap, as the multiprocess
+        runtime's interior/boundary split does).  0.0 models a fully
+        synchronous exchange (the historical default); 1.0 models
+        perfect hiding — only the un-hidden ``1 - overlap_fraction`` of
+        the comm term adds to the critical path.
     """
 
     latency_s: float = 2e-6
     bandwidth_bytes_per_s: float = 12.5e9
     compute_cells_per_s: float = 2.0e9
+    overlap_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise ValueError(
+                f"overlap_fraction must be in [0, 1], got "
+                f"{self.overlap_fraction}"
+            )
 
     def application_seconds(
         self,
@@ -68,7 +83,8 @@ class ClusterPerfModel:
                 halo_words * word_bytes / self.bandwidth_bytes_per_s
             )
             compute = bx * by * nz / self.compute_cells_per_s
-            worst = max(worst, comm + compute)
+            exposed_comm = comm * (1.0 - self.overlap_fraction)
+            worst = max(worst, exposed_comm + compute)
         return worst
 
     def parallel_efficiency(

@@ -3,17 +3,22 @@
 :class:`ProcComm` implements the :class:`~repro.cluster.comm.HaloComm`
 contract over :class:`~repro.par.shm.SharedArena` link slots.  Where
 :class:`~repro.cluster.comm.SimComm` matches sends to receives through
-an in-process mailbox dict, here the "mailbox" is the per-link sequence
-header in shared memory:
+an in-process mailbox dict, here the "mailbox" is the per-link,
+per-parity sequence header in shared memory:
 
-* ``isend`` copies the strip into the link's payload slot, then
-  publishes by storing ``exchange_index + 1`` into the header.  The
-  store ordering (payload first, header second) is what makes the
-  protocol safe on x86's total-store-order memory model.
-* ``recv`` spins until the header reaches the expected value, first
-  busily and then yielding the core with short sleeps, up to a fixed
-  iteration budget (deliberately a *count*, not a wall-clock deadline,
-  so the control flow stays deterministic under the repo's lint).
+* ``isend`` copies the strip into the payload of the link's parity slot
+  (exchange ``k`` uses slot ``k % 2``), then publishes by storing
+  ``k + 1`` into that slot's header.  The store ordering (payload
+  first, header second) is what makes the protocol safe on x86's
+  total-store-order memory model; the *two* parity slots are what make
+  it safe under overlapped exchange, where a sender may publish its
+  next exchange while the receiver is still absorbing the previous one
+  (pipelined endpoints drift by at most one exchange).
+* ``recv`` spins until the parity slot's header reaches the expected
+  value, first busily and then yielding the core with short sleeps, up
+  to a fixed iteration budget (deliberately a *count*, not a wall-clock
+  deadline, so the control flow stays deterministic under the repo's
+  lint).
 
 Sequence numbers are monotonic per link across the whole run, so a
 duplicate publication ("unmatched earlier send"), a stale strip from a
@@ -30,14 +35,14 @@ import numpy as np
 
 from repro.cluster.comm import HaloComm, RankStats, RetryPolicy
 from repro.faults.errors import CommTimeoutError
-from repro.par.layout import HaloLayout
+from repro.par.layout import NUM_PARITIES, HaloLayout
 from repro.par.shm import SharedArena
 
 __all__ = ["ProcComm"]
 
 
 class ProcComm(HaloComm):
-    """A :class:`HaloComm` over shared-memory link slots.
+    """A :class:`HaloComm` over shared-memory link parity slots.
 
     One instance lives in each worker process; ``ranks`` names the ranks
     this worker executes.  ``stats`` is full-communicator-sized so the
@@ -87,12 +92,18 @@ class ProcComm(HaloComm):
         self.sleep_seconds = float(sleep_seconds)
         self.max_sleeps = int(max_sleeps)
         #: Completed exchanges; publication value for the current one
-        #: is ``_exchange + 1``.
+        #: is ``_exchange + 1``, in parity slot ``_exchange % 2``.
         self._exchange = int(start_exchange)
         #: Real seconds this worker spent spinning in :meth:`recv`.
         self.waited_seconds = 0.0
 
     # ------------------------------------------------------------------ #
+    def _expected_prior(self) -> int:
+        """Header value the current exchange's parity slot must hold
+        before we publish: what exchange ``k - 2`` left there (``k - 1``),
+        or 0 when the slot was never written."""
+        return self._exchange - 1 if self._exchange >= 2 else 0
+
     def isend(self, source: int, dest: int, tag: int, array: np.ndarray) -> None:
         """Publish the strip on link ``(source, dest, tag)``.
 
@@ -108,18 +119,19 @@ class ProcComm(HaloComm):
             self.faults.stats.sends_dropped += 1
             return
         key = (source, dest, tag)
+        parity = self._exchange % NUM_PARITIES
         want = self._exchange + 1
-        seq = self.arena.seq(key)
+        seq = self.arena.seq(key, parity)
         if seq == want:
             raise RuntimeError(f"unmatched earlier send on {key}")
-        if seq != self._exchange:
+        if seq != self._expected_prior():
             raise RuntimeError(
-                f"sequence skew on {key}: header at {seq}, expected "
-                f"{self._exchange} before exchange {want}"
+                f"sequence skew on {key}: parity-{parity} header at {seq}, "
+                f"expected {self._expected_prior()} before exchange {want}"
             )
-        payload = self.arena.payload(key)
+        payload = self.arena.payload(key, parity)
         np.copyto(payload, array)
-        self.arena.set_seq(key, want)
+        self.arena.set_seq(key, parity, want)
         st = self.stats[source]
         st.messages_sent += 1
         st.bytes_sent += payload.nbytes
@@ -147,17 +159,18 @@ class ProcComm(HaloComm):
         self._check_rank(dest, "dest")
         self._check_rank(source, "source")
         key = (source, dest, tag)
+        parity = self._exchange % NUM_PARITIES
         want = self._exchange + 1
         st = self.stats[dest]
         t0 = time.perf_counter_ns()
         found = False
         for _ in range(self.busy_spins):
-            if int(self.arena.seq(key)) >= want:
+            if int(self.arena.seq(key, parity)) >= want:
                 found = True
                 break
         if not found:
             for _ in range(self.max_sleeps):
-                if int(self.arena.seq(key)) >= want:
+                if int(self.arena.seq(key, parity)) >= want:
                     found = True
                     break
                 st.retry_waits += 1
@@ -165,12 +178,12 @@ class ProcComm(HaloComm):
         self.waited_seconds += (time.perf_counter_ns() - t0) / 1e9
         if not found:
             raise CommTimeoutError(source, dest, tag)
-        if int(self.arena.seq(key)) != want:
+        if int(self.arena.seq(key, parity)) != want:
             raise RuntimeError(
-                f"sequence skew on {key}: header at {self.arena.seq(key)}, "
-                f"receiver expected {want}"
+                f"sequence skew on {key}: parity-{parity} header at "
+                f"{self.arena.seq(key, parity)}, receiver expected {want}"
             )
-        payload = self.arena.payload(key)
+        payload = self.arena.payload(key, parity)
         view = payload.view()
         view.flags.writeable = False
         st.messages_received += 1

@@ -2,12 +2,20 @@
 cluster backend.
 
 Drop-in for :class:`~repro.cluster.flux.ClusterFluxComputation.run`:
-the same ``px x py`` decomposition, the same canonical halo-link order,
-the same reference kernel per rank — executed by real processes over
-shared memory.  Because every rank computes with the identical padded
-block and the global residual is assembled from disjoint owned regions
-(each written by exactly one worker, no reduction across workers), the
-result is **bit-identical** to the serial backend on any worker count.
+the same ``px x py`` decomposition, the same canonical halo-link order —
+executed by real processes over shared memory.  Each rank runs the
+vectorized :class:`~repro.par.kernel.RankKernel` (same IEEE fold order
+as the reference kernel, one fused pass per connection instead of a
+Python-level cell loop), workers come warm from the process-wide
+reservoir (:mod:`repro.par.runtime`), applications pipeline to depth
+:data:`PIPELINE_DEPTH` over the arena's parity slots, and — when the
+host has the cores for it — each rank's interior computes while halo
+receives are still in flight.  Because every rank folds each cell's
+connections in the canonical order inside exactly one box and the
+global residual is assembled from disjoint owned regions (each written
+by exactly one worker, no reduction across workers), the result is
+**bit-identical** to the serial backend on any worker count, with or
+without overlap.
 
 What the serial backend *models*, this one *measures*: per-rank
 compute/exchange nanoseconds, receive-spin wait seconds and worker PIDs
@@ -39,12 +47,19 @@ from repro.cluster.decomposition import BlockDecomposition, _split
 from repro.faults.errors import WorkerCrashError
 from repro.faults.plan import FaultPlan
 from repro.obs.spans import get_recorder, ingest_spans, span
-from repro.par.layout import HaloLayout
-from repro.par.runtime import ProcPool
+from repro.par.layout import NUM_PARITIES, HaloLayout
+from repro.par.runtime import ProcPool, available_cpus
 from repro.par.shm import SharedArena
 from repro.par.worker import WorkerSpec
 
 __all__ = ["ParClusterFluxComputation", "ParClusterRunResult"]
+
+#: Applications the parent keeps in flight: it stages application ``k``
+#: (pressure write + run command) before collecting ``k - 1``, so
+#: workers stream from one application into the next without a
+#: parent round-trip stall between them.  Bounded by the number of
+#: pressure/link parity slots in the arena.
+PIPELINE_DEPTH = min(2, NUM_PARITIES)
 
 _COUNTERS = (
     "messages_sent",
@@ -134,6 +149,15 @@ class ParClusterFluxComputation:
         attempts + 1 (or 1 with no plan).
     timeout_seconds:
         Per-application reply budget before the parent gives up.
+    overlap:
+        Compute each rank's interior while halo receives are in flight
+        (True), or compute the whole owned box after the receives land
+        (False).  Default ``None`` decides adaptively: overlap only when
+        there are multiple workers *and* multiple usable cores — with a
+        single worker there is no inter-process latency to hide, and on
+        a single core the spin-vs-compute contention plus the thin
+        boundary-slab kernel launches cost more than they save.  The
+        residual is bit-identical either way.
     """
 
     def __init__(
@@ -151,6 +175,7 @@ class ParClusterFluxComputation:
         max_respawns: int | None = None,
         timeout_seconds: float = 120.0,
         record_spans: bool = True,
+        overlap: bool | None = None,
     ) -> None:
         self.mesh = mesh
         self.fluid = fluid
@@ -176,6 +201,9 @@ class ParClusterFluxComputation:
         self.max_respawns = int(max_respawns)
         self.timeout_seconds = float(timeout_seconds)
         self.record_spans = bool(record_spans)
+        if overlap is None:
+            overlap = self.workers > 1 and available_cpus() > 1
+        self.overlap = bool(overlap)
         self.layout = HaloLayout.from_decomposition(
             self.decomp, self.grid, dtype=self.dtype
         )
@@ -224,6 +252,7 @@ class ParClusterFluxComputation:
                     start_exchange=self._exchanges_done,
                     attempt_offset=attempt_offset,
                     record_spans=self.record_spans,
+                    overlap=self.overlap,
                 )
             )
         return specs
@@ -231,16 +260,30 @@ class ParClusterFluxComputation:
     def _ensure_pool(self) -> None:
         if self._arena is None:
             self._arena = SharedArena(self.layout, create=True)
-            self._arena.reset_seqs(0)
+            self._arena.reset_seqs(self._exchanges_done)
         if self._pool is None:
-            self._pool = ProcPool(self._specs())
+            try:
+                # workers come warm from the process-wide reservoir;
+                # setup ships the specs and runs the per-rank state
+                # build in parallel across them
+                self._pool = ProcPool(self._specs())
+            except BaseException:
+                # nothing usable was set up — release the segment now
+                # instead of leaking it until interpreter exit
+                self._arena.close()
+                self._arena = None
+                raise
             self._cum = [
                 dict.fromkeys(_COUNTERS, 0) for _ in range(self.grid.size)
             ]
 
-    def _respawn_pool(self) -> None:
+    def _respawn_pool(self, pending: list[int]) -> None:
         """Crash recovery: kill survivors, rewind sequence headers to the
-        last completed exchange, restart past the failure window."""
+        last completed exchange, restart past the failure window and
+        re-issue every application still in flight.  The in-flight
+        pressures need no re-staging: workers never write the arena's
+        pressure parity slots, so each pending application's field is
+        still sitting in slot ``index % 2``."""
         self._pool.terminate()
         self._respawns += 1
         self._arena.reset_seqs(self._exchanges_done)
@@ -248,6 +291,8 @@ class ParClusterFluxComputation:
         self._cum = [
             dict.fromkeys(_COUNTERS, 0) for _ in range(self.grid.size)
         ]
+        for _ in pending:
+            self._pool.send_run()
 
     def _absorb(self, payloads: list[dict]) -> None:
         """Fold one application's worker payloads into the accumulators."""
@@ -274,43 +319,67 @@ class ParClusterFluxComputation:
                     pid=payload["pid"], worker=payload["worker"],
                 )
 
+    def _collect_oldest(self, pending: list[int]) -> None:
+        """Absorb the replies of the oldest in-flight application,
+        respawning (and re-issuing all of ``pending``) on a crash."""
+        index = pending[0]
+        with span("par.application", backend="par", ranks=self.grid.size,
+                  workers=self.workers, application=index):
+            while True:
+                try:
+                    payloads = self._pool.collect(
+                        timeout_seconds=self.timeout_seconds,
+                        phase=f"application {index}",
+                    )
+                except WorkerCrashError:
+                    if (
+                        not self.respawn
+                        or self._respawns >= self.max_respawns
+                    ):
+                        raise
+                    self._respawn_pool(pending)
+                    continue
+                break
+        self._absorb(payloads)
+        self._exchanges_done += 1
+        pending.pop(0)
+
     # ------------------------------------------------------------------ #
     def run(self, pressures) -> ParClusterRunResult:
         """One application per pressure field (bit-identical to the
-        serial :meth:`ClusterFluxComputation.run` residual)."""
+        serial :meth:`ClusterFluxComputation.run` residual).
+
+        Applications are pipelined to depth :data:`PIPELINE_DEPTH`: the
+        pressure for application ``k`` lands in parity slot ``k % 2``
+        and its run command is issued before ``k - 1``'s replies are
+        collected, so workers flow between applications without waiting
+        on the parent.  The batch is fully drained before the residual
+        is read back.
+        """
         self._ensure_pool()
         applications = 0
         msgs_before = sum(a["messages_sent"] for a in self._acc)
         bytes_before = sum(a["bytes_sent"] for a in self._acc)
         respawns_before = self._respawns
         t_run0 = time.perf_counter_ns()
+        # in-flight application indices; each one's pressure lives in
+        # arena parity slot ``index % 2`` until its replies are collected
+        pending: list[int] = []
         for pressure in pressures:
             self.mesh.validate_field(pressure, name="pressure")
+            if len(pending) >= PIPELINE_DEPTH:
+                self._collect_oldest(pending)
+            index = self._applications
             np.copyto(
-                self._arena.pressure, np.asarray(pressure, dtype=self.dtype)
+                self._arena.pressure(index),
+                np.asarray(pressure, dtype=self.dtype),
             )
-            with span("par.application", backend="par",
-                      ranks=self.grid.size, workers=self.workers):
-                while True:
-                    self._pool.send_run()
-                    try:
-                        payloads = self._pool.collect(
-                            timeout_seconds=self.timeout_seconds,
-                            phase=f"application {self._applications}",
-                        )
-                    except WorkerCrashError:
-                        if (
-                            not self.respawn
-                            or self._respawns >= self.max_respawns
-                        ):
-                            raise
-                        self._respawn_pool()
-                        continue
-                    break
-            self._absorb(payloads)
-            self._exchanges_done += 1
+            self._pool.send_run()
+            pending.append(index)
             self._applications += 1
             applications += 1
+        while pending:
+            self._collect_oldest(pending)
         if applications == 0:
             raise ValueError("no pressure fields supplied")
         wall_seconds = (time.perf_counter_ns() - t_run0) / 1e9

@@ -5,17 +5,26 @@ Both the parent and every worker derive the identical
 ever travel between processes — only the segment name does.  The
 segment holds, in order:
 
-* the global **pressure** field (parent writes, workers read their
-  padded slices at scatter time);
+* **two** global **pressure** fields, one per application parity — the
+  parent writes application ``k``'s pressures into slot ``k % 2``,
+  which lets it stage application ``k + 1`` while ``k`` is still in
+  flight (depth-2 pipelining) without tearing the field a worker is
+  scattering from;
 * the global **residual** field (each worker writes its ranks' owned
   blocks — disjoint regions, so no locking is needed);
-* one **link slot** per directed halo link, in the canonical
-  :func:`~repro.cluster.flux.halo_links` order: an 8-byte sequence
-  header followed by the strip payload.  The sequence number is the
-  publication protocol: a sender writes the payload, then stores
-  ``exchange_index + 1`` into the header; a receiver spins until the
-  header reaches the value it expects.  Per-link monotonic sequence
-  numbers make lost, duplicate and stale strips all detectable.
+* **two parity slots** per directed halo link, in the canonical
+  :func:`~repro.cluster.flux.halo_links` order.  Each parity slot is an
+  8-byte sequence header followed by the strip payload; exchange ``k``
+  uses slot ``k % 2``.  The sequence number is the publication
+  protocol: a sender writes the payload, then stores ``k + 1`` into the
+  header; a receiver spins until the header reaches the value it
+  expects.  Two slots make the protocol safe under *overlapped*
+  exchange: a sender may publish exchange ``k + 1`` while its neighbour
+  is still absorbing exchange ``k`` (endpoints drift by at most one
+  exchange — the parent only issues application ``k`` once every worker
+  finished ``k - 2``), and the two in-flight strips never share bytes.
+  Per-link monotonic sequence numbers keep lost, duplicate and stale
+  strips all detectable.
 
 Everything is 8-byte aligned so the ``uint64`` headers and float
 payload views are aligned regardless of dtype.
@@ -31,10 +40,15 @@ from repro.cluster.comm import CartGrid
 from repro.cluster.decomposition import BlockDecomposition
 from repro.cluster.flux import HaloLink, halo_links
 
-__all__ = ["LinkSlot", "HaloLayout", "SEQ_BYTES"]
+__all__ = ["LinkSlot", "HaloLayout", "SEQ_BYTES", "NUM_PARITIES"]
 
 #: Bytes of the per-link sequence header (one little-endian uint64).
 SEQ_BYTES = 8
+
+#: Parity slots per halo link (and per pressure field): even/odd
+#: exchanges alternate slots, which is sufficient because pipelined
+#: endpoints are never more than one exchange apart.
+NUM_PARITIES = 2
 
 
 def _align8(offset: int) -> int:
@@ -43,11 +57,11 @@ def _align8(offset: int) -> int:
 
 @dataclass(frozen=True)
 class LinkSlot:
-    """One halo link's fixed region inside the shared segment."""
+    """One halo link's fixed regions (both parities) in the segment."""
 
     link: HaloLink
-    seq_offset: int
-    payload_offset: int
+    seq_offsets: tuple[int, int]
+    payload_offsets: tuple[int, int]
     payload_bytes: int
 
     @property
@@ -78,23 +92,28 @@ class HaloLayout:
         self.dtype = np.dtype(dtype)
         nz, ny, nx = self.shape_zyx
         field_bytes = nz * ny * nx * self.dtype.itemsize
-        self.pressure_offset = 0
-        self.residual_offset = _align8(field_bytes)
+        self.pressure_offsets = (0, _align8(field_bytes))
+        self.residual_offset = _align8(self.pressure_offsets[1] + field_bytes)
         offset = _align8(self.residual_offset + field_bytes)
         slots: list[LinkSlot] = []
         for link in links:
             payload_bytes = link.cells(nz) * self.dtype.itemsize
-            seq_offset = offset
-            payload_offset = _align8(seq_offset + SEQ_BYTES)
+            seq_offsets = []
+            payload_offsets = []
+            for _ in range(NUM_PARITIES):
+                seq_offset = offset
+                payload_offset = _align8(seq_offset + SEQ_BYTES)
+                seq_offsets.append(seq_offset)
+                payload_offsets.append(payload_offset)
+                offset = _align8(payload_offset + payload_bytes)
             slots.append(
                 LinkSlot(
                     link=link,
-                    seq_offset=seq_offset,
-                    payload_offset=payload_offset,
+                    seq_offsets=tuple(seq_offsets),
+                    payload_offsets=tuple(payload_offsets),
                     payload_bytes=payload_bytes,
                 )
             )
-            offset = _align8(payload_offset + payload_bytes)
         self.slots = tuple(slots)
         self.total_bytes = max(offset, 1)  # SharedMemory rejects size 0
 

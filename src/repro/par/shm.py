@@ -6,17 +6,43 @@ sequence headers across respawns, and unlinks at shutdown.  Workers
 ``resource_tracker`` — the stdlib registers every attach and would
 otherwise unlink the segment when the first worker exits (the
 long-standing bpo-38119 behaviour); ownership stays with the parent.
+
+The owner additionally arms a :func:`weakref.finalize` on itself, so a
+segment whose arena is dropped without :meth:`SharedArena.close` — a
+``ProcPool`` spawn that blew up halfway, a ``WorkerCrashError`` that
+unwound past the cleanup, plain garbage collection, or interpreter exit
+(``finalize`` registers with ``atexit``) — is still unlinked from
+``/dev/shm`` instead of leaking until reboot.
 """
 
 from __future__ import annotations
 
+import weakref
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.par.layout import HaloLayout, LinkSlot
+from repro.par.layout import NUM_PARITIES, HaloLayout, LinkSlot
 
 __all__ = ["SharedArena"]
+
+
+def _cleanup_segment(shm: shared_memory.SharedMemory) -> None:
+    """Best-effort close-and-unlink used by owner teardown paths.
+
+    ``close()`` can raise ``BufferError`` when some view into the
+    mapping is still alive; the *unlink* must still happen — removing
+    the ``/dev/shm`` name is what prevents the leak, and the mapping
+    itself lives only until the process exits anyway.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
 
 
 class SharedArena:
@@ -31,30 +57,40 @@ class SharedArena:
             self.shm = shared_memory.SharedMemory(
                 name=name, create=True, size=layout.total_bytes
             )
+            self._finalizer = weakref.finalize(
+                self, _cleanup_segment, self.shm
+            )
         else:
             self.shm = self._attach_untracked(name, layout.total_bytes)
+            self._finalizer = None
         nz, ny, nx = layout.shape_zyx
         buf = self.shm.buf
-        #: Global pressure field (parent writes before each application).
-        self.pressure = np.ndarray(
-            (nz, ny, nx), dtype=layout.dtype, buffer=buf,
-            offset=layout.pressure_offset,
+        #: Per-parity global pressure fields (parent writes application
+        #: ``k`` into parity ``k % 2`` before issuing it).
+        self._pressures = tuple(
+            np.ndarray(
+                (nz, ny, nx), dtype=layout.dtype, buffer=buf, offset=off
+            )
+            for off in layout.pressure_offsets
         )
         #: Global residual field (workers write disjoint owned blocks).
         self.residual = np.ndarray(
             (nz, ny, nx), dtype=layout.dtype, buffer=buf,
             offset=layout.residual_offset,
         )
-        self._seqs: dict[tuple[int, int, int], np.ndarray] = {}
-        self._payloads: dict[tuple[int, int, int], np.ndarray] = {}
+        self._seqs: dict[tuple[int, int, int], tuple[np.ndarray, ...]] = {}
+        self._payloads: dict[tuple[int, int, int], tuple[np.ndarray, ...]] = {}
         for slot in layout.slots:
-            self._seqs[slot.key] = np.ndarray(
-                (1,), dtype=np.uint64, buffer=buf, offset=slot.seq_offset
-            )
             sy, sx = slot.link.shape_yx
-            self._payloads[slot.key] = np.ndarray(
-                (nz, sy, sx), dtype=layout.dtype, buffer=buf,
-                offset=slot.payload_offset,
+            self._seqs[slot.key] = tuple(
+                np.ndarray((1,), dtype=np.uint64, buffer=buf, offset=off)
+                for off in slot.seq_offsets
+            )
+            self._payloads[slot.key] = tuple(
+                np.ndarray(
+                    (nz, sy, sx), dtype=layout.dtype, buffer=buf, offset=off
+                )
+                for off in slot.payload_offsets
             )
 
     @staticmethod
@@ -85,32 +121,47 @@ class SharedArena:
             resource_tracker.register = original
 
     # ------------------------------------------------------------------ #
-    def seq(self, key: tuple[int, int, int]) -> int:
-        """Current sequence number of link *key*."""
-        return int(self._seqs[key][0])
+    def pressure(self, parity: int) -> np.ndarray:
+        """The global pressure field of application parity ``parity``."""
+        return self._pressures[parity % NUM_PARITIES]
 
-    def set_seq(self, key: tuple[int, int, int], value: int) -> None:
-        """Publish sequence ``value`` into the link's uint64 header."""
-        self._seqs[key][0] = value
+    def seq(self, key: tuple[int, int, int], parity: int) -> int:
+        """Current sequence number of link *key*'s parity slot."""
+        return int(self._seqs[key][parity % NUM_PARITIES][0])
 
-    def payload(self, key: tuple[int, int, int]) -> np.ndarray:
-        """The (nz, sy, sx) payload view of link *key* (live, not a copy)."""
-        return self._payloads[key]
+    def set_seq(self, key: tuple[int, int, int], parity: int, value: int) -> None:
+        """Publish sequence ``value`` into the parity slot's header."""
+        self._seqs[key][parity % NUM_PARITIES][0] = value
+
+    def payload(self, key: tuple[int, int, int], parity: int) -> np.ndarray:
+        """The (nz, sy, sx) payload view of link *key*'s parity slot."""
+        return self._payloads[key][parity % NUM_PARITIES]
 
     def slot(self, key: tuple[int, int, int]) -> LinkSlot:
         """The :class:`LinkSlot` backing ``key`` ``(source, dest, tag)``."""
         return self.layout.slot(*key)
 
-    def reset_seqs(self, value: int = 0) -> None:
-        """Repair every link header to *value* (completed exchanges).
+    def reset_seqs(self, completed: int = 0) -> None:
+        """Repair every link header to the state after ``completed``
+        fully finished exchanges.
 
-        Used by the parent after a worker crash: a partially executed
-        exchange leaves some links already published at ``value + 1``;
-        rewinding them lets the respawned pool re-run the application
-        from a clean, consistent sequence state.
+        Exchange ``k`` publishes ``k + 1`` into parity slot ``k % 2``,
+        so after ``completed`` exchanges the last-written values are
+        ``completed`` on parity ``(completed - 1) % 2`` and
+        ``completed - 1`` on the other parity (0 where an exchange never
+        reached the slot).  Used by the parent after a worker crash: a
+        partially executed exchange leaves some links already published
+        one ahead; rewinding lets the respawned pool re-run the pending
+        applications from a clean, consistent sequence state.
         """
-        for seq in self._seqs.values():
-            seq[0] = value
+        values = [0] * NUM_PARITIES
+        if completed >= 1:
+            values[(completed - 1) % NUM_PARITIES] = completed
+        if completed >= 2:
+            values[completed % NUM_PARITIES] = completed - 1
+        for seqs in self._seqs.values():
+            for parity in range(NUM_PARITIES):
+                seqs[parity][0] = values[parity]
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
@@ -119,17 +170,15 @@ class SharedArena:
         # before closing or mmap.close() raises BufferError
         self._seqs = {}
         self._payloads = {}
-        self.pressure = None
+        self._pressures = ()
         self.residual = None
+        if self._finalizer is not None:
+            self._finalizer()  # close + unlink, idempotent
+            return
         try:
             self.shm.close()
         except BufferError:  # pragma: no cover - stray external view
-            return
-        if self.owner:
-            try:
-                self.shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            pass
 
     @property
     def name(self) -> str:

@@ -1,26 +1,48 @@
 """The SPMD worker process body.
 
+A worker process is *problem-agnostic* at spawn: :func:`worker_main`
+serves a tiny command protocol over its pipe, so one long-lived process
+(leased from the warm pool, :mod:`repro.par.runtime`) can host any
+number of flux applications — and any number of *problems* — without
+ever being respawned:
+
+* ``("ping",)`` → ``("pong", pid)`` — liveness probe;
+* ``("setup", WorkerSpec)`` → ``("ready", pid)`` — build all per-rank
+  state (padded local mesh, transmissibilities, vectorized kernel,
+  buffers) once and attach the shared arena.  This is the one-time
+  prologue that warm pooling amortizes: only pressure payloads flow per
+  application afterwards;
+* ``("run",)`` → ``("ok", payload)`` — one flux application;
+* ``("teardown",)`` → ``("released", pid)`` — drop the application
+  state (detach the arena) and go idle, ready for the next ``setup``;
+* ``("quit",)`` — exit.
+
 One worker executes one or more contiguous ranks of the decomposition.
-It rebuilds all per-rank state (padded local mesh, flux kernel,
-pressure/residual buffers) from the picklable :class:`WorkerSpec`,
-attaches the shared arena by name, then serves ``("run",)`` commands
-from the parent pipe — one command per flux application:
+An application overlaps communication with compute:
 
-1. scatter: copy each owned block's pressure cells from the arena's
-   global pressure field into the rank's padded buffer;
-2. exchange: publish every outgoing halo strip, then spin-receive every
-   incoming one (all-send-then-all-receive across *all* owned ranks, so
-   the schedule stays deadlock-free even with several ranks per
-   process);
-3. compute: run the reference flux kernel per rank and write the owned
-   residual block into the arena's global residual field (disjoint
-   regions across workers — no locking).
+1. **scatter** — copy each owned block's pressure cells from the
+   arena's parity-``k % 2`` global pressure field into the rank's
+   padded buffer;
+2. **publish** — every outgoing halo strip (owned cells only) goes into
+   its link's parity slot immediately, unblocking the neighbours;
+3. **interior compute** — densities over the owned box, then the
+   vectorized :class:`~repro.par.kernel.RankKernel` residual over the
+   interior box (owned shrunk by one cell on each side that has a halo),
+   which needs no halo data — receive spins on the neighbours overlap
+   with this work instead of blocking before it;
+4. **absorb** — spin-receive every incoming strip into the padded
+   pressure, then fill the halo cells' densities;
+5. **boundary compute** — the residual of the up-to-four slabs that
+   ring the interior box (disjoint, tiling owned∖interior), then write
+   each rank's owned residual block into the arena's global field.
 
-Each application replies ``("ok", payload)`` with per-rank stats
-deltas, span records and phase nanosecond timings.  Fault injection is
-real here: when the plan downs one of this worker's ranks and
-``kill_for_real`` is set, the process dies with ``os._exit`` — the
-parent's crash detector, not a simulated flag, has to notice.
+Per-cell flux accumulation order is invariant under this interior /
+boundary split (each cell's connections fold in ``ALL_CONNECTIONS``
+order inside exactly one box), so the residual stays bit-identical to
+the serial cluster backend.  Fault injection is real here: when the
+plan downs one of this worker's ranks and ``kill_for_real`` is set, the
+process dies with ``os._exit`` — the parent's crash detector, not a
+simulated flag, has to notice.
 """
 
 from __future__ import annotations
@@ -32,7 +54,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import constants
-from repro.core.flux import FluxKernel
 from repro.core.fluid import FluidProperties
 from repro.core.mesh import CartesianMesh3D
 from repro.cluster.decomposition import Block, BlockDecomposition
@@ -40,6 +61,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.obs.spans import Span, SpanRecorder, spans_to_payload
 from repro.par.comm import ProcComm
+from repro.par.kernel import RankKernel
 from repro.par.layout import HaloLayout
 from repro.par.shm import SharedArena
 
@@ -75,27 +97,13 @@ class WorkerSpec:
     #: re-dying on the same exchange.
     attempt_offset: int = 0
     record_spans: bool = True
-
-
-def _build_states(spec: WorkerSpec, decomp: BlockDecomposition) -> list[dict]:
-    dtype = np.dtype(spec.dtype)
-    states = []
-    for rank in spec.ranks:
-        block = decomp.block(rank)
-        local_mesh = decomp.local_mesh(block)
-        kernel = FluxKernel(
-            local_mesh, spec.fluid, gravity=spec.gravity, dtype=dtype
-        )
-        states.append(
-            {
-                "rank": rank,
-                "block": block,
-                "kernel": kernel,
-                "pressure": np.zeros(local_mesh.shape_zyx, dtype),
-                "residual": np.zeros(local_mesh.shape_zyx, dtype),
-            }
-        )
-    return states
+    #: Split each rank's owned box into interior + boundary ring so the
+    #: interior computes while receive spins are in flight.  Hiding
+    #: latency only pays when another core can make progress during the
+    #: spin; on a single core (or a single worker) the extra thin-slab
+    #: kernel launches are pure overhead, so the parent disables it
+    #: there.  The residual is bit-identical either way.
+    overlap: bool = True
 
 
 def _global_to_local(block: Block, x_lo, x_hi, y_lo, y_hi):
@@ -104,6 +112,61 @@ def _global_to_local(block: Block, x_lo, x_hi, y_lo, y_hi):
         slice(y_lo - block.gy0, y_hi - block.gy0),
         slice(x_lo - block.gx0, x_hi - block.gx0),
     )
+
+
+def _rank_boxes(block: Block, nz: int, *, overlap: bool = True) -> dict:
+    """The overlap schedule's cell boxes, in padded-block coordinates.
+
+    ``owned`` is the rank's owned region; ``interior`` shrinks it by one
+    cell on each side that has halo padding (those cells touch no halo
+    data, so they compute before any receive); ``boundary`` is the ring
+    of up-to-four disjoint slabs tiling owned∖interior; ``halo`` is the
+    up-to-four slabs tiling padded∖owned (where received strips land and
+    densities must be filled before the boundary pass).
+
+    With ``overlap=False`` the split collapses: no interior box, and the
+    whole owned region computes as one boundary box after the receives
+    land — fewer kernel launches, no latency hiding.
+    """
+    ph = block.gy1 - block.gy0
+    pw = block.gx1 - block.gx0
+    oy0, oy1 = block.y0 - block.gy0, block.y1 - block.gy0
+    ox0, ox1 = block.x0 - block.gx0, block.x1 - block.gx0
+    iy0 = oy0 + (1 if oy0 > 0 else 0)
+    iy1 = oy1 - (1 if oy1 < ph else 0)
+    ix0 = ox0 + (1 if ox0 > 0 else 0)
+    ix1 = ox1 - (1 if ox1 < pw else 0)
+    z = (0, nz)
+    owned = (z, (oy0, oy1), (ox0, ox1))
+    if not overlap or iy0 >= iy1 or ix0 >= ix1:
+        # the block is too thin for a halo-free core: everything is
+        # boundary and all compute happens after the receives land
+        interior = None
+        boundary = [owned]
+    else:
+        interior = (z, (iy0, iy1), (ix0, ix1))
+        boundary = [
+            (z, (oy0, iy0), (ox0, ox1)),
+            (z, (iy1, oy1), (ox0, ox1)),
+            (z, (iy0, iy1), (ox0, ix0)),
+            (z, (iy0, iy1), (ix1, ox1)),
+        ]
+        boundary = [
+            b for b in boundary if b[1][0] < b[1][1] and b[2][0] < b[2][1]
+        ]
+    halo = [
+        (z, (0, oy0), (0, pw)),
+        (z, (oy1, ph), (0, pw)),
+        (z, (oy0, oy1), (0, ox0)),
+        (z, (oy0, oy1), (ox1, pw)),
+    ]
+    halo = [b for b in halo if b[1][0] < b[1][1] and b[2][0] < b[2][1]]
+    return {
+        "owned": owned,
+        "interior": interior,
+        "boundary": boundary,
+        "halo": halo,
+    }
 
 
 def _record(recorder: SpanRecorder | None, name: str, start_ns: int,
@@ -118,14 +181,210 @@ def _record(recorder: SpanRecorder | None, name: str, start_ns: int,
     recorder.spans.append(sp)
 
 
-def worker_main(spec: WorkerSpec, conn) -> None:
-    """Process entry point: serve applications until ``("quit",)``.
+class _AppRuntime:
+    """Per-``setup`` state: ranks, kernels, arena, communicator."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        decomp = BlockDecomposition(spec.mesh, spec.px, spec.py)
+        dtype = np.dtype(spec.dtype)
+        self.states: list[dict] = []
+        for rank in spec.ranks:
+            block = decomp.block(rank)
+            local_mesh = decomp.local_mesh(block)
+            self.states.append(
+                {
+                    "rank": rank,
+                    "block": block,
+                    "kernel": RankKernel(
+                        local_mesh, spec.fluid,
+                        gravity=spec.gravity, dtype=dtype,
+                    ),
+                    "boxes": _rank_boxes(block, local_mesh.nz,
+                                         overlap=spec.overlap),
+                    "pressure": np.zeros(local_mesh.shape_zyx, dtype),
+                    "rho": np.zeros(local_mesh.shape_zyx, dtype),
+                    "residual": np.zeros(local_mesh.shape_zyx, dtype),
+                }
+            )
+        self.arena = SharedArena(spec.layout, name=spec.arena_name,
+                                 create=False)
+        my_ranks = frozenset(spec.ranks)
+        self.state_of = {state["rank"]: state for state in self.states}
+
+        self.injector = None
+        if spec.plan is not None and spec.plan.rank_failures:
+            self.injector = FaultInjector(spec.plan)
+            # fast-forward past the exchanges completed before a respawn
+            # so exchange-scoped failure windows line up globally
+            for _ in range(spec.start_exchange):
+                self.injector.begin_exchange()
+
+        self.comm = ProcComm(
+            spec.layout,
+            self.arena,
+            ranks=spec.ranks,
+            faults=self.injector,
+            start_exchange=spec.start_exchange,
+        )
+        # canonical halo_links order restricted to this worker's endpoints
+        self.out_links = [
+            lk for lk in spec.layout.links if lk.source in my_ranks
+        ]
+        self.in_links = sorted(
+            (lk for lk in spec.layout.links if lk.dest in my_ranks),
+            key=lambda lk: (lk.dest, lk.tag),
+        )
+        self.recorder = SpanRecorder() if spec.record_spans else None
+        self.applications = 0
+
+    # ------------------------------------------------------------------ #
+    def run_application(self, conn) -> None:
+        """One overlapped flux application; replies ``("ok", payload)``."""
+        spec = self.spec
+        if self.injector is not None:
+            self.injector.begin_exchange()
+            if self.applications == 0:
+                for _ in range(spec.attempt_offset):
+                    self.injector.begin_retry()
+            if spec.kill_for_real and any(
+                self.injector.rank_down(r) for r in spec.ranks
+            ):
+                # a real crash: no reply, no cleanup — the parent's
+                # liveness checks must detect and recover
+                os._exit(KILL_EXIT_CODE)
+
+        if self.recorder is not None:
+            self.recorder.clear()
+        waited_before = self.comm.waited_seconds
+        parity = self.comm.exchange_index  # one exchange per application
+        global_pressure = self.arena.pressure(parity)
+        t_app0 = time.perf_counter_ns()
+
+        # 1. scatter owned pressure cells from the parity pressure field
+        for state in self.states:
+            block: Block = state["block"]
+            ys, xs = block.owned_slices_in_padded()
+            state["pressure"][:, ys, xs] = global_pressure[
+                :, block.y0 : block.y1, block.x0 : block.x1
+            ]
+        t_scatter = time.perf_counter_ns()
+        _record(self.recorder, "par.scatter", t_app0, t_scatter,
+                worker=spec.index)
+
+        # 2. publish every outgoing strip (owned cells only) right away
+        for link in self.out_links:
+            state = self.state_of[link.source]
+            strip = state["pressure"][
+                _global_to_local(state["block"], link.x_lo, link.x_hi,
+                                 link.y_lo, link.y_hi)
+            ]
+            self.comm.isend(link.source, link.dest, link.tag, strip)
+        t_publish = time.perf_counter_ns()
+        _record(self.recorder, "par.publish", t_scatter, t_publish,
+                worker=spec.index)
+
+        # 3. interior compute — no halo dependence, overlaps the
+        #    neighbours' publication latency
+        per_rank_ns = {}
+        for state in self.states:
+            t_c0 = time.perf_counter_ns()
+            kernel: RankKernel = state["kernel"]
+            boxes = state["boxes"]
+            state["residual"].fill(0.0)
+            kernel.density_box(state["pressure"], boxes["owned"],
+                               out=state["rho"])
+            if boxes["interior"] is not None:
+                kernel.residual_box(
+                    state["pressure"], state["rho"], state["residual"],
+                    boxes["interior"],
+                )
+            per_rank_ns[state["rank"]] = {
+                "compute_ns": time.perf_counter_ns() - t_c0,
+            }
+        t_interior = time.perf_counter_ns()
+        _record(self.recorder, "par.compute.interior", t_publish, t_interior,
+                worker=spec.index)
+
+        # 4. absorb: spin-receive the strips that haven't landed yet,
+        #    then fill halo densities
+        for link in self.in_links:
+            state = self.state_of[link.dest]
+            data = self.comm.recv(link.dest, link.source, link.tag)
+            state["pressure"][
+                _global_to_local(state["block"], link.x_lo, link.x_hi,
+                                 link.y_lo, link.y_hi)
+            ] = data
+        for state in self.states:
+            for box in state["boxes"]["halo"]:
+                state["kernel"].density_box(state["pressure"], box,
+                                            out=state["rho"])
+        self.comm.complete_exchange()
+        t_absorb = time.perf_counter_ns()
+        exchange_ns = (t_publish - t_scatter) + (t_absorb - t_interior)
+        _record(self.recorder, "par.absorb", t_interior, t_absorb,
+                worker=spec.index)
+
+        # 5. boundary compute, then gather owned residuals into the arena
+        for state in self.states:
+            block = state["block"]
+            t_c0 = time.perf_counter_ns()
+            kernel = state["kernel"]
+            for box in state["boxes"]["boundary"]:
+                kernel.residual_box(
+                    state["pressure"], state["rho"], state["residual"], box
+                )
+            ys, xs = block.owned_slices_in_padded()
+            self.arena.residual[
+                :, block.y0 : block.y1, block.x0 : block.x1
+            ] = state["residual"][:, ys, xs]
+            t_c1 = time.perf_counter_ns()
+            ns = per_rank_ns[state["rank"]]
+            ns["compute_ns"] += t_c1 - t_c0
+            ns["exchange_ns"] = exchange_ns // len(self.states)
+            _record(self.recorder, "par.compute.boundary", t_c0, t_c1,
+                    worker=spec.index, rank=state["rank"])
+
+        self.applications += 1
+        payload = {
+            "pid": os.getpid(),
+            "worker": spec.index,
+            "ranks": list(spec.ranks),
+            "wall_ns": time.perf_counter_ns() - t_app0,
+            "waited_seconds": self.comm.waited_seconds - waited_before,
+            "per_rank_ns": {
+                int(r): dict(ns) for r, ns in per_rank_ns.items()
+            },
+            "stats": {
+                int(r): {
+                    "messages_sent": self.comm.stats[r].messages_sent,
+                    "messages_received": self.comm.stats[r].messages_received,
+                    "bytes_sent": self.comm.stats[r].bytes_sent,
+                    "bytes_received": self.comm.stats[r].bytes_received,
+                    "sends_dropped": self.comm.stats[r].sends_dropped,
+                    "retry_waits": self.comm.stats[r].retry_waits,
+                }
+                for r in spec.ranks
+            },
+            "spans": (
+                spans_to_payload(self.recorder)
+                if self.recorder is not None else []
+            ),
+        }
+        conn.send(("ok", payload))
+
+    def close(self) -> None:
+        self.arena.close()
+
+
+def worker_main(conn) -> None:
+    """Process entry point: serve commands until ``("quit",)``.
 
     Module-level (not a closure) so it pickles under the ``spawn`` start
     method as well as inheriting under ``fork``.
     """
     try:
-        _worker_loop(spec, conn)
+        _command_loop(conn)
     except BaseException as exc:  # noqa: BLE001 - report, then die nonzero
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -134,135 +393,41 @@ def worker_main(spec: WorkerSpec, conn) -> None:
         os._exit(1)
 
 
-def _worker_loop(spec: WorkerSpec, conn) -> None:
-    decomp = BlockDecomposition(spec.mesh, spec.px, spec.py)
-    states = _build_states(spec, decomp)
-    arena = SharedArena(spec.layout, name=spec.arena_name, create=False)
-    my_ranks = set(spec.ranks)
-    state_of = {state["rank"]: state for state in states}
-
-    injector = None
-    if spec.plan is not None and spec.plan.rank_failures:
-        injector = FaultInjector(spec.plan)
-        # fast-forward past the exchanges completed before a respawn so
-        # exchange-scoped failure windows line up with the global index
-        for _ in range(spec.start_exchange):
-            injector.begin_exchange()
-
-    comm = ProcComm(
-        spec.layout,
-        arena,
-        ranks=spec.ranks,
-        faults=injector,
-        start_exchange=spec.start_exchange,
-    )
-    # canonical halo_links order restricted to this worker's endpoints
-    out_links = [lk for lk in spec.layout.links if lk.source in my_ranks]
-    in_links = sorted(
-        (lk for lk in spec.layout.links if lk.dest in my_ranks),
-        key=lambda lk: (lk.dest, lk.tag),
-    )
-
-    recorder = SpanRecorder() if spec.record_spans else None
-    applications = 0
-    pid = os.getpid()
-
+def _command_loop(conn) -> None:
+    app: _AppRuntime | None = None
+    parent = os.getppid()
     while True:
+        # Block in short poll slices so an orphaned worker notices its
+        # parent died.  A pipe EOF is not enough: under ``fork`` a
+        # later-spawned sibling inherits this pipe's parent end, so a
+        # SIGKILLed parent leaves the pipe open — the reparenting check
+        # is what lets every worker (and with them the resource
+        # tracker's segment registrations) wind down.
+        while not conn.poll(0.5):
+            if os.getppid() != parent:
+                os._exit(2)
         cmd = conn.recv()
-        if cmd[0] == "quit":
+        op = cmd[0]
+        if op == "quit":
             break
-        if cmd[0] != "run":
-            raise RuntimeError(f"unknown worker command {cmd[0]!r}")
-
-        if injector is not None:
-            injector.begin_exchange()
-            if applications == 0:
-                for _ in range(spec.attempt_offset):
-                    injector.begin_retry()
-            if spec.kill_for_real and any(
-                injector.rank_down(r) for r in spec.ranks
-            ):
-                # a real crash: no reply, no cleanup — the parent's
-                # liveness checks must detect and recover
-                os._exit(KILL_EXIT_CODE)
-
-        if recorder is not None:
-            recorder.clear()
-        waited_before = comm.waited_seconds
-        t_app0 = time.perf_counter_ns()
-
-        # scatter owned pressure cells from the shared global field
-        for state in states:
-            block: Block = state["block"]
-            ys, xs = block.owned_slices_in_padded()
-            state["pressure"][:, ys, xs] = arena.pressure[
-                :, block.y0 : block.y1, block.x0 : block.x1
-            ]
-        t_scatter = time.perf_counter_ns()
-        _record(recorder, "par.scatter", t_app0, t_scatter,
-                worker=spec.index)
-
-        # halo exchange: all sends for all owned ranks, then all recvs
-        for link in out_links:
-            state = state_of[link.source]
-            strip = state["pressure"][
-                _global_to_local(state["block"], link.x_lo, link.x_hi,
-                                 link.y_lo, link.y_hi)
-            ]
-            comm.isend(link.source, link.dest, link.tag, strip)
-        for link in in_links:
-            state = state_of[link.dest]
-            data = comm.recv(link.dest, link.source, link.tag)
-            state["pressure"][
-                _global_to_local(state["block"], link.x_lo, link.x_hi,
-                                 link.y_lo, link.y_hi)
-            ] = data
-        comm.complete_exchange()
-        t_exchange = time.perf_counter_ns()
-        exchange_ns = t_exchange - t_scatter
-        _record(recorder, "par.exchange", t_scatter, t_exchange,
-                worker=spec.index)
-
-        # compute: reference kernel per rank, residual into shared field
-        per_rank_ns = {}
-        for state in states:
-            block = state["block"]
-            t_c0 = time.perf_counter_ns()
-            state["kernel"].residual(state["pressure"], out=state["residual"])
-            ys, xs = block.owned_slices_in_padded()
-            arena.residual[
-                :, block.y0 : block.y1, block.x0 : block.x1
-            ] = state["residual"][:, ys, xs]
-            t_c1 = time.perf_counter_ns()
-            per_rank_ns[state["rank"]] = {
-                "compute_ns": t_c1 - t_c0,
-                "exchange_ns": exchange_ns // len(states),
-            }
-            _record(recorder, "par.compute", t_c0, t_c1,
-                    worker=spec.index, rank=state["rank"])
-
-        applications += 1
-        payload = {
-            "pid": pid,
-            "worker": spec.index,
-            "ranks": list(spec.ranks),
-            "wall_ns": time.perf_counter_ns() - t_app0,
-            "waited_seconds": comm.waited_seconds - waited_before,
-            "per_rank_ns": {int(r): dict(ns) for r, ns in per_rank_ns.items()},
-            "stats": {
-                int(r): {
-                    "messages_sent": comm.stats[r].messages_sent,
-                    "messages_received": comm.stats[r].messages_received,
-                    "bytes_sent": comm.stats[r].bytes_sent,
-                    "bytes_received": comm.stats[r].bytes_received,
-                    "sends_dropped": comm.stats[r].sends_dropped,
-                    "retry_waits": comm.stats[r].retry_waits,
-                }
-                for r in spec.ranks
-            },
-            "spans": spans_to_payload(recorder) if recorder is not None else [],
-        }
-        conn.send(("ok", payload))
-
-    arena.close()
+        if op == "ping":
+            conn.send(("pong", os.getpid()))
+        elif op == "setup":
+            if app is not None:  # pragma: no cover - defensive re-setup
+                app.close()
+            app = _AppRuntime(cmd[1])
+            conn.send(("ready", os.getpid()))
+        elif op == "teardown":
+            if app is not None:
+                app.close()
+                app = None
+            conn.send(("released", os.getpid()))
+        elif op == "run":
+            if app is None:
+                raise RuntimeError("run command before setup")
+            app.run_application(conn)
+        else:
+            raise RuntimeError(f"unknown worker command {op!r}")
+    if app is not None:
+        app.close()
     conn.close()

@@ -84,19 +84,20 @@ class TestProcComm:
         layout, arena = world
         comm = make_comm(layout, arena)
         link = layout.links[0]
+        key = (link.source, link.dest, link.tag)
         data = np.zeros((2, *link.shape_yx))
         for exchange in range(3):
             comm.isend(link.source, link.dest, link.tag, data)
             comm.recv(link.dest, link.source, link.tag)
             comm.complete_exchange()
-            assert arena.seq((link.source, link.dest, link.tag)) == exchange + 1
+            assert arena.seq(key, exchange % 2) == exchange + 1
         assert comm.exchange_index == 3
 
     def test_stale_header_is_sequence_skew(self, world):
         layout, arena = world
         comm = make_comm(layout, arena)
         link = layout.links[0]
-        arena.set_seq((link.source, link.dest, link.tag), 7)
+        arena.set_seq((link.source, link.dest, link.tag), 0, 7)
         with pytest.raises(RuntimeError, match="sequence skew"):
             comm.isend(
                 link.source, link.dest, link.tag,
@@ -110,9 +111,30 @@ class TestProcComm:
         link = layout.links[0]
         data = np.ones((2, *link.shape_yx))
         comm.isend(link.source, link.dest, link.tag, data)
-        assert arena.seq((link.source, link.dest, link.tag)) == 5
+        assert arena.seq((link.source, link.dest, link.tag), 0) == 5
         np.testing.assert_array_equal(
             comm.recv(link.dest, link.source, link.tag), data
+        )
+
+    def test_parity_slots_tolerate_one_exchange_drift(self, world):
+        """A sender may publish exchange k+1 before the receiver absorbed
+        exchange k — the even/odd slots keep both strips intact."""
+        layout, arena = world
+        sender = make_comm(layout, arena)
+        receiver = make_comm(layout, arena)
+        link = layout.links[0]
+        first = np.full((2, *link.shape_yx), 1.0)
+        second = np.full((2, *link.shape_yx), 2.0)
+        sender.isend(link.source, link.dest, link.tag, first)
+        sender.complete_exchange()  # sender races one exchange ahead
+        sender.isend(link.source, link.dest, link.tag, second)
+        # the lagging receiver still reads exchange 0's bytes untouched
+        np.testing.assert_array_equal(
+            receiver.recv(link.dest, link.source, link.tag), first
+        )
+        receiver.complete_exchange()
+        np.testing.assert_array_equal(
+            receiver.recv(link.dest, link.source, link.tag), second
         )
 
     def test_rank_bounds(self, world):
