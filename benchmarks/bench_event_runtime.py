@@ -26,6 +26,11 @@ trace_overhead:
     Wall-clock cost of running with the streaming trace sink enabled
     (``trace=True``) relative to the untraced hot path.  Gated at
     <10% by ``--check`` so observability stays affordable at scale.
+record_overhead:
+    Wall-clock cost of replay recording (``record=``, per-step digests
+    plus residual snapshots) on top of the traced path, under the same
+    <10% gate.  ``--check`` additionally loads every golden replay
+    artifact to prove its schema is still supported by the tree.
 lockstep:
     The vectorized lockstep backend on the same workload, so
     cross-backend throughput trends live in one file.
@@ -224,6 +229,81 @@ def bench_trace_overhead(
     }
 
 
+def bench_record_overhead(
+    nx: int, ny: int, nz: int, applications: int, *, repeats: int = 3
+) -> dict:
+    """Wall-clock cost of replay recording on top of ``trace=True``.
+
+    Both sides run traced, so the ratio isolates what the
+    :class:`~repro.obs.replay.ReplayRecorder` itself adds (per-step
+    digests + residual snapshots).  Same minima-of-alternating-rounds
+    estimator as :func:`bench_trace_overhead`, same <10% budget.
+    """
+    from repro.obs.replay import ReplayRecorder
+
+    mesh = CartesianMesh3D(nx, ny, nz)
+    fluid = FluidProperties()
+    trans = Transmissibility(mesh)
+    seq = PressureSequence(mesh, num_applications=applications, seed=7)
+    pressures = [seq.field(i) for i in range(applications)]
+    recorder = ReplayRecorder({}, snapshot_every=1)
+    pair = {
+        recorded: WseFluxComputation(
+            mesh, fluid, trans, dtype=np.float32,
+            trace=True, trace_capacity=256,
+            record=recorder if recorded else None,
+        )
+        for recorded in (False, True)
+    }
+    for wse in pair.values():  # warm-up
+        wse.run(pressures)
+    best = {False: np.inf, True: np.inf}
+    gc.disable()
+    try:
+        for _ in range(max(repeats, 12)):
+            for recorded, wse in pair.items():
+                gc.collect()
+                t0 = time.perf_counter()
+                wse.run(pressures)
+                best[recorded] = min(
+                    best[recorded], time.perf_counter() - t0
+                )
+    finally:
+        gc.enable()
+    overhead = best[True] / best[False] - 1.0
+    return {
+        "mesh": [nx, ny, nz],
+        "applications": applications,
+        "traced_seconds": round(best[False], 6),
+        "recorded_seconds": round(best[True], 6),
+        "overhead_fraction": round(overhead, 4),
+    }
+
+
+def check_golden_schema() -> dict:
+    """Load every golden replay artifact, reporting its schema version.
+
+    ``ReplayArtifact.load`` refuses artifacts newer than the code's
+    ``SCHEMA_VERSION``, so a clean pass proves the checked-in registry
+    stays replayable by the current tree.
+    """
+    from repro.conform import load_registry
+    from repro.obs.replay import SCHEMA_VERSION, ReplayArtifact
+
+    artifacts = {}
+    errors = []
+    for entry in load_registry():
+        try:
+            artifacts[entry["name"]] = ReplayArtifact.load(entry["path"]).schema
+        except (ValueError, OSError, KeyError) as exc:
+            errors.append(f"{entry['name']}: {exc}")
+    return {
+        "supported_schema": SCHEMA_VERSION,
+        "artifacts": artifacts,
+        "errors": errors,
+    }
+
+
 def bench_lockstep(
     nx: int, ny: int, nz: int, applications: int, *, repeats: int = 3
 ) -> dict:
@@ -401,6 +481,9 @@ def measure_entry(*, smoke_only: bool, budget_seconds: float, repeats: int) -> d
         entry["smoke"]["events_per_sec"] / calib, 6
     )
     entry["trace_overhead"] = bench_trace_overhead(**TRACE_WORKLOAD, repeats=repeats)
+    entry["record_overhead"] = bench_record_overhead(
+        **TRACE_WORKLOAD, repeats=repeats
+    )
     entry["verifier"] = bench_verifier()
     entry["par_runtime"] = bench_par_runtime(**PAR_WORKLOAD, repeats=repeats)
     if smoke_only:
@@ -479,6 +562,32 @@ def run_check(path: Path, repeats: int) -> int:
         )
         if trace_verdict == "ok":
             break
+    for attempt in range(3):
+        rec = bench_record_overhead(**TRACE_WORKLOAD, repeats=repeats)
+        rec_frac = rec["overhead_fraction"]
+        rec_verdict = (
+            "ok" if rec_frac < TRACE_OVERHEAD_TOLERANCE else "REGRESSION"
+        )
+        print(
+            f"check: replay-recording overhead {rec_frac:+.1%} "
+            f"(limit {TRACE_OVERHEAD_TOLERANCE:.0%}) -> {rec_verdict}"
+            + (f" [attempt {attempt + 1}]" if attempt else "")
+        )
+        if rec_verdict == "ok":
+            break
+    golden = check_golden_schema()
+    golden_ok = not golden["errors"] and all(
+        schema <= golden["supported_schema"]
+        for schema in golden["artifacts"].values()
+    )
+    print(
+        f"check: golden replay artifacts {sorted(golden['artifacts'])} "
+        f"schema(s) {sorted(set(golden['artifacts'].values()))} "
+        f"(supported <= {golden['supported_schema']}) "
+        f"-> {'ok' if golden_ok else 'REGRESSION'}"
+    )
+    for err in golden["errors"]:
+        print(f"       golden artifact error: {err}")
     verifier = bench_verifier()
     ver_ok = (
         verifier["wall_seconds"] < VERIFIER_BUDGET_SECONDS
@@ -524,7 +633,12 @@ def run_check(path: Path, repeats: int) -> int:
             f"measure scheduler contention, not scaling)"
         )
     return 0 if (
-        verdict == "ok" and trace_verdict == "ok" and ver_ok and par_ok
+        verdict == "ok"
+        and trace_verdict == "ok"
+        and rec_verdict == "ok"
+        and golden_ok
+        and ver_ok
+        and par_ok
     ) else 1
 
 

@@ -92,8 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument(
         "--backend",
         default="event",
-        choices=["event", "lockstep", "gpu", "cluster"],
-        help="which implementation to run (fabric heatmaps need 'event')",
+        choices=["event", "lockstep", "gpu", "cluster", "par"],
+        help="which implementation to run (fabric heatmaps need 'event'; "
+        "'par' merges every worker's spans into one timeline)",
     )
     p_tr.add_argument(
         "--variant", default="raja", choices=["raja", "cuda"],
@@ -101,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tr.add_argument("--px", type=int, default=2, help="cluster ranks along X")
     p_tr.add_argument("--py", type=int, default=2, help="cluster ranks along Y")
+    p_tr.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the par backend (default: one per rank)",
+    )
     p_tr.add_argument(
         "--capacity", type=int, default=1024,
         help="delivery ring-buffer capacity (aggregates are unaffected)",
@@ -146,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch.add_argument(
         "--out", default=None, metavar="FILE",
         help="also write the chaos report (plan + outcomes) as JSON",
+    )
+    p_ch.add_argument(
+        "--postmortem", default="chaos-postmortem", metavar="DIR",
+        help="directory for the replay artifact recorded when a "
+        "scenario fails (the bundle path is printed in the failure "
+        "line); pass 'none' to disable",
     )
 
     p_ps = sub.add_parser(
@@ -221,6 +232,82 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument(
         "--json", default=None, metavar="FILE",
         help="write machine-readable findings as JSON",
+    )
+
+    p_cf = sub.add_parser(
+        "conform",
+        help="record a replay artifact, or replay one on any backend and "
+        "diff against the recording (DESIGN.md Sec. 13)",
+    )
+    p_cf.add_argument(
+        "artifact", nargs="?", default=None,
+        help="replay artifact (.rpz) to re-execute; omit with --record "
+        "or --golden",
+    )
+    p_cf.add_argument(
+        "--backend", default=None,
+        choices=["event", "lockstep", "gpu", "cluster", "par"],
+        help="backend to record on / replay with",
+    )
+    p_cf.add_argument(
+        "--record", action="store_true",
+        help="record a fresh artifact on --backend instead of replaying",
+    )
+    p_cf.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="with --record: where to write the artifact "
+        "(default <backend>.rpz)",
+    )
+    p_cf.add_argument(
+        "--golden", action="store_true",
+        help="replay the whole golden registry (tests/conform/golden)",
+    )
+    p_cf.add_argument(
+        "--golden-dir", default=None, metavar="DIR",
+        help="override the golden registry directory",
+    )
+    p_cf.add_argument(
+        "--backends", default=None, metavar="B[,B...]",
+        help="with --golden: restrict replays to these backends",
+    )
+    p_cf.add_argument(
+        "--tolerance", default=None, choices=["bit-exact", "ulp-bounded"],
+        help="override the backend pair's default tolerance class",
+    )
+    p_cf.add_argument(
+        "--report", default=None, metavar="DIR",
+        help="write machine-readable divergence reports here",
+    )
+    p_cf.add_argument("--nx", type=int, default=4)
+    p_cf.add_argument("--ny", type=int, default=4)
+    p_cf.add_argument("--nz", type=int, default=3)
+    p_cf.add_argument(
+        "--geomodel", default="lognormal",
+        choices=["uniform", "layered", "lognormal", "channelized"],
+    )
+    p_cf.add_argument("--seed", type=int, default=0)
+    p_cf.add_argument(
+        "--applications", type=int, default=2,
+        help="applications of Algorithm 1 to record",
+    )
+    p_cf.add_argument("--px", type=int, default=2, help="rank grid along X")
+    p_cf.add_argument("--py", type=int, default=2, help="rank grid along Y")
+    p_cf.add_argument(
+        "--workers", type=int, default=None,
+        help="par worker processes (default: one per rank)",
+    )
+    p_cf.add_argument(
+        "--variant", default="raja", choices=["raja", "cuda"],
+        help="kernel style when recording on the gpu backend",
+    )
+    p_cf.add_argument(
+        "--snapshot-every", type=int, default=1, metavar="K",
+        help="keep a full residual snapshot every K steps (1 = all)",
+    )
+    p_cf.add_argument(
+        "--faulted", action="store_true",
+        help="with --record: inject the seeded transient rank-failure "
+        "plan (recovery must reproduce the fault-free bits)",
     )
     return parser
 
@@ -432,7 +519,6 @@ def _cmd_inject(args, out) -> int:
 
 
 def _cmd_trace(args, out) -> int:
-    import json
     from pathlib import Path
 
     from repro.core import FluidProperties, random_pressure
@@ -457,7 +543,7 @@ def _cmd_trace(args, out) -> int:
     from repro.util.reporting import Table
     from repro.workloads import make_geomodel
 
-    if args.backend == "cluster":
+    if args.backend in ("cluster", "par"):
         problem = _check_rank_grid(args.px, args.py, args.nx, args.ny)
         if problem is not None:
             print(problem, file=sys.stderr)
@@ -523,11 +609,30 @@ def _cmd_trace(args, out) -> int:
         registry.register("cluster", result.as_metrics)
         return None, None, None
 
+    def run_par():
+        from repro.par.flux import ParClusterFluxComputation
+
+        # worker-side spans come back over the reply pipes and are
+        # ingested into the installed recorder with each worker's OS pid,
+        # so the Perfetto document shows one process row per worker
+        with ParClusterFluxComputation(
+            mesh, fluid, px=args.px, py=args.py, workers=args.workers
+        ) as par:
+            result = par.run(pressures)
+            rank_stats = par.rank_stats()
+        registry.register("par", result.as_metrics)
+        # fold the per-rank worker counters into one summary row
+        registry.register(
+            "par_ranks_merged", lambda: registry.merge(*rank_stats)
+        )
+        return None, None, None
+
     runners = {
         "event": run_event,
         "lockstep": run_lockstep,
         "gpu": run_gpu,
         "cluster": run_cluster,
+        "par": run_par,
     }
 
     recorder = SpanRecorder()
@@ -587,6 +692,17 @@ def _cmd_trace(args, out) -> int:
             )
         print(t.render(), file=out)
         print(f"metric sources: {', '.join(registry.sources)}", file=out)
+        if args.backend == "par":
+            par_metrics = metrics.get("par", {})
+            merged = metrics.get("par_ranks_merged", {})
+            print(
+                f"par: {par_metrics.get('distinct_pids', 0)} distinct "
+                f"worker pid(s), "
+                f"{merged.get('messages_sent', 0)} halo messages "
+                f"({merged.get('bytes_sent', 0)} bytes) merged from "
+                f"{par_metrics.get('ranks', 0)} rank(s)",
+                file=out,
+            )
 
     rows = None
     if prof is not None:
@@ -603,9 +719,11 @@ def _cmd_trace(args, out) -> int:
     if args.out:
         outdir = Path(args.out)
         outdir.mkdir(parents=True, exist_ok=True)
+        from repro.util.jsonio import write_stable_json
+
         trace_path = outdir / "trace.json"
         doc = chrome_trace_document(recorder, sink, color_names=color_names)
-        trace_path.write_text(json.dumps(doc) + "\n")
+        write_stable_json(trace_path, doc, indent=None)
         report = (
             report_document(
                 sink,
@@ -618,7 +736,7 @@ def _cmd_trace(args, out) -> int:
             if sink is not None
             else {"spans": span_summary, "metrics": metrics}
         )
-        (outdir / "report.json").write_text(json.dumps(report, indent=2) + "\n")
+        write_stable_json(outdir / "report.json", report)
         if rows is not None:
             save_rows(rows, outdir / "profile.json")
         print("", file=out)
@@ -666,18 +784,20 @@ def _cmd_chaos(args, out) -> int:
         py=args.py,
         watchdog_cycles=args.watchdog,
         steps=args.steps,
+        postmortem_dir=(
+            None if args.postmortem == "none" else args.postmortem
+        ),
     )
     print(report.render(), file=out)
     if args.out:
-        path = Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        from repro.util.jsonio import write_stable_json
+
+        path = write_stable_json(Path(args.out), report.as_dict())
         print(f"wrote {path}", file=out)
     return 0 if report.ok else 1
 
 
 def _cmd_par_scale(args, out) -> int:
-    import json
     from pathlib import Path
 
     from repro.par.runtime import available_cpus
@@ -740,10 +860,10 @@ def _cmd_par_scale(args, out) -> int:
     )
     print(render_scaling(points), file=out)
     if args.out:
-        path = Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps([pt.as_dict() for pt in points], indent=2) + "\n"
+        from repro.util.jsonio import write_stable_json
+
+        path = write_stable_json(
+            Path(args.out), [pt.as_dict() for pt in points]
         )
         print(f"wrote {path}", file=out)
     if verify and not all(pt.bit_identical for pt in points):
@@ -759,7 +879,6 @@ def _cmd_par_scale(args, out) -> int:
 
 def _par_scale_sweep(args, out, worker_counts, verify) -> int:
     """Strong-scaling worker sweep on a fixed mesh (``--mesh`` mode)."""
-    import json
     from pathlib import Path
 
     from repro.par.runtime import available_cpus
@@ -802,10 +921,10 @@ def _par_scale_sweep(args, out, worker_counts, verify) -> int:
     )
     print(render_sweep(points), file=out)
     if args.out:
-        path = Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps([pt.as_dict() for pt in points], indent=2) + "\n"
+        from repro.util.jsonio import write_stable_json
+
+        path = write_stable_json(
+            Path(args.out), [pt.as_dict() for pt in points]
         )
         print(f"wrote {path}", file=out)
     if verify and not all(pt.bit_identical for pt in points):
@@ -836,7 +955,6 @@ def _par_scale_sweep(args, out, worker_counts, verify) -> int:
 
 
 def _cmd_check(args, out) -> int:
-    import json
     import time
     from pathlib import Path
 
@@ -887,16 +1005,133 @@ def _cmd_check(args, out) -> int:
     )
 
     if args.json:
-        path = Path(args.json)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        from repro.util.jsonio import write_stable_json
+
         doc = {
             "ok": errors == 0,
-            "elapsed_seconds": elapsed,
+            # rounded so semantically identical runs produce stable text
+            # and only real finding changes show up in artifact diffs
+            "elapsed_seconds": round(elapsed, 3),
             "subjects": [r.as_dict() for r in reports],
         }
-        path.write_text(json.dumps(doc, indent=2) + "\n")
+        path = write_stable_json(Path(args.json), doc)
         print(f"wrote {path}", file=out)
     return 0 if errors == 0 else 1
+
+
+def _cmd_conform(args, out) -> int:
+    from pathlib import Path
+
+    from repro.conform import (
+        named_tolerance,
+        record_run,
+        replay,
+        run_golden,
+    )
+    from repro.obs.replay import ReplayArtifact
+    from repro.util.jsonio import write_stable_json
+
+    def write_reports(results) -> None:
+        if not args.report:
+            return
+        path = write_stable_json(
+            Path(args.report) / "conform.json",
+            {
+                "ok": all(r.ok for r in results),
+                "results": [r.as_dict() for r in results],
+            },
+        )
+        print(f"wrote {path}", file=out)
+
+    # ---- golden registry mode ---------------------------------------- #
+    if args.golden:
+        from repro.par.runtime import available_cpus
+
+        backends = args.backends.split(",") if args.backends else None
+        # par replays spawn a worker pool per artifact — only worth it
+        # when the host actually has a second CPU (the result would
+        # still be bit-identical on one, per the equivalence tests)
+        skip_par = available_cpus() < 2 and (
+            backends is None or "par" not in backends
+        )
+        results = run_golden(
+            Path(args.golden_dir) if args.golden_dir else None,
+            backends=backends,
+            skip_par=skip_par,
+        )
+        if not results:
+            print("error: no golden replays selected", file=sys.stderr)
+            return 2
+        for res in results:
+            print(res.render(), file=out)
+        failed = [r for r in results if not r.ok]
+        if skip_par:
+            print(
+                f"(par replays skipped: {available_cpus()} usable CPU)",
+                file=out,
+            )
+        print(
+            f"conform: {len(results) - len(failed)}/{len(results)} golden "
+            f"replay(s) passed",
+            file=out,
+        )
+        write_reports(results)
+        return 0 if not failed else 1
+
+    # ---- record mode -------------------------------------------------- #
+    if args.record:
+        if not args.backend:
+            print("error: --record requires --backend", file=sys.stderr)
+            return 2
+        if args.backend in ("cluster", "par"):
+            problem = _check_rank_grid(args.px, args.py, args.nx, args.ny)
+            if problem is not None:
+                print(problem, file=sys.stderr)
+                return 2
+        plan = None
+        if args.faulted:
+            from repro.faults import FaultPlan
+
+            plan = FaultPlan.seeded(
+                args.seed, fabric_shape=(args.nx, args.ny),
+                ranks=args.px * args.py,
+            ).only_ranks()
+        artifact = record_run(
+            args.backend,
+            nx=args.nx, ny=args.ny, nz=args.nz,
+            geomodel=args.geomodel, seed=args.seed,
+            applications=args.applications,
+            px=args.px, py=args.py, workers=args.workers,
+            variant=args.variant, plan=plan,
+            snapshot_every=args.snapshot_every,
+        )
+        path = artifact.save(args.out or f"{args.backend}.rpz")
+        print(f"recorded {artifact.describe()}", file=out)
+        print(f"wrote {path}", file=out)
+        return 0
+
+    # ---- replay mode --------------------------------------------------- #
+    if not args.artifact:
+        print(
+            "error: give an artifact to replay, or --record / --golden",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.backend:
+        print("error: replay requires --backend", file=sys.stderr)
+        return 2
+    artifact = ReplayArtifact.load(args.artifact)
+    result = replay(
+        artifact,
+        args.backend,
+        tolerance=(
+            named_tolerance(args.tolerance) if args.tolerance else None
+        ),
+        artifact_name=Path(args.artifact).name,
+    )
+    print(result.render(), file=out)
+    write_reports([result])
+    return 0 if result.ok else 1
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
@@ -921,6 +1156,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_par_scale(args, out)
     if args.command == "check":
         return _cmd_check(args, out)
+    if args.command == "conform":
+        return _cmd_conform(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -163,6 +163,7 @@ class ClusterFluxComputation:
         dtype=np.float64,
         faults=None,
         retry: RetryPolicy | None = None,
+        record=None,
     ) -> None:
         self.mesh = mesh
         self.fluid = fluid
@@ -194,6 +195,9 @@ class ClusterFluxComputation:
             )
         self._applications = 0
         self._messages = 0
+        #: Optional :class:`~repro.obs.replay.ReplayRecorder` digesting
+        #: every assembled (pressure, residual) application pair.
+        self.record = record
 
     # ------------------------------------------------------------------ #
     def _scatter_owned(self, pressure: np.ndarray) -> None:
@@ -293,6 +297,8 @@ class ClusterFluxComputation:
                         residual[
                             :, block.y0 : block.y1, block.x0 : block.x1
                         ] = state["residual"][:, ys, xs]
+                if self.record is not None:
+                    self.record.record_step(pressure, residual)
                 applications += 1
         if applications == 0:
             raise ValueError("no pressure fields supplied")

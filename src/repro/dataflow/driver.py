@@ -146,6 +146,7 @@ class WseFluxComputation:
         remap=None,
         faults=None,
         watchdog_cycles: float | None = None,
+        record=None,
     ) -> None:
         kwargs = dict(
             mesh=mesh,
@@ -176,6 +177,10 @@ class WseFluxComputation:
         #: through to every EventRuntime this driver creates.
         self.faults = faults
         self.watchdog_cycles = watchdog_cycles
+        #: Optional :class:`~repro.obs.replay.ReplayRecorder`; when set,
+        #: every application's (pressure, residual) pair is digested into
+        #: the replay artifact right after the gather.
+        self.record = record
         self.last_runtime: EventRuntime | None = None
 
     # ------------------------------------------------------------------ #
@@ -223,6 +228,8 @@ class WseFluxComputation:
                 totals.merge(rt.stats)
                 with span("wse.gather_residual"):
                     residual = program.gather_residual()
+                if self.record is not None:
+                    self.record.record_step(pressure, residual)
                 sp.set(
                     events=rt.stats.events_processed,
                     device_cycles=rt.now,

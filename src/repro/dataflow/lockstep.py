@@ -92,6 +92,7 @@ class LockstepWseSimulation:
         dtype=np.float32,
         vectorized: bool = True,
         compute_fluxes: bool = True,
+        record=None,
     ) -> None:
         self.mesh = mesh
         self.fluid = fluid
@@ -114,6 +115,9 @@ class LockstepWseSimulation:
         self._applications = 0
         self._fabric_word_hops = 0
         self._words_per_element = max(1, self.dtype.itemsize // 4)
+        #: Optional :class:`~repro.obs.replay.ReplayRecorder` digesting
+        #: every (pressure, residual) application pair.
+        self.record = record
 
     # ------------------------------------------------------------------ #
     def _scratch_for(self, local) -> FluxScratch:
@@ -189,6 +193,8 @@ class LockstepWseSimulation:
                             )
 
         self._applications += 1
+        if self.record is not None:
+            self.record.record_step(pressure, self._residual)
         return self._residual.copy()
 
     def run(self, pressures) -> np.ndarray:

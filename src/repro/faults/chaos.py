@@ -30,6 +30,7 @@ layers without cycles.  ``repro chaos`` is the CLI front end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -93,6 +94,9 @@ class ChaosReport:
     ranks: int
     plan: FaultPlan
     outcomes: list[FaultOutcome] = field(default_factory=list)
+    #: Replay bundle recorded when any scenario failed (see
+    #: :func:`run_chaos`'s ``postmortem_dir``); None when all passed.
+    postmortem_path: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -111,6 +115,7 @@ class ChaosReport:
             "plan": self.plan.to_dict(),
             "outcomes": [o.as_dict() for o in self.outcomes],
             "ok": self.ok,
+            "postmortem_path": self.postmortem_path,
         }
 
     def render(self) -> str:
@@ -132,9 +137,14 @@ class ChaosReport:
         lines += ["", table.render()]
         caught = sum(o.ok for o in self.outcomes)
         verdict = "CHAOS PASSED" if self.ok else "CHAOS FAILED"
+        postmortem = (
+            f" (post-mortem replay bundle: {self.postmortem_path})"
+            if self.postmortem_path
+            else ""
+        )
         lines.append(
             f"{verdict}: {caught}/{len(self.outcomes)} fault scenarios "
-            "detected or recovered"
+            f"detected or recovered{postmortem}"
         )
         return "\n".join(lines)
 
@@ -158,6 +168,7 @@ def run_chaos(
     include_corruption: bool = True,
     include_checkpoint_drill: bool = True,
     include_par_drill: bool = True,
+    postmortem_dir: str | None = None,
 ) -> ChaosReport:
     """Run every backend under *plan* and report per-fault outcomes.
 
@@ -165,6 +176,12 @@ def run_chaos(
     fabric and ``px x py`` rank grid is used (1 dead PE, 1 lossy link,
     1 transient rank failure).  The same seed always reproduces the
     same plan, scenarios, and outcomes.
+
+    With ``postmortem_dir`` set, any failed scenario (MISSED or NOT
+    INJECTED) records a replay artifact there — the healthy reference
+    run's per-step digests plus the offending plan and the failed
+    outcomes under the ``postmortem`` meta key — so the failure can be
+    reproduced and bisected offline (``repro conform`` reads it).
     """
     from repro.cluster.flux import ClusterFluxComputation
     from repro.core import (
@@ -525,4 +542,43 @@ def run_chaos(
             )
         )
 
+    if postmortem_dir is not None and not report.ok:
+        bundle = _record_postmortem(report, nx=nx, ny=ny, nz=nz, px=px, py=py)
+        report.postmortem_path = str(
+            bundle.save(
+                Path(postmortem_dir)
+                / f"chaos-seed{plan.seed}-postmortem.rpz"
+            )
+        )
     return report
+
+
+def _record_postmortem(report: ChaosReport, *, nx, ny, nz, px, py):
+    """Record the failure evidence bundle for a failed chaos run.
+
+    The artifact captures the *healthy* reference run (so its digests
+    are the ground truth any debugging replay diffs against) and carries
+    the offending fault plan plus the failed outcomes under the
+    ``postmortem`` meta key — deliberately NOT under ``fault_plan``, so
+    a plain ``repro conform`` replay of the bundle runs clean and the
+    investigator opts into re-injecting the plan explicitly.
+    """
+    from repro.conform.runner import record_run
+
+    return record_run(
+        "event",
+        nx=nx, ny=ny, nz=nz,
+        geomodel="plain",
+        seed=report.plan.seed,
+        applications=1,
+        px=px, py=py,
+        pressure_seed=report.plan.seed,
+        extra_meta={
+            "postmortem": {
+                "plan": report.plan.to_dict(),
+                "failed": [o.as_dict() for o in report.failed],
+                "px": px,
+                "py": py,
+            }
+        },
+    )

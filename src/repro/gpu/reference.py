@@ -80,6 +80,7 @@ class GpuFluxComputation:
         tile_xyz: tuple[int, int, int] = PAPER_TILE,
         device: DeviceSpec = A100_40GB,
         dtype=np.float32,
+        record=None,
     ) -> None:
         if variant not in ("raja", "cuda"):
             raise ValueError(f"variant must be 'raja' or 'cuda', got {variant!r}")
@@ -100,6 +101,10 @@ class GpuFluxComputation:
         self._flops = 0
         self._tiles = 0
         self._launches = 0
+        #: Optional :class:`~repro.obs.replay.ReplayRecorder`; recording
+        #: adds one d2h readback per application (normally the residual
+        #: stays device-resident until the batch-final copy).
+        self.record = record
 
         # --- allocate device memory and upload the static mesh data ----
         shape = mesh.shape_zyx
@@ -193,6 +198,10 @@ class GpuFluxComputation:
                 self._tiles += self._launch(self._flux_tile)
                 self._launches += 2
                 applications += 1
+                if self.record is not None:
+                    with span("gpu.d2h"):
+                        self.dev.d2h("residual", host_residual)
+                    self.record.record_step(pressure, host_residual)
         if applications == 0:
             raise ValueError("no pressure fields supplied")
         with span("gpu.d2h"):

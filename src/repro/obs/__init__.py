@@ -15,9 +15,13 @@
 * :mod:`repro.obs.report` — aggregated text/JSON reports and ASCII
   fabric heatmaps;
 * :mod:`repro.obs.profile` — opt-in cProfile capture with
-  fixed-workload diffing (the flamegraph workflow).
+  fixed-workload diffing (the flamegraph workflow);
+* :mod:`repro.obs.replay` — deterministic replay artifacts (byte-stable
+  ``.rpz`` bundles of per-step digests + residual snapshots) recordable
+  from any backend driver via its ``record=`` hook and replayed by
+  :mod:`repro.conform`.
 
-See DESIGN.md §9 and ``repro trace --help``.
+See DESIGN.md §9/§13 and ``repro trace --help``.
 """
 
 from repro.obs.profile import (
@@ -34,6 +38,12 @@ from repro.obs.metrics import (
     run_result_metrics,
     runtime_stats_metrics,
     trace_sink_metrics,
+)
+from repro.obs.replay import (
+    ReplayArtifact,
+    ReplayRecorder,
+    digest_array,
+    fingerprint_document,
 )
 from repro.obs.report import (
     consistency,
@@ -92,4 +102,8 @@ __all__ = [
     "save_rows",
     "load_rows",
     "render_rows",
+    "ReplayArtifact",
+    "ReplayRecorder",
+    "digest_array",
+    "fingerprint_document",
 ]

@@ -77,7 +77,9 @@ def diff_rows(baseline: list[dict], current: list[dict]) -> list[dict]:
 
 
 def save_rows(rows: list[dict], path) -> None:
-    Path(path).write_text(json.dumps(rows, indent=2) + "\n")
+    from repro.util.jsonio import write_stable_json
+
+    write_stable_json(path, rows)
 
 
 def load_rows(path) -> list[dict]:

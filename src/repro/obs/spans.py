@@ -18,7 +18,6 @@ protocol traffic side by side.
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from typing import Any
@@ -37,9 +36,15 @@ __all__ = [
 
 
 class Span:
-    """One recorded phase: name, category, wall-clock interval, args."""
+    """One recorded phase: name, category, wall-clock interval, args.
 
-    __slots__ = ("name", "cat", "start_ns", "duration_ns", "tid", "args")
+    ``pid`` is the Perfetto process track the span renders on: None
+    (local spans) maps to track 1, while spans ingested from par worker
+    processes carry the worker's real OS pid so the merged timeline
+    shows one process row per worker.
+    """
+
+    __slots__ = ("name", "cat", "start_ns", "duration_ns", "tid", "args", "pid")
 
     def __init__(self, name: str, cat: str, start_ns: int, tid: int) -> None:
         self.name = name
@@ -47,6 +52,7 @@ class Span:
         self.start_ns = start_ns
         self.duration_ns = 0
         self.tid = tid
+        self.pid: int | None = None
         self.args: dict[str, Any] = {}
 
     @property
@@ -141,7 +147,7 @@ class SpanRecorder:
                 "ph": "X",
                 "ts": (sp.start_ns - epoch) / 1e3,
                 "dur": sp.duration_ns / 1e3,
-                "pid": 1,
+                "pid": 1 if sp.pid is None else sp.pid,
                 "tid": sp.tid % 100000,
             }
             if sp.args:
@@ -173,19 +179,25 @@ def spans_to_payload(recorder: SpanRecorder) -> list[dict]:
 
 
 def ingest_spans(
-    recorder: SpanRecorder, payload: list[dict], **extra_args: Any
+    recorder: SpanRecorder, payload: list[dict], *,
+    pid: int | None = None, **extra_args: Any
 ) -> int:
     """Merge a :func:`spans_to_payload` list into *recorder*.
 
-    ``extra_args`` (e.g. ``pid=...``, ``rank=...``) are stamped onto
-    every ingested span's args so merged timelines stay attributable.
-    Returns the number of spans ingested.
+    ``pid`` puts the ingested spans on their own Perfetto process track
+    (the par runtime passes the worker's OS pid); ``extra_args`` (e.g.
+    ``worker=...``, ``rank=...``) are stamped onto every ingested span's
+    args so merged timelines stay attributable.  Returns the number of
+    spans ingested.
     """
     for rec in payload:
         sp = Span(rec["name"], rec.get("cat", "phase"), rec["start_ns"],
                   rec.get("tid", 0))
         sp.duration_ns = rec.get("duration_ns", 0)
+        sp.pid = pid
         sp.args.update(rec.get("args", ()))
+        if pid is not None:
+            sp.args["pid"] = pid
         if extra_args:
             sp.args.update(extra_args)
         recorder.spans.append(sp)
@@ -238,6 +250,15 @@ def chrome_trace_document(
         {"name": "process_name", "ph": "M", "pid": 2,
          "args": {"name": "fabric (simulated cycles as us)"}},
     ]
+    if recorder is not None:
+        worker_pids = sorted(
+            {sp.pid for sp in recorder.spans if sp.pid is not None}
+        )
+        for wpid in worker_pids:
+            metadata.append(
+                {"name": "process_name", "ph": "M", "pid": wpid,
+                 "args": {"name": f"par worker (pid {wpid})"}}
+            )
     return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
@@ -279,7 +300,9 @@ def span(name: str, cat: str = "phase", **args: Any):
 
 
 def write_chrome_trace(path, recorder=None, sink=None, *, color_names=None) -> None:
-    """Serialize :func:`chrome_trace_document` to *path* as JSON."""
+    """Serialize :func:`chrome_trace_document` to *path* as byte-stable
+    JSON (sorted keys, fixed formatting — see :mod:`repro.util.jsonio`)."""
+    from repro.util.jsonio import write_stable_json
+
     doc = chrome_trace_document(recorder, sink, color_names=color_names)
-    with open(path, "w") as fh:
-        json.dump(doc, fh)
+    write_stable_json(path, doc, indent=None)

@@ -176,6 +176,7 @@ class ParClusterFluxComputation:
         timeout_seconds: float = 120.0,
         record_spans: bool = True,
         overlap: bool | None = None,
+        record=None,
     ) -> None:
         self.mesh = mesh
         self.fluid = fluid
@@ -230,6 +231,11 @@ class ParClusterFluxComputation:
             for r in range(size)
         ]
         self._applications = 0
+        #: Optional :class:`~repro.obs.replay.ReplayRecorder`.  Recording
+        #: needs the arena residual quiescent after every application, so
+        #: it disables pipelining (see :meth:`run`); numerics are
+        #: unaffected — the fold order never depends on the depth.
+        self.record = record
 
     # ------------------------------------------------------------------ #
     def _specs(self, *, attempt_offset: int = 0) -> list[WorkerSpec]:
@@ -365,9 +371,13 @@ class ParClusterFluxComputation:
         # in-flight application indices; each one's pressure lives in
         # arena parity slot ``index % 2`` until its replies are collected
         pending: list[int] = []
+        # recording reads arena.residual after every application, which
+        # is only safe once the workers are done with it — so the replay
+        # path runs at depth 1 (collect before the next stage)
+        depth = 1 if self.record is not None else PIPELINE_DEPTH
         for pressure in pressures:
             self.mesh.validate_field(pressure, name="pressure")
-            if len(pending) >= PIPELINE_DEPTH:
+            if len(pending) >= depth:
                 self._collect_oldest(pending)
             index = self._applications
             np.copyto(
@@ -378,6 +388,9 @@ class ParClusterFluxComputation:
             pending.append(index)
             self._applications += 1
             applications += 1
+            if self.record is not None:
+                self._collect_oldest(pending)
+                self.record.record_step(pressure, self._arena.residual)
         while pending:
             self._collect_oldest(pending)
         if applications == 0:
@@ -401,6 +414,12 @@ class ParClusterFluxComputation:
     def run_single(self, pressure: np.ndarray) -> ParClusterRunResult:
         """Run one application."""
         return self.run([pressure])
+
+    def rank_stats(self) -> list[dict]:
+        """Per-rank communication counters measured by the workers
+        (committed totals across respawns), one dict per rank — ready to
+        fold into one summary via ``MetricsRegistry.merge``."""
+        return [dict(acc) for acc in self._acc]
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

@@ -1,4 +1,4 @@
-"""Shared utilities: validated array helpers and table reporting."""
+"""Shared utilities: array helpers, table reporting, byte-stable JSON."""
 
 from repro.util.arrays import (
     as_float_array,
@@ -6,6 +6,7 @@ from repro.util.arrays import (
     check_shape,
     ensure_3d,
 )
+from repro.util.jsonio import canonical_value, stable_dumps, write_stable_json
 from repro.util.reporting import Table, format_seconds, format_si
 
 __all__ = [
@@ -16,4 +17,7 @@ __all__ = [
     "Table",
     "format_seconds",
     "format_si",
+    "canonical_value",
+    "stable_dumps",
+    "write_stable_json",
 ]

@@ -1,0 +1,73 @@
+"""Byte-stable JSON serialization for artifacts and CI caching.
+
+Every JSON document the repo persists (trace reports, check findings,
+replay artifacts, chaos reports, scaling sweeps) goes through
+:func:`stable_dumps`, which pins down the degrees of freedom
+``json.dumps`` leaves open:
+
+* **key order** — ``sort_keys=True`` everywhere, so semantically equal
+  documents serialize to equal bytes regardless of insertion order;
+* **separators / indentation** — one fixed style (2-space indent,
+  ``", "``-free separators), so a document's bytes never depend on the
+  caller's formatting habits;
+* **float formatting** — floats are emitted via Python's shortest
+  round-trip ``repr`` (the ``json`` default), and every NumPy scalar,
+  array-scalar or 0-d array is converted to its exact Python
+  counterpart first, so the same value always produces the same text;
+* **trailing newline** — exactly one, so concatenation/diff tools agree
+  on line counts.
+
+Golden-artifact diffs and CI cache keys hash these bytes, which is why
+"equal content" must mean "equal bytes" (DESIGN.md Sec. 13).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["stable_dumps", "write_stable_json", "canonical_value"]
+
+
+def canonical_value(value: Any):
+    """Convert *value* to the plain-Python equivalent JSON will emit.
+
+    NumPy integer/float/bool scalars (and 0-d arrays) become native
+    ``int``/``float``/``bool``; tuples become lists; everything else is
+    returned unchanged.  Used as the ``default=`` fallback, so nested
+    plain structures pay no conversion cost.
+    """
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, tuple):
+        return list(value)
+    raise TypeError(f"not JSON-serializable: {type(value)!r}")
+
+
+def stable_dumps(obj: Any, *, indent: int | None = 2) -> str:
+    """Serialize *obj* to byte-stable JSON text (with trailing newline).
+
+    Two calls with semantically equal inputs — regardless of dict
+    insertion order or NumPy scalar types — return identical strings.
+    """
+    return (
+        json.dumps(
+            obj,
+            indent=indent,
+            sort_keys=True,
+            separators=(",", ": ") if indent is not None else (",", ":"),
+            default=canonical_value,
+        )
+        + "\n"
+    )
+
+
+def write_stable_json(path, obj: Any, *, indent: int | None = 2) -> Path:
+    """Write *obj* as byte-stable JSON to *path*; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(stable_dumps(obj, indent=indent))
+    return path

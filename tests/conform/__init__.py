@@ -1,0 +1,1 @@
+"""Cross-backend conformance test suite."""

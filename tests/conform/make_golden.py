@@ -1,0 +1,88 @@
+"""Regenerate the golden replay-artifact registry.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/conform/make_golden.py
+
+The artifacts are deterministic byte-for-byte (stored ZIP, epoch
+timestamps, canonical JSON), so re-running this script on any machine
+must produce identical files; ``git diff`` after a regeneration is the
+cheapest possible conformance check.  Keep the meshes tiny — these
+files are committed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.conform import record_run
+from repro.faults import FaultPlan
+from repro.util.jsonio import write_stable_json
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+
+def main() -> int:
+    GOLDEN.mkdir(parents=True, exist_ok=True)
+    entries = []
+
+    # 1. The flagship: a cluster recording that every backend must
+    #    reproduce.  cluster/par replay bit-exactly (same host fold
+    #    order); event/lockstep/gpu replay within the ulp budget.
+    art = record_run(
+        "cluster", nx=4, ny=4, nz=3, geomodel="lognormal", seed=0,
+        applications=3, px=2, py=2,
+    )
+    art.save(GOLDEN / "small-lognormal.rpz")
+    entries.append(
+        {
+            "name": "small-lognormal",
+            "file": "small-lognormal.rpz",
+            "backends": ["event", "lockstep", "gpu", "cluster", "par"],
+        }
+    )
+
+    # 2. A forced-order mesh (single interior column along Y): the
+    #    event fabric's arrival order is forced, so lockstep must
+    #    match it bit-for-bit, not just within tolerance.
+    art = record_run(
+        "event", nx=2, ny=1, nz=5, geomodel="layered", seed=1,
+        applications=2,
+    )
+    art.save(GOLDEN / "forced-order.rpz")
+    entries.append(
+        {
+            "name": "forced-order",
+            "file": "forced-order.rpz",
+            "backends": ["event", "lockstep"],
+            "tolerance_overrides": {"lockstep": "bit-exact"},
+        }
+    )
+
+    # 3. A faulted scenario: transient rank failures during recording.
+    #    Recovery must reproduce the fault-free bits, so the replay
+    #    (which re-injects the recorded plan) stays bit-exact.
+    plan = FaultPlan.seeded(7, fabric_shape=(4, 4), ranks=4).only_ranks()
+    art = record_run(
+        "cluster", nx=4, ny=4, nz=3, geomodel="channelized", seed=7,
+        applications=2, px=2, py=2, plan=plan,
+    )
+    art.save(GOLDEN / "faulted-recovery.rpz")
+    entries.append(
+        {
+            "name": "faulted-recovery",
+            "file": "faulted-recovery.rpz",
+            "backends": ["cluster", "par"],
+        }
+    )
+
+    write_stable_json(GOLDEN / "registry.json", {"artifacts": entries})
+    for entry in entries:
+        print(f"wrote {GOLDEN / entry['file']}")
+    print(f"wrote {GOLDEN / 'registry.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
