@@ -31,6 +31,11 @@ record_overhead:
     plus residual snapshots) on top of the traced path, under the same
     <10% gate.  ``--check`` additionally loads every golden replay
     artifact to prove its schema is still supported by the tree.
+resilience_overhead:
+    Wall-clock cost of a fault-free run under the resilience
+    supervisor (per-application checkpoints + policy bookkeeping)
+    relative to driving the event backend directly, under the same
+    <10% gate — self-healing must be affordable enough to leave on.
 lockstep:
     The vectorized lockstep backend on the same workload, so
     cross-backend throughput trends live in one file.
@@ -280,6 +285,60 @@ def bench_record_overhead(
     }
 
 
+def bench_resilience_overhead(
+    nx: int, ny: int, nz: int, applications: int, *, repeats: int = 3
+) -> dict:
+    """Wall-clock cost of fault-free supervision on the event backend.
+
+    The supervised side pays the full resilience tax — driver (re)build
+    through the factory, a residual copy + checksummed checkpoint per
+    application, timeline bookkeeping — against a bare driver doing the
+    same applications.  Same minima-of-alternating-rounds estimator as
+    :func:`bench_trace_overhead`, same <10% budget: self-healing is
+    only deployable if leaving it on is nearly free.
+    """
+    from repro.resilience import ResiliencePolicy, RunSupervisor
+
+    mesh = CartesianMesh3D(nx, ny, nz)
+    fluid = FluidProperties()
+    seq = PressureSequence(mesh, num_applications=applications, seed=7)
+    pressures = [seq.field(i) for i in range(applications)]
+    policy = ResiliencePolicy(checkpoint_every=1)
+
+    def bare() -> None:
+        drv = WseFluxComputation(mesh, fluid, dtype=np.float64)
+        for p in pressures:
+            drv.run_single(p)
+
+    def supervised() -> None:
+        RunSupervisor(
+            mesh, fluid, policy=policy, backend="event"
+        ).run(pressures)
+
+    pair = {False: bare, True: supervised}
+    for fn in pair.values():  # warm-up
+        fn()
+    best = {False: np.inf, True: np.inf}
+    gc.disable()
+    try:
+        for _ in range(max(repeats, 8)):
+            for key, fn in pair.items():
+                gc.collect()
+                t0 = time.perf_counter()
+                fn()
+                best[key] = min(best[key], time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    overhead = best[True] / best[False] - 1.0
+    return {
+        "mesh": [nx, ny, nz],
+        "applications": applications,
+        "bare_seconds": round(best[False], 6),
+        "supervised_seconds": round(best[True], 6),
+        "overhead_fraction": round(overhead, 4),
+    }
+
+
 def check_golden_schema() -> dict:
     """Load every golden replay artifact, reporting its schema version.
 
@@ -484,6 +543,9 @@ def measure_entry(*, smoke_only: bool, budget_seconds: float, repeats: int) -> d
     entry["record_overhead"] = bench_record_overhead(
         **TRACE_WORKLOAD, repeats=repeats
     )
+    entry["resilience_overhead"] = bench_resilience_overhead(
+        **TRACE_WORKLOAD, repeats=repeats
+    )
     entry["verifier"] = bench_verifier()
     entry["par_runtime"] = bench_par_runtime(**PAR_WORKLOAD, repeats=repeats)
     if smoke_only:
@@ -575,6 +637,19 @@ def run_check(path: Path, repeats: int) -> int:
         )
         if rec_verdict == "ok":
             break
+    for attempt in range(3):
+        res = bench_resilience_overhead(**TRACE_WORKLOAD, repeats=repeats)
+        res_frac = res["overhead_fraction"]
+        res_verdict = (
+            "ok" if res_frac < TRACE_OVERHEAD_TOLERANCE else "REGRESSION"
+        )
+        print(
+            f"check: fault-free supervision overhead {res_frac:+.1%} "
+            f"(limit {TRACE_OVERHEAD_TOLERANCE:.0%}) -> {res_verdict}"
+            + (f" [attempt {attempt + 1}]" if attempt else "")
+        )
+        if res_verdict == "ok":
+            break
     golden = check_golden_schema()
     golden_ok = not golden["errors"] and all(
         schema <= golden["supported_schema"]
@@ -636,6 +711,7 @@ def run_check(path: Path, repeats: int) -> int:
         verdict == "ok"
         and trace_verdict == "ok"
         and rec_verdict == "ok"
+        and res_verdict == "ok"
         and golden_ok
         and ver_ok
         and par_ok

@@ -158,6 +158,73 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario fails (the bundle path is printed in the failure "
         "line); pass 'none' to disable",
     )
+    p_ch.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list every chaos scenario with a one-line description "
+        "and exit",
+    )
+    p_ch.add_argument(
+        "--only", default=None, metavar="NAME[,NAME...]",
+        help="run only the named scenario(s); unknown names are a "
+        "usage error naming the valid set (see --list)",
+    )
+
+    p_sv = sub.add_parser(
+        "supervise",
+        help="run flux applications under the self-healing resilience "
+        "supervisor (checkpoint restarts + backend degradation)",
+    )
+    p_sv.add_argument(
+        "--backend", default="event",
+        choices=["event", "lockstep", "gpu", "cluster", "par"],
+        help="starting backend (may degrade down the policy ladder)",
+    )
+    p_sv.add_argument("--nx", type=int, default=4)
+    p_sv.add_argument("--ny", type=int, default=4)
+    p_sv.add_argument("--nz", type=int, default=3)
+    p_sv.add_argument(
+        "--applications", type=int, default=3,
+        help="flux applications to drive to committed residuals",
+    )
+    p_sv.add_argument("--px", type=int, default=2, help="cluster ranks along X")
+    p_sv.add_argument("--py", type=int, default=2, help="cluster ranks along Y")
+    p_sv.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the par backend (default: one per rank)",
+    )
+    p_sv.add_argument(
+        "--seed", type=int, default=0, help="pressure-field seed",
+    )
+    p_sv.add_argument(
+        "--policy", default=None, metavar="FILE",
+        help="ResiliencePolicy JSON (default: built-in policy)",
+    )
+    p_sv.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="mirror checkpoints to disk (restores then survive "
+        "checkpoint corruption by falling back to an intact file)",
+    )
+    p_sv.add_argument(
+        "--inject", action="store_true",
+        help="inject a seeded demo fault into the first attempt "
+        "(router stall for fabric backends, rank failure for "
+        "cluster/par) so the recovery path is exercised",
+    )
+    p_sv.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="FaultPlan JSON injected into the first attempt "
+        "(transient-fault model; restarts run clean)",
+    )
+    p_sv.add_argument(
+        "--postmortem", default="supervisor-postmortem", metavar="DIR",
+        help="directory for the give-up post-mortem bundle and "
+        "decision timeline; pass 'none' to disable",
+    )
+    p_sv.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the supervised-run record (backend chain, "
+        "restarts, timeline, per-step digests) as JSON",
+    )
 
     p_ps = sub.add_parser(
         "par-scale",
@@ -757,6 +824,25 @@ def _cmd_chaos(args, out) -> int:
     from pathlib import Path
 
     from repro.faults import FaultPlan, run_chaos
+    from repro.faults.chaos import SCENARIOS
+
+    if args.list_scenarios:
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            print(f"{name:<{width}}  {SCENARIOS[name]}", file=out)
+        return 0
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = sorted(set(only) - set(SCENARIOS))
+        if unknown:
+            print(
+                "error: unknown chaos scenario(s) "
+                + ", ".join(repr(u) for u in unknown)
+                + "; valid: " + ", ".join(sorted(SCENARIOS)),
+                file=sys.stderr,
+            )
+            return 2
 
     problem = _check_rank_grid(args.px, args.py, args.nx, args.ny)
     if problem is not None:
@@ -784,6 +870,7 @@ def _cmd_chaos(args, out) -> int:
         py=args.py,
         watchdog_cycles=args.watchdog,
         steps=args.steps,
+        only=only,
         postmortem_dir=(
             None if args.postmortem == "none" else args.postmortem
         ),
@@ -795,6 +882,139 @@ def _cmd_chaos(args, out) -> int:
         path = write_stable_json(Path(args.out), report.as_dict())
         print(f"wrote {path}", file=out)
     return 0 if report.ok else 1
+
+
+def _cmd_supervise(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.core import (
+        CartesianMesh3D,
+        FluidProperties,
+        random_pressure,
+    )
+    from repro.faults import FaultPlan
+    from repro.resilience import (
+        ResiliencePolicy,
+        RunSupervisor,
+        SupervisorGiveUp,
+    )
+
+    if args.backend in ("cluster", "par"):
+        problem = _check_rank_grid(args.px, args.py, args.nx, args.ny)
+        if problem is not None:
+            print(problem, file=sys.stderr)
+            return 2
+    if args.applications < 1:
+        print("error: --applications must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        policy = (
+            ResiliencePolicy.load(args.policy) if args.policy
+            else ResiliencePolicy()
+        )
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: bad --policy file: {exc}", file=sys.stderr)
+        return 2
+    plan = None
+    watchdog = None
+    if args.plan:
+        plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
+    elif args.inject:
+        if args.backend in ("cluster", "par"):
+            plan = FaultPlan.seeded(
+                args.seed, fabric_shape=(args.nx, args.ny),
+                ranks=args.px * args.py,
+                dead_pes=0, lossy_links=0, router_stalls=0,
+            )
+        else:
+            plan = FaultPlan.seeded(
+                args.seed, fabric_shape=(args.nx, args.ny),
+                dead_pes=0, lossy_links=0, rank_failures=0,
+                router_stalls=1,
+            )
+            watchdog = 20_000.0
+
+    mesh = CartesianMesh3D(args.nx, args.ny, args.nz)
+    supervisor = RunSupervisor(
+        mesh, FluidProperties(),
+        policy=policy,
+        backend=args.backend,
+        px=args.px, py=args.py, workers=args.workers,
+        plan=plan,
+        watchdog_cycles=watchdog,
+        checkpoint_dir=args.checkpoint_dir,
+        postmortem_dir=(
+            None if args.postmortem == "none" else args.postmortem
+        ),
+    )
+    pressures = [
+        random_pressure(mesh, seed=args.seed + i)
+        for i in range(args.applications)
+    ]
+    print(
+        f"supervising {args.applications} application(s) on "
+        f"{args.backend} [{policy.describe()}]",
+        file=out,
+    )
+    try:
+        result = supervisor.run(pressures)
+    except SupervisorGiveUp as exc:
+        print(f"SUPERVISION FAILED: {exc}", file=sys.stderr)
+        if exc.postmortem_bundle:
+            print(
+                f"post-mortem bundle: {exc.postmortem_bundle}",
+                file=sys.stderr,
+            )
+        if exc.postmortem_timeline:
+            print(
+                f"decision timeline: {exc.postmortem_timeline}",
+                file=sys.stderr,
+            )
+        return 1
+    for event in result.timeline:
+        kind = event["event"]
+        if kind == "failure":
+            print(
+                f"  ! {event['error']} on {event['backend']} at "
+                f"application {event['step']} (attempt {event['attempt']})",
+                file=out,
+            )
+        elif kind == "restore":
+            print(
+                f"  < restored to application {event['to_step']} "
+                f"from {event['source']}",
+                file=out,
+            )
+        elif kind == "degrade":
+            print(
+                f"  v degraded {event['from']} -> {event['to']}",
+                file=out,
+            )
+        elif kind == "replay_verify":
+            print(
+                f"  = replay-verified application {event['step']} "
+                f"({event['rule']}): {'ok' if event['ok'] else 'MISMATCH'}",
+                file=out,
+            )
+    residual_norm = float(np.abs(result.residual).max())
+    print(
+        f"SUPERVISION {'RECOVERED' if result.restarts or result.degraded else 'CLEAN'}: "
+        f"{result.applications} application(s) committed on chain "
+        f"{' -> '.join(result.backend_chain)} "
+        f"({result.restarts} restart(s), {result.restores} restore(s), "
+        f"{result.checkpoints_written} checkpoint(s)); "
+        f"max|residual| {residual_norm:.6e}",
+        file=out,
+    )
+    if args.out:
+        from repro.util.jsonio import write_stable_json
+
+        path = write_stable_json(Path(args.out), result.as_dict())
+        print(f"wrote {path}", file=out)
+    return 0
 
 
 def _cmd_par_scale(args, out) -> int:
@@ -1152,6 +1372,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "supervise":
+        return _cmd_supervise(args, out)
     if args.command == "par-scale":
         return _cmd_par_scale(args, out)
     if args.command == "check":

@@ -232,16 +232,30 @@ class SimComm(HaloComm):
         payload = self._mailbox.pop(key, None)
         if payload is None and retry is not None:
             st = self.stats[dest]
+            waited = 0.0
             for attempt in range(retry.attempts):
                 st.retry_waits += 1
-                self.waited_seconds += retry.delay(attempt)
+                delay = retry.delay(attempt)
+                waited += delay
+                self.waited_seconds += delay
                 if on_missing is not None:
                     on_missing(source, dest, tag, attempt)
                 payload = self._mailbox.pop(key, None)
                 if payload is not None:
                     break
             else:
-                raise CommTimeoutError(source, dest, tag, retry.attempts)
+                raise CommTimeoutError(
+                    source,
+                    dest,
+                    tag,
+                    retry.attempts,
+                    elapsed_seconds=waited,
+                    policy={
+                        "attempts": retry.attempts,
+                        "base_delay": retry.base_delay,
+                        "multiplier": retry.multiplier,
+                    },
+                )
         if payload is None:
             raise CommTimeoutError(source, dest, tag)
         st = self.stats[dest]

@@ -22,6 +22,7 @@ importing this package from the runtime layers stays cycle-free.
 
 from repro.faults.chaos import ChaosReport, FaultOutcome, run_chaos
 from repro.faults.errors import (
+    CheckpointCorruptError,
     CommTimeoutError,
     EventBudgetError,
     FabricStallError,
@@ -30,6 +31,7 @@ from repro.faults.errors import (
     PendingLeakError,
     RankFailedError,
     WorkerCrashError,
+    WorkerLeaseExpiredError,
 )
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.plan import (
@@ -50,6 +52,8 @@ __all__ = [
     "PendingLeakError",
     "RankFailedError",
     "WorkerCrashError",
+    "WorkerLeaseExpiredError",
+    "CheckpointCorruptError",
     "FaultPlan",
     "FaultInjector",
     "FaultStats",

@@ -38,7 +38,64 @@ from repro.faults.errors import FabricStallError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, LinkFault
 
-__all__ = ["FaultOutcome", "ChaosReport", "run_chaos"]
+__all__ = ["FaultOutcome", "ChaosReport", "SCENARIOS", "run_chaos"]
+
+#: Every scenario :func:`run_chaos` can grow, with a one-line intent
+#: (``repro chaos --list`` prints this; ``--only`` validates against it).
+#: Whether a given run actually *grows* a scenario still depends on the
+#: plan contents and the ``include_*`` switches.
+SCENARIOS = {
+    "dead-pe/detect": (
+        "dead PE breaks exactly-once delivery; verification must flag it"
+    ),
+    "dead-pe/remap": (
+        "spare-column remap routes around dead PEs bit-identically"
+    ),
+    "link-drop/detect": (
+        "dropped packets leave missing neighbour columns at verification"
+    ),
+    "link-corrupt/cross-check": (
+        "silent payload corruption caught by residual cross-check"
+    ),
+    "link-delay/detect": (
+        "delayed packets surface as extra device cycles (or a stall)"
+    ),
+    "router-stall/watchdog": (
+        "stalled router must trip the progress watchdog"
+    ),
+    "rank-failure/re-exchange": (
+        "transient rank failure healed by halo re-exchange with retry"
+    ),
+    "par/worker-kill/detect": (
+        "killed worker process detected by pool exit-code reaping"
+    ),
+    "par/worker-kill/respawn": (
+        "killed worker respawned; residual bit-identical to serial run"
+    ),
+    "par/worker-hang/lease": (
+        "hung (SIGSTOP) worker caught by heartbeat lease; supervisor "
+        "restarts bit-identically"
+    ),
+    "solver/checkpoint-restart": (
+        "solver killed mid-campaign resumes bit-identically from its "
+        "checkpoint"
+    ),
+    "checkpoint/corruption": (
+        "bit-flipped checkpoint rejected by checksum; store falls back "
+        "to the previous intact one"
+    ),
+    "supervisor/transient-repeat": (
+        "repeated transient faults absorbed by bounded-loss restarts"
+    ),
+    "supervisor/crash-during-recovery": (
+        "second fault during replay-verify still recovered within the "
+        "retry budget"
+    ),
+    "supervisor/degrade-ladder": (
+        "persistently failing backend degrades down the ladder, "
+        "conformance-verified"
+    ),
+}
 
 
 @dataclass
@@ -168,6 +225,8 @@ def run_chaos(
     include_corruption: bool = True,
     include_checkpoint_drill: bool = True,
     include_par_drill: bool = True,
+    include_supervisor_drills: bool = True,
+    only=None,
     postmortem_dir: str | None = None,
 ) -> ChaosReport:
     """Run every backend under *plan* and report per-fault outcomes.
@@ -176,6 +235,10 @@ def run_chaos(
     fabric and ``px x py`` rank grid is used (1 dead PE, 1 lossy link,
     1 transient rank failure).  The same seed always reproduces the
     same plan, scenarios, and outcomes.
+
+    ``only`` restricts the run to the named scenarios (any iterable of
+    :data:`SCENARIOS` keys); unknown names raise ``ValueError`` listing
+    the valid set.  The ``include_*`` switches still apply on top.
 
     With ``postmortem_dir`` set, any failed scenario (MISSED or NOT
     INJECTED) records a replay artifact there — the healthy reference
@@ -192,6 +255,20 @@ def run_chaos(
         random_pressure,
     )
     from repro.dataflow import SpareColumnRemap, WseFluxComputation
+
+    if only is not None:
+        only = tuple(only)
+        unknown = sorted(set(only) - set(SCENARIOS))
+        if unknown:
+            raise ValueError(
+                "unknown chaos scenario(s) "
+                + ", ".join(repr(u) for u in unknown)
+                + "; valid: " + ", ".join(sorted(SCENARIOS))
+            )
+    wanted = None if only is None else set(only)
+
+    def want(name: str) -> bool:
+        return wanted is None or name in wanted
 
     if plan is None:
         plan = FaultPlan.seeded(seed, fabric_shape=(nx, ny), ranks=px * py)
@@ -217,9 +294,10 @@ def run_chaos(
     # Dead PEs: detection (missing deliveries), then spare-column
     # recovery with a bit-identity check against the healthy fabric.
     # ---------------------------------------------------------------- #
-    if plan.dead_pes:
+    if plan.dead_pes and (want("dead-pe/detect") or want("dead-pe/remap")):
         label = ", ".join(str(d.coord) for d in plan.dead_pes)
         sub = FaultPlan(seed=plan.seed, dead_pes=plan.dead_pes)
+    if plan.dead_pes and want("dead-pe/detect"):
         injector = FaultInjector(sub)
         try:
             wse(faults=injector).run_single(pressure)
@@ -237,6 +315,7 @@ def run_chaos(
             )
         )
 
+    if plan.dead_pes and want("dead-pe/remap"):
         try:
             remap = SpareColumnRemap.around_dead_pes(
                 (nx, ny), [d.coord for d in plan.dead_pes]
@@ -277,7 +356,7 @@ def run_chaos(
     def link_label(faults) -> str:
         return ", ".join(f"{lf.coord}->{lf.port.name}" for lf in faults)
 
-    if drops:
+    if drops and want("link-drop/detect"):
         injector = FaultInjector(FaultPlan(seed=plan.seed, link_faults=drops))
         try:
             wse(faults=injector).run_single(pressure)
@@ -295,7 +374,7 @@ def run_chaos(
             )
         )
 
-    if corrupts:
+    if corrupts and want("link-corrupt/cross-check"):
         injector = FaultInjector(FaultPlan(seed=plan.seed, link_faults=corrupts))
         benign = False
         try:
@@ -327,7 +406,7 @@ def run_chaos(
             )
         )
 
-    if delays:
+    if delays and want("link-delay/detect"):
         injector = FaultInjector(FaultPlan(seed=plan.seed, link_faults=delays))
         benign = False
         try:
@@ -359,7 +438,7 @@ def run_chaos(
     # ---------------------------------------------------------------- #
     # Router stalls: the progress watchdog must fire with a stall report.
     # ---------------------------------------------------------------- #
-    if plan.router_stalls:
+    if plan.router_stalls and want("router-stall/watchdog"):
         label = ", ".join(str(st.coord) for st in plan.router_stalls)
         injector = FaultInjector(
             FaultPlan(seed=plan.seed, router_stalls=plan.router_stalls)
@@ -388,7 +467,7 @@ def run_chaos(
     # Transient rank failures: halo re-exchange with retry must recover
     # and the residual must still match the reference kernel.
     # ---------------------------------------------------------------- #
-    if plan.rank_failures:
+    if plan.rank_failures and want("rank-failure/re-exchange"):
         label = ", ".join(str(rf.rank) for rf in plan.rank_failures)
         reference = compute_flux_residual(mesh, fluid, pressure, trans)
         injector = FaultInjector(plan.only_ranks())
@@ -423,7 +502,12 @@ def run_chaos(
     # now terminates a *real* worker process (os._exit) — the pool must
     # detect the death and, with respawn on, recover bit-identically.
     # ---------------------------------------------------------------- #
-    if include_par_drill and plan.rank_failures:
+    par_scenarios_wanted = (
+        want("par/worker-kill/detect")
+        or want("par/worker-kill/respawn")
+        or want("par/worker-hang/lease")
+    )
+    if include_par_drill and plan.rank_failures and par_scenarios_wanted:
         from repro.faults.errors import WorkerCrashError
         from repro.par.flux import ParClusterFluxComputation
         from repro.par.worker import KILL_EXIT_CODE
@@ -439,6 +523,10 @@ def run_chaos(
             list(par_pressures)
         )
 
+    if (
+        include_par_drill and plan.rank_failures
+        and want("par/worker-kill/detect")
+    ):
         try:
             with ParClusterFluxComputation(
                 mesh, fluid, px=px, py=py, workers=px * py,
@@ -468,6 +556,10 @@ def run_chaos(
             )
         )
 
+    if (
+        include_par_drill and plan.rank_failures
+        and want("par/worker-kill/respawn")
+    ):
         try:
             with ParClusterFluxComputation(
                 mesh, fluid, px=px, py=py, workers=px * py,
@@ -497,10 +589,63 @@ def run_chaos(
         )
 
     # ---------------------------------------------------------------- #
+    # Hung worker: the planned rank failure now SIGSTOPs its process
+    # instead of exiting — only the heartbeat lease can see it.  The
+    # supervisor must detect the expired lease, kill/restart the pool,
+    # and resume bit-identically from its checkpoint.
+    # ---------------------------------------------------------------- #
+    if (
+        include_par_drill and plan.rank_failures
+        and want("par/worker-hang/lease")
+    ):
+        from repro.resilience import ResiliencePolicy, RunSupervisor
+
+        hang_policy = ResiliencePolicy(
+            max_restarts=1, backoff_base=0.0, backoff_jitter=0.0,
+            seed=plan.seed, checkpoint_every=1, lease_seconds=0.75,
+        )
+        sup = RunSupervisor(
+            mesh, fluid, policy=hang_policy, backend="par",
+            px=px, py=py, workers=px * py, plan=rank_plan,
+            failure_mode="hang",
+        )
+        try:
+            res = sup.run(list(par_pressures))
+            lease_hits = sum(
+                e.get("error") == "WorkerLeaseExpiredError"
+                for e in res.timeline if e["event"] == "failure"
+            )
+            detected = lease_hits > 0
+            recovered = detected and bool(
+                np.array_equal(res.residual, serial_ref.residual)
+            )
+            detail = (
+                f"{lease_hits} lease expiry(ies), {res.restarts} "
+                "restart(s); residual "
+                + ("bit-identical to serial cluster backend"
+                   if recovered else "DIFFERS")
+            )
+        except RuntimeError as exc:
+            detected, recovered, detail = True, False, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="par/worker-hang/lease",
+                fault=f"hung (SIGSTOP) worker process of rank(s) {label}",
+                injected=detected,
+                detected=detected,
+                recovered=recovered,
+                detail=detail,
+            )
+        )
+
+    # ---------------------------------------------------------------- #
     # Checkpoint/restart drill: kill the implicit solver mid-campaign,
     # resume from its last checkpoint, demand a bit-identical trajectory.
     # ---------------------------------------------------------------- #
-    if include_checkpoint_drill and steps >= 2:
+    if (
+        include_checkpoint_drill and steps >= 2
+        and want("solver/checkpoint-restart")
+    ):
         from repro.solver import CheckpointStore, SinglePhaseFlowSimulator, Well
 
         def make_sim():
@@ -539,6 +684,230 @@ def run_chaos(
                         else "trajectory DIFFERS from uninterrupted run"
                     )
                 ),
+            )
+        )
+
+    # ---------------------------------------------------------------- #
+    # Checkpoint corruption: bit-flip the newest on-disk checkpoint; the
+    # checksum must reject it and the store must fall back to the
+    # previous intact file with the exact state it saved.
+    # ---------------------------------------------------------------- #
+    if include_checkpoint_drill and want("checkpoint/corruption"):
+        import tempfile
+
+        from repro.faults.errors import CheckpointCorruptError
+        from repro.solver import Checkpoint, CheckpointStore
+
+        intact = random_pressure(mesh, seed=plan.seed + 31)
+        newest = random_pressure(mesh, seed=plan.seed + 32)
+        with tempfile.TemporaryDirectory() as tmp:
+            disk = CheckpointStore(tmp, keep=2)
+            disk.save(Checkpoint(step=1, time=1.0, pressure=intact))
+            disk.save(Checkpoint(step=2, time=2.0, pressure=newest))
+            target = sorted(Path(tmp).glob("checkpoint_*.npz"))[-1]
+            blob = bytearray(target.read_bytes())
+            # flip inside the pressure entry's payload (always
+            # integrity-covered; zip local-header slack is not)
+            blob[blob.index(b"pressure.npy") + 150] ^= 0x40
+            target.write_bytes(bytes(blob))
+            try:
+                Checkpoint.load(target)
+                detected, reason = False, "corrupt checkpoint loaded silently"
+            except CheckpointCorruptError as exc:
+                # category only: the mismatch digests would be
+                # content-dependent noise in the seeded report
+                detected, reason = True, exc.reason.split(" (")[0]
+            survivors = CheckpointStore.open(tmp, keep=2)
+            latest = survivors.latest()
+            recovered = (
+                detected
+                and len(survivors.corrupt) == 1
+                and latest is not None
+                and latest.step == 1
+                and np.array_equal(
+                    np.asarray(latest.pressure),
+                    np.asarray(intact, dtype=np.float64),
+                )
+            )
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="checkpoint/corruption",
+                fault="bit flip in newest on-disk checkpoint",
+                injected=True,
+                detected=detected,
+                recovered=recovered,
+                detail=(
+                    f"load rejected ({reason}); store "
+                    + ("quarantined 1 corrupt file and fell back to the "
+                       "intact checkpoint at step 1, state bit-identical"
+                       if recovered else "FAILED to fall back intact")
+                ),
+            )
+        )
+
+    # ---------------------------------------------------------------- #
+    # Supervisor drills: compound faults against the resilience layer —
+    # repeated transients, a crash during recovery itself, and a
+    # persistent backend failure that must degrade down the ladder.
+    # ---------------------------------------------------------------- #
+    if include_supervisor_drills and (
+        want("supervisor/transient-repeat")
+        or want("supervisor/crash-during-recovery")
+    ):
+        from repro.faults.errors import CommTimeoutError
+        from repro.obs.replay import digest_array
+        from repro.resilience import ResiliencePolicy, RunSupervisor
+
+        sup_pressures = [
+            random_pressure(mesh, seed=plan.seed + 10 + i) for i in range(3)
+        ]
+        sup_reference = [
+            digest_array(wse().run_single(p).residual) for p in sup_pressures
+        ]
+        sup_policy = ResiliencePolicy(
+            max_restarts=2, backoff_base=0.0, backoff_jitter=0.0,
+            seed=plan.seed, checkpoint_every=1,
+        )
+
+        def flaky_event_factory(fail_calls):
+            calls = {"n": 0}
+
+            def factory(backend, attempt):
+                drv = wse()
+
+                def run_single(p):
+                    calls["n"] += 1
+                    if calls["n"] in fail_calls:
+                        raise CommTimeoutError(
+                            0, 1, calls["n"], 3,
+                            policy={"attempts": 3},
+                        )
+                    return drv.run_single(p).residual
+
+                return run_single, (lambda: None)
+
+            return factory
+
+        def supervisor_drill(scenario, fault, fail_calls):
+            sup = RunSupervisor(
+                mesh, fluid, policy=sup_policy, backend="event",
+                driver_factory=flaky_event_factory(fail_calls),
+            )
+            try:
+                res = sup.run(list(sup_pressures))
+                failures = sum(
+                    e["event"] == "failure" for e in res.timeline
+                )
+                detected = failures == len(fail_calls)
+                recovered = detected and all(
+                    s["residual_sha256"] == ref
+                    for s, ref in zip(res.steps, sup_reference)
+                )
+                detail = (
+                    f"{failures} injected timeout(s), {res.restarts} "
+                    f"restart(s), {res.restores} restore(s); "
+                    + ("all 3 residual digests bit-identical to the "
+                       "uninterrupted run" if recovered
+                       else "residual digests DIFFER")
+                )
+            except RuntimeError as exc:
+                detected, recovered, detail = True, False, _first_line(exc)
+            report.outcomes.append(
+                FaultOutcome(
+                    scenario=scenario,
+                    fault=fault,
+                    injected=True,
+                    detected=detected,
+                    recovered=recovered,
+                    detail=detail,
+                )
+            )
+
+        if want("supervisor/transient-repeat"):
+            # both fault-free attempts at application 1 die: two full
+            # detect -> backoff -> restore -> replay-verify cycles
+            supervisor_drill(
+                "supervisor/transient-repeat",
+                "comm timeout on applications 1 of attempts 0 and 1",
+                fail_calls={2, 4},
+            )
+        if want("supervisor/crash-during-recovery"):
+            # the second fault lands on the restart's replay-verify of
+            # the checkpointed application — recovery itself crashes
+            supervisor_drill(
+                "supervisor/crash-during-recovery",
+                "comm timeout at application 1, again during replay-verify",
+                fail_calls={2, 3},
+            )
+
+    if include_supervisor_drills and want("supervisor/degrade-ladder"):
+        from repro.dataflow.lockstep import LockstepWseSimulation
+        from repro.faults.errors import CommTimeoutError
+        from repro.gpu.reference import GpuFluxComputation
+        from repro.resilience import ResiliencePolicy, RunSupervisor
+
+        ladder_pressures = [
+            random_pressure(mesh, seed=plan.seed + 20 + i) for i in range(3)
+        ]
+        lockstep_ref = LockstepWseSimulation(
+            mesh, fluid, dtype=np.float64
+        ).run([ladder_pressures[-1]])
+        gpu_calls = {"n": 0}
+
+        def ladder_factory(backend, attempt):
+            if backend == "gpu":
+                drv = GpuFluxComputation(mesh, fluid, dtype=np.float64)
+
+                def run_single(p):
+                    gpu_calls["n"] += 1
+                    if gpu_calls["n"] >= 2:
+                        # persistent failure: every call after the first
+                        # committed application dies
+                        raise CommTimeoutError(0, 1, 9, 1)
+                    return drv.run_single(p).residual
+
+                return run_single, (lambda: None)
+            drv = LockstepWseSimulation(mesh, fluid, dtype=np.float64)
+            return (lambda p: drv.run([p])), (lambda: None)
+
+        sup = RunSupervisor(
+            mesh, fluid, backend="gpu",
+            policy=ResiliencePolicy(
+                max_restarts=1, backoff_base=0.0, backoff_jitter=0.0,
+                seed=plan.seed, checkpoint_every=1,
+                ladder=("gpu", "lockstep"),
+            ),
+            driver_factory=ladder_factory,
+        )
+        try:
+            res = sup.run(list(ladder_pressures))
+            verified = any(
+                e["event"] == "replay_verify"
+                and e["mode"] == "tolerance" and e["ok"]
+                for e in res.timeline
+            )
+            detected = res.backend_chain == ["gpu", "lockstep"]
+            recovered = (
+                detected and verified
+                and bool(np.array_equal(res.residual, lockstep_ref))
+            )
+            detail = (
+                f"chain {' -> '.join(res.backend_chain)} after "
+                f"{res.restarts} restart(s); fallback "
+                + ("conformance-verified against the gpu checkpoint; "
+                   "finish bit-identical to a pure lockstep run"
+                   if recovered else "FAILED verification")
+            )
+        except RuntimeError as exc:
+            detected, recovered, detail = True, False, _first_line(exc)
+        report.outcomes.append(
+            FaultOutcome(
+                scenario="supervisor/degrade-ladder",
+                fault="persistent gpu-model failure after first application",
+                injected=True,
+                detected=detected,
+                recovered=recovered,
+                detail=detail,
             )
         )
 

@@ -22,6 +22,8 @@ __all__ = [
     "PendingLeakError",
     "RankFailedError",
     "WorkerCrashError",
+    "WorkerLeaseExpiredError",
+    "CheckpointCorruptError",
 ]
 
 
@@ -99,18 +101,45 @@ class CommTimeoutError(FaultError):
 
     ``attempts`` is the number of retry attempts made (0 when no retry
     policy was in effect — the legacy immediate-deadlock path).
+    ``elapsed_seconds`` and ``policy`` carry the wall time burned and
+    the active retry/backoff parameters so supervisor timelines and
+    post-mortems explain *why* detection fired; both stay out of the
+    message so chaos reports remain byte-identical across runs.
     """
 
-    def __init__(self, source: int, dest: int, tag: int, attempts: int = 0) -> None:
+    def __init__(
+        self,
+        source: int,
+        dest: int,
+        tag: int,
+        attempts: int = 0,
+        *,
+        elapsed_seconds: float = 0.0,
+        policy: dict | None = None,
+    ) -> None:
         self.source = source
         self.dest = dest
         self.tag = tag
         self.attempts = attempts
+        self.elapsed_seconds = float(elapsed_seconds)
+        self.policy = dict(policy) if policy else {}
         suffix = f" after {attempts} retries" if attempts else ""
         super().__init__(
             f"recv would deadlock: no message from rank {source} to "
             f"rank {dest} with tag {tag}{suffix}"
         )
+
+    def as_dict(self) -> dict:
+        """Machine-readable detection context for timelines/post-mortems."""
+        return {
+            "error": "CommTimeoutError",
+            "source": self.source,
+            "dest": self.dest,
+            "tag": self.tag,
+            "attempts": self.attempts,
+            "elapsed_seconds": self.elapsed_seconds,
+            "policy": dict(self.policy),
+        }
 
 
 class PendingLeakError(FaultError):
@@ -150,15 +179,29 @@ class WorkerCrashError(FaultError):
         ``(worker_index, pid, exitcode, ranks)`` per dead worker.
     phase:
         What the pool was waiting on when the crash surfaced.
+    elapsed_seconds:
+        Wall time the pool spent waiting before the crash surfaced
+        (kept out of the message so chaos reports stay byte-stable).
+    attempt:
+        Which respawn generation was running when the crash surfaced.
+    policy:
+        The active liveness/polling parameters (slice length, budget).
     """
 
     def __init__(
         self,
         crashed: list[tuple[int, int, int | None, tuple[int, ...]]],
         phase: str = "",
+        *,
+        elapsed_seconds: float = 0.0,
+        attempt: int = 0,
+        policy: dict | None = None,
     ) -> None:
         self.crashed = list(crashed)
         self.phase = phase
+        self.elapsed_seconds = float(elapsed_seconds)
+        self.attempt = int(attempt)
+        self.policy = dict(policy) if policy else {}
         where = f" during {phase}" if phase else ""
         desc = ", ".join(
             f"worker {idx} (pid {pid}, exit {code}, ranks {list(ranks)})"
@@ -167,3 +210,86 @@ class WorkerCrashError(FaultError):
         super().__init__(
             f"{len(self.crashed)} SPMD worker(s) died{where}: {desc}"
         )
+
+    def as_dict(self) -> dict:
+        """Machine-readable detection context for timelines/post-mortems."""
+        return {
+            "error": type(self).__name__,
+            "crashed": [
+                {
+                    "worker": idx,
+                    "pid": pid,
+                    "exitcode": code,
+                    "ranks": list(ranks),
+                }
+                for idx, pid, code, ranks in self.crashed
+            ],
+            "phase": self.phase,
+            "elapsed_seconds": self.elapsed_seconds,
+            "attempt": self.attempt,
+            "policy": dict(self.policy),
+        }
+
+
+class WorkerLeaseExpiredError(WorkerCrashError):
+    """A worker is alive but its heartbeat lease expired (hung worker).
+
+    Subclasses :class:`WorkerCrashError` so every existing respawn path
+    treats a hung-but-alive worker (e.g. SIGSTOP'd, wedged in a
+    syscall) exactly like a dead one — the supervisor kills and
+    respawns it.  ``crashed`` entries carry ``exitcode=None`` because
+    the process has not exited.
+
+    Attributes
+    ----------
+    lease_seconds:
+        The configured heartbeat lease that expired.
+    """
+
+    def __init__(
+        self,
+        crashed: list[tuple[int, int, int | None, tuple[int, ...]]],
+        phase: str = "",
+        *,
+        lease_seconds: float = 0.0,
+        elapsed_seconds: float = 0.0,
+        attempt: int = 0,
+        policy: dict | None = None,
+    ) -> None:
+        super().__init__(
+            crashed,
+            phase,
+            elapsed_seconds=elapsed_seconds,
+            attempt=attempt,
+            policy=policy,
+        )
+        self.lease_seconds = float(lease_seconds)
+        # rebuild the message: these workers are hung, not dead
+        where = f" during {phase}" if phase else ""
+        desc = ", ".join(
+            f"worker {idx} (pid {pid}, ranks {list(ranks)})"
+            for idx, pid, _code, ranks in self.crashed
+        )
+        self.args = (
+            f"{len(self.crashed)} SPMD worker(s) exceeded heartbeat "
+            f"lease{where} (hung, not dead): {desc}",
+        )
+
+    def as_dict(self) -> dict:
+        doc = super().as_dict()
+        doc["lease_seconds"] = self.lease_seconds
+        return doc
+
+
+class CheckpointCorruptError(FaultError):
+    """A checkpoint file failed its integrity check on load.
+
+    Raised instead of letting a truncated or bit-flipped ``.npz``
+    surface as an opaque numpy/zipfile error; the supervisor catches
+    this and falls back to the previous checkpoint.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"corrupt checkpoint {self.path}: {reason}")

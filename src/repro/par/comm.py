@@ -67,6 +67,11 @@ class ProcComm(HaloComm):
         Receive spin shape: ``busy_spins`` hot polls, then sleeping
         polls of ``sleep_seconds`` each, at most ``max_sleeps`` of them
         (the deadlock timeout, ~20 s at the defaults).
+    heartbeat:
+        Optional zero-arg callable bumped periodically inside the
+        sleeping spin loop, so a worker blocked in ``recv`` still
+        advances its shared-arena heartbeat counters and is not
+        mistaken for hung by the parent's lease check.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class ProcComm(HaloComm):
         busy_spins: int = 200,
         sleep_seconds: float = 5e-5,
         max_sleeps: int = 400_000,
+        heartbeat=None,
     ) -> None:
         self.layout = layout
         self.arena = arena
@@ -91,6 +97,7 @@ class ProcComm(HaloComm):
         self.busy_spins = int(busy_spins)
         self.sleep_seconds = float(sleep_seconds)
         self.max_sleeps = int(max_sleeps)
+        self.heartbeat = heartbeat
         #: Completed exchanges; publication value for the current one
         #: is ``_exchange + 1``, in parity slot ``_exchange % 2``.
         self._exchange = int(start_exchange)
@@ -168,16 +175,32 @@ class ProcComm(HaloComm):
             if int(self.arena.seq(key, parity)) >= want:
                 found = True
                 break
+        sleeps = 0
         if not found:
-            for _ in range(self.max_sleeps):
+            for sleeps in range(1, self.max_sleeps + 1):
                 if int(self.arena.seq(key, parity)) >= want:
                     found = True
                     break
                 st.retry_waits += 1
+                if self.heartbeat is not None and sleeps % 64 == 0:
+                    # still alive, just waiting: keep the lease fresh
+                    self.heartbeat()
                 time.sleep(self.sleep_seconds)
-        self.waited_seconds += (time.perf_counter_ns() - t0) / 1e9
+        elapsed = (time.perf_counter_ns() - t0) / 1e9
+        self.waited_seconds += elapsed
         if not found:
-            raise CommTimeoutError(source, dest, tag)
+            raise CommTimeoutError(
+                source,
+                dest,
+                tag,
+                sleeps,
+                elapsed_seconds=elapsed,
+                policy={
+                    "busy_spins": self.busy_spins,
+                    "sleep_seconds": self.sleep_seconds,
+                    "max_sleeps": self.max_sleeps,
+                },
+            )
         if int(self.arena.seq(key, parity)) != want:
             raise RuntimeError(
                 f"sequence skew on {key}: parity-{parity} header at "

@@ -158,6 +158,17 @@ class ParClusterFluxComputation:
         a single core the spin-vs-compute contention plus the thin
         boundary-slab kernel launches cost more than they save.  The
         residual is bit-identical either way.
+    lease_seconds:
+        Heartbeat lease for hung-worker detection: when set, a live
+        worker whose shared-arena heartbeat counter stalls for this long
+        while the parent is waiting on it raises
+        :class:`~repro.faults.errors.WorkerLeaseExpiredError` — which
+        subclasses :class:`WorkerCrashError`, so ``respawn=True``
+        recovers from a SIGSTOP'd worker exactly like a dead one.
+    failure_mode:
+        How injected rank failures manifest in workers: ``"exit"``
+        (real crash) or ``"hang"`` (SIGSTOP — detectable only through
+        the heartbeat lease).
     """
 
     def __init__(
@@ -177,6 +188,8 @@ class ParClusterFluxComputation:
         record_spans: bool = True,
         overlap: bool | None = None,
         record=None,
+        lease_seconds: float | None = None,
+        failure_mode: str = "exit",
     ) -> None:
         self.mesh = mesh
         self.fluid = fluid
@@ -202,6 +215,14 @@ class ParClusterFluxComputation:
         self.max_respawns = int(max_respawns)
         self.timeout_seconds = float(timeout_seconds)
         self.record_spans = bool(record_spans)
+        if failure_mode not in ("exit", "hang"):
+            raise ValueError(
+                f"failure_mode must be 'exit' or 'hang', got {failure_mode!r}"
+            )
+        self.failure_mode = failure_mode
+        self.lease_seconds = (
+            float(lease_seconds) if lease_seconds is not None else None
+        )
         if overlap is None:
             overlap = self.workers > 1 and available_cpus() > 1
         self.overlap = bool(overlap)
@@ -259,9 +280,15 @@ class ParClusterFluxComputation:
                     attempt_offset=attempt_offset,
                     record_spans=self.record_spans,
                     overlap=self.overlap,
+                    failure_mode=self.failure_mode,
                 )
             )
         return specs
+
+    def _liveness(self, worker_index: int) -> int:
+        """Sum of a worker's ranks' heartbeat counters (lease probe)."""
+        lo, hi = self.rank_split[worker_index]
+        return sum(self._arena.heartbeat(r) for r in range(lo, hi))
 
     def _ensure_pool(self) -> None:
         if self._arena is None:
@@ -272,7 +299,12 @@ class ParClusterFluxComputation:
                 # workers come warm from the process-wide reservoir;
                 # setup ships the specs and runs the per-rank state
                 # build in parallel across them
-                self._pool = ProcPool(self._specs())
+                self._pool = ProcPool(
+                    self._specs(),
+                    liveness=self._liveness,
+                    lease_seconds=self.lease_seconds,
+                    attempt=self._respawns,
+                )
             except BaseException:
                 # nothing usable was set up — release the segment now
                 # instead of leaking it until interpreter exit
@@ -293,7 +325,12 @@ class ParClusterFluxComputation:
         self._pool.terminate()
         self._respawns += 1
         self._arena.reset_seqs(self._exchanges_done)
-        self._pool = ProcPool(self._specs(attempt_offset=self._respawns))
+        self._pool = ProcPool(
+            self._specs(attempt_offset=self._respawns),
+            liveness=self._liveness,
+            lease_seconds=self.lease_seconds,
+            attempt=self._respawns,
+        )
         self._cum = [
             dict.fromkeys(_COUNTERS, 0) for _ in range(self.grid.size)
         ]

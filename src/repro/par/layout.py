@@ -12,6 +12,11 @@ segment holds, in order:
   scattering from;
 * the global **residual** field (each worker writes its ranks' owned
   blocks — disjoint regions, so no locking is needed);
+* one **heartbeat** counter per rank (``uint64``): workers bump their
+  ranks' counters at every phase boundary (and periodically inside
+  recv spin loops), and the parent's lease-liveness check reads them to
+  tell a *hung* worker from a merely slow one — a stalled counter past
+  the lease is treated like a crash;
 * **two parity slots** per directed halo link, in the canonical
   :func:`~repro.cluster.flux.halo_links` order.  Each parity slot is an
   8-byte sequence header followed by the strip payload; exchange ``k``
@@ -94,7 +99,10 @@ class HaloLayout:
         field_bytes = nz * ny * nx * self.dtype.itemsize
         self.pressure_offsets = (0, _align8(field_bytes))
         self.residual_offset = _align8(self.pressure_offsets[1] + field_bytes)
-        offset = _align8(self.residual_offset + field_bytes)
+        # one uint64 heartbeat counter per rank, after the residual field
+        self.heartbeat_offset = _align8(self.residual_offset + field_bytes)
+        heartbeat_bytes = self.px * self.py * SEQ_BYTES
+        offset = _align8(self.heartbeat_offset + heartbeat_bytes)
         slots: list[LinkSlot] = []
         for link in links:
             payload_bytes = link.cells(nz) * self.dtype.itemsize

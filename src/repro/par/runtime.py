@@ -38,7 +38,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 
-from repro.faults.errors import WorkerCrashError
+from repro.faults.errors import WorkerCrashError, WorkerLeaseExpiredError
 from repro.par.worker import WorkerSpec, worker_main
 
 __all__ = [
@@ -86,6 +86,12 @@ class _Handle:
         if self.proc.is_alive():
             self.proc.terminate()
         self.proc.join(timeout=2.0)
+        if self.proc.is_alive():
+            # SIGTERM cannot kill a SIGSTOP'd (hung) worker — the signal
+            # stays pending while the process is stopped.  Escalate to
+            # SIGKILL, which is delivered regardless.
+            self.proc.kill()
+            self.proc.join(timeout=2.0)
         try:
             self.conn.close()
         except OSError:  # pragma: no cover
@@ -201,11 +207,21 @@ class ProcPool:
         *,
         reservoir: WarmPool | None = None,
         setup_timeout_seconds: float = 120.0,
+        liveness=None,
+        lease_seconds: float | None = None,
+        attempt: int = 0,
     ) -> None:
         self.specs = list(specs)
         self._reservoir = reservoir if reservoir is not None else warm_pool()
         self.handles: list[_Handle] = []
         self._released = False
+        #: ``liveness(worker_index) -> int`` reads the worker's shared
+        #: heartbeat counter; with ``lease_seconds`` set, a live worker
+        #: whose counter stalls for a full lease of poll passes is
+        #: reported as :class:`WorkerLeaseExpiredError` (hung, not dead).
+        self._liveness = liveness
+        self._lease_seconds = lease_seconds
+        self._attempt = int(attempt)
         try:
             self.handles = self._reservoir.lease(len(self.specs))
             for spec, handle in zip(self.specs, self.handles):
@@ -277,7 +293,24 @@ class ProcPool:
         # a fixed slice count, not a wall-clock deadline: deterministic
         # control flow, and each slice doubles as a liveness check
         budget = max(1, int(timeout_seconds / POLL_SLICE_SECONDS))
-        for _ in range(budget):
+        # heartbeat-lease bookkeeping: last observed counter and how
+        # many consecutive poll passes it has been stale, per worker
+        lease_passes = None
+        # the lease only governs application phases: during setup a
+        # worker legitimately computes for a long stretch (mesh slicing,
+        # transmissibility build) without touching the arena
+        if (self._liveness is not None and self._lease_seconds is not None
+                and phase != "setup"):
+            lease_passes = max(1, int(self._lease_seconds
+                                      / POLL_SLICE_SECONDS))
+            last_beat = [None] * self.size
+            stale = [0] * self.size
+        policy = {
+            "poll_slice_seconds": POLL_SLICE_SECONDS,
+            "timeout_seconds": timeout_seconds,
+            "lease_seconds": self._lease_seconds,
+        }
+        for passes in range(1, budget + 1):
             waiting = False
             for i, handle in enumerate(self.handles):
                 if got[i]:
@@ -306,11 +339,38 @@ class ProcPool:
                     )
                 bodies[i] = body
                 got[i] = True
+            elapsed = passes * POLL_SLICE_SECONDS
             dead = [
                 entry for entry in self.dead_workers() if not got[entry[0]]
             ]
             if dead:
-                raise WorkerCrashError(dead, phase)
+                raise WorkerCrashError(
+                    dead, phase, elapsed_seconds=elapsed,
+                    attempt=self._attempt, policy=policy,
+                )
+            if lease_passes is not None:
+                expired = []
+                for i, handle in enumerate(self.handles):
+                    if got[i]:
+                        continue
+                    beat = self._liveness(i)
+                    if beat != last_beat[i]:
+                        last_beat[i] = beat
+                        stale[i] = 0
+                    else:
+                        stale[i] += 1
+                    if stale[i] >= lease_passes:
+                        expired.append(
+                            (i, handle.proc.pid, None,
+                             tuple(self.specs[i].ranks))
+                        )
+                if expired:
+                    raise WorkerLeaseExpiredError(
+                        expired, phase,
+                        lease_seconds=self._lease_seconds,
+                        elapsed_seconds=elapsed,
+                        attempt=self._attempt, policy=policy,
+                    )
             if not waiting:
                 return bodies
         missing = [

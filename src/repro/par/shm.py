@@ -78,6 +78,12 @@ class SharedArena:
             (nz, ny, nx), dtype=layout.dtype, buffer=buf,
             offset=layout.residual_offset,
         )
+        #: Per-rank liveness counters (workers bump; parent reads).
+        #: Zero-initialized by the OS on create.
+        self.heartbeats = np.ndarray(
+            (layout.size,), dtype=np.uint64, buffer=buf,
+            offset=layout.heartbeat_offset,
+        )
         self._seqs: dict[tuple[int, int, int], tuple[np.ndarray, ...]] = {}
         self._payloads: dict[tuple[int, int, int], tuple[np.ndarray, ...]] = {}
         for slot in layout.slots:
@@ -141,6 +147,22 @@ class SharedArena:
         """The :class:`LinkSlot` backing ``key`` ``(source, dest, tag)``."""
         return self.layout.slot(*key)
 
+    # ------------------------------------------------------------------ #
+    def heartbeat(self, rank: int) -> int:
+        """Current heartbeat counter of *rank* (parent-side liveness read)."""
+        return int(self.heartbeats[rank])
+
+    def bump_heartbeats(self, ranks) -> None:
+        """Increment the heartbeat counters of *ranks* (worker-side).
+
+        A torn read on the parent side is harmless: any observed change
+        proves liveness, and uint64 wraparound takes longer than the
+        universe.  Plain numpy stores are single 8-byte writes on every
+        platform we run on.
+        """
+        for rank in ranks:
+            self.heartbeats[rank] += np.uint64(1)
+
     def reset_seqs(self, completed: int = 0) -> None:
         """Repair every link header to the state after ``completed``
         fully finished exchanges.
@@ -172,6 +194,7 @@ class SharedArena:
         self._payloads = {}
         self._pressures = ()
         self.residual = None
+        self.heartbeats = None
         if self._finalizer is not None:
             self._finalizer()  # close + unlink, idempotent
             return

@@ -48,6 +48,7 @@ simulated flag, has to notice.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass
 
@@ -90,6 +91,10 @@ class WorkerSpec:
     #: Die with ``os._exit(KILL_EXIT_CODE)`` when the plan downs one of
     #: our ranks (a *real* crashed process, not a dropped send).
     kill_for_real: bool = False
+    #: How an injected failure manifests: ``"exit"`` is a real crash
+    #: (``os._exit``); ``"hang"`` SIGSTOPs the process instead — alive
+    #: but frozen, detectable only by the parent's heartbeat lease.
+    failure_mode: str = "exit"
     #: Completed exchanges to resume from (respawn after a crash).
     start_exchange: int = 0
     #: ``begin_retry`` calls to replay on the first application so a
@@ -226,6 +231,7 @@ class _AppRuntime:
             ranks=spec.ranks,
             faults=self.injector,
             start_exchange=spec.start_exchange,
+            heartbeat=self._beat,
         )
         # canonical halo_links order restricted to this worker's endpoints
         self.out_links = [
@@ -239,6 +245,10 @@ class _AppRuntime:
         self.applications = 0
 
     # ------------------------------------------------------------------ #
+    def _beat(self) -> None:
+        """Bump this worker's ranks' shared heartbeat counters."""
+        self.arena.bump_heartbeats(self.spec.ranks)
+
     def run_application(self, conn) -> None:
         """One overlapped flux application; replies ``("ok", payload)``."""
         spec = self.spec
@@ -250,9 +260,15 @@ class _AppRuntime:
             if spec.kill_for_real and any(
                 self.injector.rank_down(r) for r in spec.ranks
             ):
-                # a real crash: no reply, no cleanup — the parent's
-                # liveness checks must detect and recover
-                os._exit(KILL_EXIT_CODE)
+                if spec.failure_mode == "hang":
+                    # hung, not dead: freeze mid-application without a
+                    # reply — only the parent's heartbeat lease (not the
+                    # exitcode poll) can tell this from a slow worker
+                    os.kill(os.getpid(), signal.SIGSTOP)
+                else:
+                    # a real crash: no reply, no cleanup — the parent's
+                    # liveness checks must detect and recover
+                    os._exit(KILL_EXIT_CODE)
 
         if self.recorder is not None:
             self.recorder.clear()
@@ -269,6 +285,7 @@ class _AppRuntime:
                 :, block.y0 : block.y1, block.x0 : block.x1
             ]
         t_scatter = time.perf_counter_ns()
+        self._beat()
         _record(self.recorder, "par.scatter", t_app0, t_scatter,
                 worker=spec.index)
 
@@ -281,6 +298,7 @@ class _AppRuntime:
             ]
             self.comm.isend(link.source, link.dest, link.tag, strip)
         t_publish = time.perf_counter_ns()
+        self._beat()
         _record(self.recorder, "par.publish", t_scatter, t_publish,
                 worker=spec.index)
 
@@ -303,6 +321,7 @@ class _AppRuntime:
                 "compute_ns": time.perf_counter_ns() - t_c0,
             }
         t_interior = time.perf_counter_ns()
+        self._beat()
         _record(self.recorder, "par.compute.interior", t_publish, t_interior,
                 worker=spec.index)
 
@@ -320,6 +339,7 @@ class _AppRuntime:
                 state["kernel"].density_box(state["pressure"], box,
                                             out=state["rho"])
         self.comm.complete_exchange()
+        self._beat()
         t_absorb = time.perf_counter_ns()
         exchange_ns = (t_publish - t_scatter) + (t_absorb - t_interior)
         _record(self.recorder, "par.absorb", t_interior, t_absorb,
@@ -346,6 +366,7 @@ class _AppRuntime:
                     worker=spec.index, rank=state["rank"])
 
         self.applications += 1
+        self._beat()
         payload = {
             "pid": os.getpid(),
             "worker": spec.index,

@@ -1,0 +1,38 @@
+"""Policy-driven self-healing runs (`repro.resilience`).
+
+The composition layer over the robustness primitives the earlier
+subsystems shipped: fault *detection* (`repro.faults` structured
+errors, the par runtime's crash/heartbeat liveness), *state capture*
+(`repro.solver.checkpoint`), and *proof of equivalence*
+(`repro.conform` tolerance classes, `repro.obs.replay` artifacts) —
+driven end to end by one :class:`RunSupervisor` executing a
+:class:`ResiliencePolicy`:
+
+* bounded-loss restart from the newest intact checkpoint (corrupt
+  checkpoints are checksum-detected and skipped),
+* jittered-exponential retry budgets, seeded for reproducibility,
+* heartbeat/lease detection of hung-but-alive par workers,
+* conformance-verified degradation down a backend ladder
+  (par → cluster, gpu → lockstep), stamped in the result,
+* post-mortem ``.rpz`` bundles + decision timelines on give-up.
+
+``repro supervise`` is the CLI front end; the compound scenarios in
+``repro chaos`` soak it in CI.
+"""
+
+from repro.resilience.policy import DEFAULT_LADDER, ResiliencePolicy
+from repro.resilience.supervisor import (
+    RECOVERABLE_ERRORS,
+    RunSupervisor,
+    SupervisedResult,
+    SupervisorGiveUp,
+)
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "ResiliencePolicy",
+    "RECOVERABLE_ERRORS",
+    "RunSupervisor",
+    "SupervisedResult",
+    "SupervisorGiveUp",
+]

@@ -9,16 +9,42 @@ same trajectory, because each step depends only on the previous
 pressure.  ``numpy.savez`` round-trips float64 arrays bit-exactly, so a
 resumed run matches an uninterrupted one bit-for-bit (the checkpoint
 tests assert this).
+
+Every checkpoint embeds a SHA-256 checksum over its canonical state
+bytes.  A truncated or bit-flipped ``.npz`` surfaces as
+:class:`~repro.faults.errors.CheckpointCorruptError` instead of an
+opaque numpy/zipfile error, and :meth:`CheckpointStore.open` skips
+corrupt files (recording them in :attr:`CheckpointStore.corrupt`) so a
+restart falls back to the newest *intact* checkpoint — the bounded-loss
+contract the resilience supervisor builds on.
 """
 
 from __future__ import annotations
 
+import hashlib
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.faults.errors import CheckpointCorruptError
+
 __all__ = ["Checkpoint", "CheckpointStore"]
+
+
+def _state_checksum(
+    step: int, time: float, pressure: np.ndarray, mass_in_place: float
+) -> str:
+    """SHA-256 over the canonical byte form of a checkpoint's state."""
+    h = hashlib.sha256()
+    h.update(np.int64(step).tobytes())
+    h.update(np.float64(time).tobytes())
+    arr = np.ascontiguousarray(pressure, dtype=np.float64)
+    h.update(f"{arr.shape}".encode())
+    h.update(arr.tobytes())
+    h.update(np.float64(mass_in_place).tobytes())
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -30,26 +56,61 @@ class Checkpoint:
     pressure: np.ndarray
     mass_in_place: float = 0.0
 
+    def checksum(self) -> str:
+        """SHA-256 of this checkpoint's canonical state bytes."""
+        return _state_checksum(
+            self.step, self.time, self.pressure, self.mass_in_place
+        )
+
     def save(self, path) -> None:
-        """Write the checkpoint as an ``.npz`` archive."""
+        """Write the checkpoint as an ``.npz`` archive (with checksum)."""
         np.savez(
             path,
             step=np.int64(self.step),
             time=np.float64(self.time),
             pressure=np.asarray(self.pressure, dtype=np.float64),
             mass_in_place=np.float64(self.mass_in_place),
+            checksum=np.frombuffer(
+                bytes.fromhex(self.checksum()), dtype=np.uint8
+            ),
         )
 
     @classmethod
     def load(cls, path) -> "Checkpoint":
-        """Read a checkpoint written by :meth:`save`."""
-        with np.load(path) as data:
-            return cls(
-                step=int(data["step"]),
-                time=float(data["time"]),
-                pressure=np.array(data["pressure"], dtype=np.float64),
-                mass_in_place=float(data["mass_in_place"]),
+        """Read a checkpoint written by :meth:`save`.
+
+        Raises
+        ------
+        CheckpointCorruptError
+            On any load anomaly: unreadable/truncated zip, missing
+            entries, or a checksum mismatch (bit flips anywhere in the
+            state).  Legacy checkpoints without a ``checksum`` entry are
+            also rejected — integrity cannot be vouched for.
+        """
+        try:
+            with np.load(path) as data:
+                try:
+                    step = int(data["step"])
+                    time = float(data["time"])
+                    pressure = np.array(data["pressure"], dtype=np.float64)
+                    mass = float(data["mass_in_place"])
+                    stored = data["checksum"].tobytes().hex()
+                except KeyError as exc:
+                    raise CheckpointCorruptError(
+                        path, f"missing entry {exc}"
+                    ) from exc
+        except CheckpointCorruptError:
+            raise
+        except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+            raise CheckpointCorruptError(path, f"unreadable: {exc}") from exc
+        expected = _state_checksum(step, time, pressure, mass)
+        if stored != expected:
+            raise CheckpointCorruptError(
+                path,
+                f"checksum mismatch (stored {stored[:16]}..., "
+                f"recomputed {expected[:16]}...)",
             )
+        return cls(step=step, time=time, pressure=pressure, mass_in_place=mass)
 
 
 class CheckpointStore:
@@ -68,6 +129,9 @@ class CheckpointStore:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._checkpoints: list[Checkpoint] = []
+        #: Paths that failed integrity checks during :meth:`open` —
+        #: surfaced so supervisors can log the fallback decision.
+        self.corrupt: list[str] = []
 
     def _path(self, step: int) -> Path:
         return self.directory / f"checkpoint_{step:06d}.npz"
@@ -95,10 +159,19 @@ class CheckpointStore:
 
         This is the restart path after a crash: the surviving ``.npz``
         files (oldest first, at most ``keep``) populate the new store,
-        and :meth:`latest` is the state to resume from.
+        and :meth:`latest` is the state to resume from.  Files that fail
+        their integrity check are skipped — not loaded, not deleted —
+        and recorded in :attr:`corrupt`, so a bit-flipped newest
+        checkpoint degrades the restart to the previous intact one
+        instead of crashing it.
         """
         store = cls(directory, keep=keep)
         paths = sorted(Path(directory).glob("checkpoint_*.npz"))
-        for path in paths[-keep:]:
-            store._checkpoints.append(Checkpoint.load(path))
+        intact: list[Checkpoint] = []
+        for path in paths:
+            try:
+                intact.append(Checkpoint.load(path))
+            except CheckpointCorruptError:
+                store.corrupt.append(str(path))
+        store._checkpoints.extend(intact[-keep:])
         return store

@@ -23,6 +23,69 @@ from repro.util.jsonio import write_stable_json
 GOLDEN = Path(__file__).resolve().parent / "golden"
 
 
+def record_supervised_recovery():
+    """Record a *supervisor-recovered* run as a replay artifact.
+
+    A deterministic transient fault kills the second application of the
+    first attempt; the supervisor restores its checkpoint, replay-
+    verifies it, and finishes.  Because recovery is bounded-loss and
+    bit-exact, the committed steps it feeds the recorder are identical
+    to an uninterrupted run's — so the artifact replays clean on any
+    conformant backend, and its ``supervisor`` meta key preserves the
+    recovery provenance (chain, restarts, policy).
+    """
+    from repro.conform.runner import _build_mesh, _pressures
+    from repro.core import FluidProperties
+    from repro.faults.errors import CommTimeoutError
+    from repro.obs.replay import ReplayRecorder
+    from repro.resilience import ResiliencePolicy, RunSupervisor
+
+    mesh_meta = {"nx": 4, "ny": 4, "nz": 3, "kind": "lognormal", "seed": 3}
+    mesh = _build_mesh(mesh_meta)
+    policy = ResiliencePolicy(
+        backoff_base=0.0, backoff_jitter=0.0, checkpoint_every=1
+    )
+    meta = {
+        "backend": "event",
+        "backend_config": {
+            "px": 2, "py": 2, "workers": None, "variant": "raja",
+        },
+        "mesh": dict(mesh_meta),
+        "dtype": "float64",
+        "pressure_seed": 1000,
+        "fault_plan": None,
+    }
+    recorder = ReplayRecorder(meta, snapshot_every=1)
+    sup = RunSupervisor(
+        mesh, FluidProperties(), policy=policy, backend="event",
+        record=recorder, mesh_meta=mesh_meta,
+    )
+    calls = {"n": 0}
+    real_factory = sup._default_factory
+
+    def factory(backend, attempt):
+        run, finish = real_factory(backend, attempt)
+
+        def run_single(p):
+            calls["n"] += 1
+            if calls["n"] == 2:  # transient fault at application 1
+                raise CommTimeoutError(0, 1, 2, 3)
+            return run(p)
+
+        return run_single, finish
+
+    sup._factory = factory
+    result = sup.run(_pressures(mesh, 1000, 3))
+    assert result.restarts == 1, "the golden recovery must actually recover"
+    recorder.meta["supervisor"] = {
+        "policy": policy.to_dict(),
+        "backend_chain": result.backend_chain,
+        "restarts": result.restarts,
+        "restores": result.restores,
+    }
+    return recorder.finalize()
+
+
 def main() -> int:
     GOLDEN.mkdir(parents=True, exist_ok=True)
     entries = []
@@ -74,6 +137,20 @@ def main() -> int:
             "name": "faulted-recovery",
             "file": "faulted-recovery.rpz",
             "backends": ["cluster", "par"],
+        }
+    )
+
+    # 4. A supervisor-recovered run: a transient fault mid-recording,
+    #    healed by checkpoint restart.  The committed steps must be
+    #    indistinguishable from an uninterrupted run, so every replay
+    #    backend treats it like any clean event recording.
+    art = record_supervised_recovery()
+    art.save(GOLDEN / "supervised-recovery.rpz")
+    entries.append(
+        {
+            "name": "supervised-recovery",
+            "file": "supervised-recovery.rpz",
+            "backends": ["event", "lockstep", "gpu"],
         }
     )
 

@@ -59,7 +59,8 @@ class TestRunChaos:
             router_stalls=1, stall_cycles=1e6,
         )
         report = run_chaos(
-            plan, include_corruption=False, include_checkpoint_drill=False
+            plan, include_corruption=False, include_checkpoint_drill=False,
+            include_supervisor_drills=False,
         )
         assert report.ok
         (outcome,) = report.outcomes
@@ -83,7 +84,7 @@ class TestChaosCli:
         assert "CHAOS PASSED" in out.getvalue()
         doc = json.loads(path.read_text())
         assert doc["ok"] is True
-        assert len(doc["outcomes"]) == 8
+        assert len(doc["outcomes"]) == 13
         assert doc["plan"]["seed"] == 7
 
     def test_chaos_accepts_a_plan_file(self, tmp_path):
@@ -94,6 +95,39 @@ class TestChaosCli:
         code = main(["chaos", "--plan", str(plan_path)], out=out)
         assert code == 0
         assert "seed 5" in out.getvalue()
+
+    def test_list_names_every_scenario(self):
+        from repro.faults.chaos import SCENARIOS
+
+        out = io.StringIO()
+        code = main(["chaos", "--list"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        for name, blurb in SCENARIOS.items():
+            assert name in text
+            assert blurb in text
+
+    def test_only_filters_to_the_named_scenarios(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "chaos.json"
+        code = main([
+            "chaos", "--seed", "7", "--postmortem", "none",
+            "--only", "solver/checkpoint-restart,checkpoint/corruption",
+            "--out", str(path),
+        ], out=out)
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert sorted(o["scenario"] for o in doc["outcomes"]) == [
+            "checkpoint/corruption", "solver/checkpoint-restart",
+        ]
+
+    def test_unknown_only_name_is_a_usage_error(self, capsys):
+        out = io.StringIO()
+        code = main(["chaos", "--only", "no-such-drill"], out=out)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no-such-drill" in err
+        assert "dead-pe/detect" in err  # names the valid set
 
     def test_empty_plan_file_is_a_usage_error(self, tmp_path, capsys):
         """An empty plan exercises nothing; exiting 0 on it would report

@@ -1,9 +1,11 @@
-"""Checkpoint/restart of the implicit solver: bit-exact resume."""
+"""Checkpoint/restart of the implicit solver: bit-exact resume,
+checksum-verified integrity, and corruption fallback."""
 
 import numpy as np
 import pytest
 
 from repro.core import CartesianMesh3D, FluidProperties
+from repro.faults.errors import CheckpointCorruptError
 from repro.solver import (
     Checkpoint,
     CheckpointStore,
@@ -58,6 +60,85 @@ class TestCheckpointIO:
         store = CheckpointStore(keep=1)
         store.save(Checkpoint(step=0, time=0.0, pressure=np.zeros(1)))
         assert store.latest().step == 0
+
+
+class TestCorruption:
+    def _save(self, tmp_path, step, fill):
+        path = tmp_path / f"ck{step}.npz"
+        Checkpoint(
+            step=step, time=float(step), pressure=np.full((2, 3), fill)
+        ).save(path)
+        return path
+
+    def test_bit_flip_fails_the_checksum(self, tmp_path):
+        path = self._save(tmp_path, 1, 2.5)
+        blob = bytearray(path.read_bytes())
+        # flip inside the pressure entry's payload (always integrity-
+        # covered; zip local-header slack is not)
+        blob[blob.index(b"pressure.npy") + 150] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruptError) as info:
+            Checkpoint.load(path)
+        assert info.value.path.endswith("ck1.npz")
+
+    def test_truncated_file_is_corrupt(self, tmp_path):
+        path = self._save(tmp_path, 1, 1.0)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 3])
+        with pytest.raises(CheckpointCorruptError, match="unreadable"):
+            Checkpoint.load(path)
+
+    def test_missing_checksum_entry_is_corrupt(self, tmp_path):
+        """Legacy/hand-rolled npz files without the integrity checksum
+        cannot be trusted as restart points."""
+        path = tmp_path / "legacy.npz"
+        np.savez(
+            path, step=np.int64(1), time=np.float64(1.0),
+            pressure=np.zeros(3), mass_in_place=np.float64(0.0),
+        )
+        with pytest.raises(CheckpointCorruptError, match="missing entry"):
+            Checkpoint.load(path)
+
+    def test_tampered_payload_reports_checksum_mismatch(self, tmp_path):
+        """Re-zip the archive with a modified pressure payload but valid
+        zip structure: only the content checksum can catch this."""
+        import zipfile
+
+        path = self._save(tmp_path, 3, 4.0)
+        original = np.load(path)
+        entries = {name: original[name] for name in original.files}
+        entries["pressure"] = entries["pressure"] + 1e-3
+        tampered = tmp_path / "tampered.npz"
+        np.savez(tampered, **entries)
+        with pytest.raises(CheckpointCorruptError, match="checksum mismatch"):
+            Checkpoint.load(tampered)
+        assert zipfile.is_zipfile(tampered)  # structurally valid zip
+
+    def test_store_open_quarantines_corrupt_files(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        for step in range(1, 4):
+            store.save(
+                Checkpoint(
+                    step=step, time=float(step),
+                    pressure=np.full((2, 2), step),
+                )
+            )
+        newest = sorted(tmp_path.glob("checkpoint_*.npz"))[-1]
+        blob = bytearray(newest.read_bytes())
+        blob[blob.index(b"pressure.npy") + 150] ^= 0x10
+        newest.write_bytes(bytes(blob))
+        reopened = CheckpointStore.open(tmp_path, keep=3)
+        assert [p.endswith("checkpoint_000003.npz") for p in reopened.corrupt] == [True]
+        assert reopened.latest().step == 2
+        np.testing.assert_array_equal(
+            reopened.latest().pressure, np.full((2, 2), 2.0)
+        )
+
+    def test_intact_files_report_no_corruption(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        store.save(Checkpoint(step=1, time=1.0, pressure=np.ones(4)))
+        reopened = CheckpointStore.open(tmp_path, keep=2)
+        assert reopened.corrupt == []
+        assert reopened.latest().step == 1
 
 
 class TestRestartEquivalence:
