@@ -47,6 +47,13 @@ verifier:
     full example-program registry plus the determinism lint of
     ``src/repro``.  Gated at <10 s by ``--check`` so the merge gate
     stays cheap enough to run on every PR.
+race_check:
+    Wall-clock time of the concurrency verifier (``repro check
+    --race``): the bounded model check of the halo publish protocol at
+    its default bounds, the concurrency lint of ``src/repro``, the
+    live happens-before probe, and the seeded mutation drill.  Gated
+    at <10 s (and zero errors, with every mutation caught) by
+    ``--check``.
 par_runtime:
     The multiprocess SPMD runtime (``repro.par``) against the serial
     cluster backend on the same workload: a worker sweep (1, 2, ...,
@@ -128,6 +135,10 @@ TRACE_OVERHEAD_TOLERANCE = 0.10
 
 #: Wall-clock budget for the static verifier pass before --check fails.
 VERIFIER_BUDGET_SECONDS = 10.0
+
+#: Wall-clock budget for the concurrency verifier (model check + lint +
+#: hb probe + mutation drill) before --check fails.
+RACE_CHECK_BUDGET_SECONDS = 10.0
 
 
 def calibrate(n: int = 200_000) -> float:
@@ -502,6 +513,38 @@ def bench_verifier() -> dict:
     }
 
 
+def bench_race_check() -> dict:
+    """Concurrency-verifier wall time: model check + lint + hb probe +
+    mutation drill — exactly what CI's ``repro check --race`` /
+    ``--race-drill`` jobs run, so the tracked number is the cost of
+    that gate.  A healthy tree yields zero errors and every seeded
+    mutation caught."""
+    from repro.check import drill_findings, run_race_checks
+
+    t0 = time.perf_counter()
+    reports = run_race_checks(REPO_ROOT / "src" / "repro")
+    checks_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    drill = drill_findings()
+    drill_seconds = time.perf_counter() - t0
+    states = sum(
+        int(r.subject.rsplit("(", 1)[1].split()[0])
+        for r in reports
+        if r.subject.startswith("race model:")
+    )
+    return {
+        "subjects": len(reports),
+        "model_states": states,
+        "checks_seconds": round(checks_seconds, 4),
+        "drill_seconds": round(drill_seconds, 4),
+        "wall_seconds": round(checks_seconds + drill_seconds, 4),
+        "errors": sum(len(r.errors) for r in reports) + len(drill.errors),
+        "mutations_caught": sum(
+            1 for f in drill.findings if f.severity.name == "INFO"
+        ),
+    }
+
+
 def bench_peak_fabric(budget_seconds: float, *, nz: int = 8) -> dict:
     """Largest square fabric whose single application fits the budget."""
     fluid = FluidProperties()
@@ -547,6 +590,7 @@ def measure_entry(*, smoke_only: bool, budget_seconds: float, repeats: int) -> d
         **TRACE_WORKLOAD, repeats=repeats
     )
     entry["verifier"] = bench_verifier()
+    entry["race_check"] = bench_race_check()
     entry["par_runtime"] = bench_par_runtime(**PAR_WORKLOAD, repeats=repeats)
     if smoke_only:
         entry["lockstep"] = bench_lockstep(**SMOKE_WORKLOAD, repeats=repeats)
@@ -674,6 +718,19 @@ def run_check(path: Path, repeats: int) -> int:
         f"(limit {VERIFIER_BUDGET_SECONDS:.0f}s, {verifier['errors']} error(s)) "
         f"-> {'ok' if ver_ok else 'REGRESSION'}"
     )
+    race = bench_race_check()
+    race_ok = (
+        race["wall_seconds"] < RACE_CHECK_BUDGET_SECONDS
+        and race["errors"] == 0
+        and race["mutations_caught"] == 4
+    )
+    print(
+        f"check: race verifier {race['wall_seconds']:.2f}s "
+        f"({race['model_states']} model states, "
+        f"{race['mutations_caught']}/4 mutations caught, "
+        f"{race['errors']} error(s); limit {RACE_CHECK_BUDGET_SECONDS:.0f}s) "
+        f"-> {'ok' if race_ok else 'REGRESSION'}"
+    )
     par = bench_par_runtime(**PAR_WORKLOAD, repeats=max(1, repeats - 1))
     par_ok = par["bit_identical"] and par["distinct_pids"] >= 2
     print(
@@ -714,6 +771,7 @@ def run_check(path: Path, repeats: int) -> int:
         and res_verdict == "ok"
         and golden_ok
         and ver_ok
+        and race_ok
         and par_ok
     ) else 1
 

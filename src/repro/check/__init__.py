@@ -23,17 +23,58 @@ without executing it:
   flagging unordered-set iteration feeding accumulation, unseeded RNG
   use, and time-dependent control flow (the hazards that would break
   the bit-identical cross-validation tests);
+* :mod:`repro.check.race_model` / :mod:`repro.check.race_trace` /
+  :mod:`repro.check.race_lint` / :mod:`repro.check.race` — the
+  concurrency verifier for the :mod:`repro.par` shared-memory halo
+  protocol (``repro check --race``): a bounded model checker over all
+  interleavings of 2–3 abstract workers with seeded-mutation drills
+  and replayable witness traces, a FastTrack-style happens-before
+  analyzer over recorded shared-arena access traces, and AST rules for
+  fork-safety, unguarded shared-array writes, and unbounded spins;
 * :mod:`repro.check.runner` — orchestration: one-call verification of a
   :class:`~repro.dataflow.program.FluxProgram`, a bare fabric, or the
-  registry of shipped example programs.
+  registry of shipped example programs, with ``--only``/``--skip``
+  analyzer selection over :data:`~repro.check.runner.ANALYZERS`.
 
-Every finding carries a severity, the fabric coordinate, and the
-reproducing route/color, so a failed check is actionable; ``repro
+Every finding carries a severity, a stable rule ID
+(``DLK*``/``RES*``/``DET*``/``RACE*``), and — where the analyzer can
+name them — the fabric coordinate and reproducing route/color (or
+file/line for source lints), so a failed check is actionable; ``repro
 check`` exits nonzero on any ERROR-severity finding.
 """
 
 from repro.check.determinism import lint_paths, lint_source
-from repro.check.findings import CheckReport, Finding, Severity
+from repro.check.findings import (
+    RULE_IDS,
+    CheckReport,
+    Finding,
+    Severity,
+    rule_id,
+    suppresses,
+)
+from repro.check.race import (
+    DEFAULT_MODEL_CONFIGS,
+    drill_findings,
+    hb_live_probe,
+    mutation_drill,
+    run_race_checks,
+)
+from repro.check.race_lint import race_lint_paths, race_lint_source
+from repro.check.race_model import (
+    MUTATIONS,
+    ModelConfig,
+    ModelResult,
+    Violation,
+    check_model,
+    model_findings,
+    replay_witness,
+)
+from repro.check.race_trace import (
+    ArenaAccess,
+    RaceTraceRecorder,
+    check_hb,
+    describe_loc,
+)
 from repro.check.graph import ChannelGraph, build_channel_graph, find_deadlocks
 from repro.check.resources import (
     check_column_plan,
@@ -48,7 +89,10 @@ from repro.check.routes import (
     claimed_links,
 )
 from repro.check.runner import (
+    ANALYZERS,
     EXAMPLE_PROGRAMS,
+    FABRIC_ANALYZERS,
+    PROGRAM_ANALYZERS,
     check_examples,
     check_fabric,
     check_program,
@@ -58,6 +102,9 @@ __all__ = [
     "Severity",
     "Finding",
     "CheckReport",
+    "RULE_IDS",
+    "rule_id",
+    "suppresses",
     "ChannelGraph",
     "build_channel_graph",
     "find_deadlocks",
@@ -75,4 +122,25 @@ __all__ = [
     "check_program",
     "check_examples",
     "EXAMPLE_PROGRAMS",
+    "ANALYZERS",
+    "FABRIC_ANALYZERS",
+    "PROGRAM_ANALYZERS",
+    "MUTATIONS",
+    "ModelConfig",
+    "ModelResult",
+    "Violation",
+    "check_model",
+    "model_findings",
+    "replay_witness",
+    "ArenaAccess",
+    "RaceTraceRecorder",
+    "check_hb",
+    "describe_loc",
+    "race_lint_paths",
+    "race_lint_source",
+    "DEFAULT_MODEL_CONFIGS",
+    "run_race_checks",
+    "hb_live_probe",
+    "mutation_drill",
+    "drill_findings",
 ]

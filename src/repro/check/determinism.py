@@ -26,6 +26,9 @@ green over ``src/repro`` so CI can gate on zero ERROR findings:
 
 A trailing ``# det: allow`` comment on the offending line suppresses
 the finding (used where non-determinism is deliberate and contained).
+The cross-family ``# check: allow[RULE]`` pragma (by stable rule ID or
+kebab-case code — see :data:`repro.check.findings.RULE_IDS`) works here
+too and is the only form the concurrency lint honours.
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ from __future__ import annotations
 import ast
 from pathlib import Path
 
-from repro.check.findings import Finding, Severity
+from repro.check.findings import Finding, Severity, suppresses
 
 __all__ = ["lint_source", "lint_file", "lint_paths"]
 
@@ -140,15 +143,15 @@ class _Linter(ast.NodeVisitor):
         self._control_depth = 0
 
     # ------------------------------------------------------------------ #
-    def _suppressed(self, lineno: int) -> bool:
+    def _suppressed(self, lineno: int, code: str) -> bool:
         if 1 <= lineno <= len(self.lines):
-            return "# det: allow" in self.lines[lineno - 1]
+            return suppresses(self.lines[lineno - 1], code)
         return False
 
     def _emit(
         self, code: str, severity: Severity, message: str, node: ast.AST, detail: str = ""
     ) -> None:
-        if self._suppressed(node.lineno):
+        if self._suppressed(node.lineno, code):
             return
         self.findings.append(
             Finding(

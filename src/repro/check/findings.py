@@ -6,6 +6,15 @@ analyzer can name them — the fabric coordinate, color, and port that
 reproduce the problem.  Determinism-lint findings carry ``file``/``line``
 instead of fabric coordinates.  :class:`CheckReport` aggregates findings
 across analyzers and decides the process exit code: any ERROR fails.
+
+Every code additionally maps to a **stable rule ID** (:data:`RULE_IDS`)
+in one of four families — ``DLK*`` (routing/deadlock), ``RES*``
+(resources), ``DET*`` (determinism lint), ``RACE*`` (concurrency) —
+emitted in both the rendered text and the ``--json`` document, so
+downstream tooling can match findings without parsing messages.  Source
+lints honour a ``# check: allow[RULE]`` suppression pragma (by rule ID
+or by code), with the legacy ``# det: allow`` kept as a DET-family
+alias; :func:`suppresses` implements both.
 """
 
 from __future__ import annotations
@@ -13,7 +22,68 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["Severity", "Finding", "CheckReport"]
+__all__ = ["Severity", "Finding", "CheckReport", "RULE_IDS", "rule_id", "suppresses"]
+
+#: code -> stable rule ID.  IDs are append-only: a code keeps its ID for
+#: the life of the repo so suppression pragmas and CI allowlists never
+#: rot.  Families: DLK (routing/deadlock), RES (resources), DET
+#: (determinism lint), RACE (concurrency verifier + lint).
+RULE_IDS: dict[str, str] = {
+    "deadlock-cycle": "DLK001",
+    "color-conflict": "DLK002",
+    "dead-route": "DLK003",
+    "offchip-exit": "DLK004",
+    "unreachable-pe": "DLK005",
+    "switch-stale": "DLK006",
+    "mem-overflow": "RES001",
+    "alias-overlap": "RES002",
+    "mem-plan": "RES003",
+    "dsd-bounds": "RES004",
+    "det-set-iter": "DET001",
+    "det-unseeded-rng": "DET002",
+    "det-time-control": "DET003",
+    "det-parse": "DET004",
+    "race-torn-read": "RACE001",
+    "race-slot-reuse": "RACE002",
+    "race-lost-wakeup": "RACE003",
+    "race-lease-expiry": "RACE004",
+    "race-seq-skew": "RACE005",
+    "race-hb-conflict": "RACE006",
+    "race-fork-unsafe": "RACE007",
+    "race-unguarded-write": "RACE008",
+    "race-unbounded-spin": "RACE009",
+}
+
+
+def rule_id(code: str) -> str:
+    """The stable rule ID for *code* (``GEN000`` for unregistered codes,
+    which only happens for findings minted by out-of-tree analyzers)."""
+    return RULE_IDS.get(code, "GEN000")
+
+
+def suppresses(line: str, code: str) -> bool:
+    """Does source *line* carry a pragma suppressing findings of *code*?
+
+    ``# check: allow[RULE]`` matches either the stable rule ID
+    (``allow[DET002]``) or the kebab-case code
+    (``allow[det-unseeded-rng]``); several pragmas may sit on one line.
+    The legacy ``# det: allow`` pragma keeps suppressing — but only
+    DET-family findings, its original scope.
+    """
+    rid = rule_id(code)
+    if "# det: allow" in line and rid.startswith("DET"):
+        return True
+    marker = "# check: allow["
+    start = line.find(marker)
+    while start != -1:
+        end = line.find("]", start + len(marker))
+        if end == -1:
+            break
+        allowed = line[start + len(marker):end].strip()
+        if allowed in (code, rid):
+            return True
+        start = line.find(marker, end)
+    return False
 
 
 class Severity(enum.IntEnum):
@@ -60,9 +130,15 @@ class Finding:
     line: int | None = None
     detail: str = ""
 
+    @property
+    def rule(self) -> str:
+        """Stable rule ID (``DLK*``/``RES*``/``DET*``/``RACE*``)."""
+        return rule_id(self.code)
+
     def as_dict(self) -> dict:
         return {
             "code": self.code,
+            "rule": self.rule,
             "severity": self.severity.name,
             "message": self.message,
             "coord": list(self.coord) if self.coord is not None else None,
@@ -87,7 +163,7 @@ class Finding:
         port = f" via {self.port}" if self.port else ""
         tail = f" -- {self.detail}" if self.detail else ""
         return (
-            f"{self.severity.name:<7} {self.code}{where}{port}{color}: "
+            f"{self.severity.name:<7} [{self.rule}] {self.code}{where}{port}{color}: "
             f"{self.message}{tail}"
         )
 

@@ -1,0 +1,237 @@
+"""`repro check --race` orchestration: model check + lint + live probe.
+
+Ties the three concurrency verifiers into :class:`CheckReport`\\ s the
+CLI and CI can gate on:
+
+* :func:`run_race_checks` — the green path.  Exhaustively model-checks
+  the **unmutated** protocol at the default bounds
+  (:data:`DEFAULT_MODEL_CONFIGS`), concurrency-lints ``src/repro``,
+  and runs a live in-process happens-before probe (two real
+  :class:`~repro.par.comm.ProcComm` endpoints over one
+  :class:`~repro.par.shm.SharedArena`, race-traced, three exchanges —
+  enough to re-use both parity slots).  All three must report zero
+  findings on a healthy tree.
+* :func:`mutation_drill` / :func:`drill_findings` — the red path.
+  Seeds each protocol mutation from
+  :data:`~repro.check.race_model.MUTATIONS` into the model, asserts
+  the checker flags it as **exactly one ERROR** with the expected
+  violation class, and replays the witness schedule to prove the
+  interleaving reproduces.  A mutation the checker misses — or a
+  witness that fails to replay — is itself an ERROR finding, so CI's
+  mutation-drill smoke fails loudly if the checker ever rots.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.check.findings import CheckReport, Finding, Severity
+from repro.check.race_lint import race_lint_paths
+from repro.check.race_model import (
+    MUTATIONS,
+    ModelConfig,
+    ModelResult,
+    check_model,
+    model_findings,
+    render_witness,
+    replay_witness,
+)
+from repro.check.race_trace import RaceTraceRecorder, check_hb
+
+__all__ = [
+    "DEFAULT_MODEL_CONFIGS",
+    "EXPECTED_VIOLATIONS",
+    "run_race_checks",
+    "hb_live_probe",
+    "mutation_drill",
+    "drill_findings",
+]
+
+#: Bounds the unmutated protocol is exhaustively verified at.  Both
+#: exceed two exchanges, so every parity slot is re-used and the
+#: ``expected_prior`` guard is exercised at full strength.
+DEFAULT_MODEL_CONFIGS: tuple[ModelConfig, ...] = (
+    ModelConfig(workers=2, exchanges=6),
+    ModelConfig(workers=3, exchanges=4),
+)
+
+#: Violation class each seeded mutation must be flagged as.
+EXPECTED_VIOLATIONS: dict[str, str] = {
+    "header-first": "race-torn-read",
+    "skip-seq": "race-lost-wakeup",
+    "wrong-parity": "race-seq-skew",
+    "drop-lease": "race-lease-expiry",
+}
+
+
+def hb_live_probe(exchanges: int = 3) -> tuple[list[Finding], int]:
+    """Run two real ProcComm endpoints in-process with race tracing on.
+
+    Returns the happens-before findings (empty on a correct protocol)
+    and the number of recorded events.  Three exchanges re-use both
+    parity slots, so the release/acquire chain that makes slot re-use
+    safe is actually exercised, not just the first publication.
+    """
+    import numpy as np
+
+    from repro.cluster.comm import CartGrid
+    from repro.cluster.decomposition import BlockDecomposition
+    from repro.core import CartesianMesh3D
+    from repro.par.comm import ProcComm
+    from repro.par.layout import HaloLayout
+    from repro.par.shm import SharedArena
+
+    mesh = CartesianMesh3D(8, 4, 2)
+    decomp = BlockDecomposition(mesh, 2, 1)
+    grid = CartGrid(2, 1)
+    layout = HaloLayout.from_decomposition(decomp, grid)
+    arena = SharedArena(layout, create=True)
+    try:
+        recorders = {r: RaceTraceRecorder(f"rank{r}") for r in (0, 1)}
+        comms = {
+            r: ProcComm(
+                layout,
+                arena,
+                ranks=(0, 1),
+                busy_spins=4,
+                sleep_seconds=1e-6,
+                max_sleeps=50,
+                race_trace=recorders[r],
+            )
+            for r in (0, 1)
+        }
+        for k in range(exchanges):
+            for link in layout.links:
+                strip = np.full((mesh.nz, *link.shape_yx), float(k + 1))
+                comms[link.source].isend(
+                    link.source, link.dest, link.tag, strip
+                )
+            for link in layout.links:
+                comms[link.dest].recv(link.dest, link.source, link.tag)
+            for comm in comms.values():
+                comm.complete_exchange()
+        events = recorders[0].events + recorders[1].events
+    finally:
+        arena.close()
+    return check_hb(events), len(events)
+
+
+def run_race_checks(
+    lint_root: str | Path = "src/repro",
+    *,
+    model: bool = True,
+    lint: bool = True,
+    hb: bool = True,
+) -> list[CheckReport]:
+    """The ``repro check --race`` green path: every enabled verifier as
+    one :class:`CheckReport`; a healthy tree yields zero findings in
+    each."""
+    reports: list[CheckReport] = []
+    if model:
+        for config in DEFAULT_MODEL_CONFIGS:
+            result = check_model(config)
+            report = CheckReport(
+                subject=(
+                    f"race model: {config.describe()} "
+                    f"({result.states} states explored)"
+                )
+            )
+            report.extend(model_findings(result))
+            reports.append(report)
+    if lint:
+        report = CheckReport(subject=f"race lint: {lint_root}")
+        report.extend(race_lint_paths(lint_root))
+        reports.append(report)
+    if hb:
+        findings, events = hb_live_probe()
+        report = CheckReport(
+            subject=f"race hb: live 2-rank probe ({events} events)"
+        )
+        report.extend(findings)
+        reports.append(report)
+    return reports
+
+
+def mutation_drill(
+    base: ModelConfig | None = None,
+) -> dict[str, ModelResult]:
+    """Model-check every seeded mutation against *base*'s bounds."""
+    base = base or ModelConfig(workers=2, exchanges=3)
+    return {
+        mutation: check_model(
+            ModelConfig(
+                workers=base.workers,
+                exchanges=base.exchanges,
+                mutation=mutation,
+                renew_period=base.renew_period,
+                lease_bound=base.lease_bound,
+                max_states=base.max_states,
+            )
+        )
+        for mutation in MUTATIONS
+    }
+
+
+def drill_findings(base: ModelConfig | None = None) -> CheckReport:
+    """The mutation drill as a :class:`CheckReport` (CI smoke).
+
+    INFO per mutation caught with the expected violation class and a
+    replay-verified witness; ERROR when a mutation slips through, is
+    flagged as the wrong class, or its witness fails to replay — any of
+    which means the checker itself has rotted.
+    """
+    report = CheckReport(subject="race mutation drill")
+    for mutation, result in mutation_drill(base).items():
+        expected = EXPECTED_VIOLATIONS[mutation]
+        violation = result.violation
+        if violation is None:
+            report.add(
+                Finding(
+                    code=expected,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"seeded mutation {mutation!r} was NOT flagged "
+                        f"({result.states} states explored)"
+                    ),
+                    detail="the model checker lost its teeth",
+                )
+            )
+            continue
+        replayed = replay_witness(result.config, violation.schedule)
+        if violation.code != expected:
+            report.add(
+                Finding(
+                    code=violation.code,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"mutation {mutation!r} flagged as "
+                        f"{violation.code}, expected {expected}"
+                    ),
+                    detail=violation.message,
+                )
+            )
+        elif replayed is None or replayed.signature() != violation.signature():
+            report.add(
+                Finding(
+                    code=violation.code,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"mutation {mutation!r}: witness schedule does not "
+                        "replay to the same violation"
+                    ),
+                    detail=render_witness(violation.schedule),
+                )
+            )
+        else:
+            report.add(
+                Finding(
+                    code=violation.code,
+                    severity=Severity.INFO,
+                    message=(
+                        f"mutation {mutation!r} caught as exactly one ERROR "
+                        f"({len(violation.schedule)}-step replayable witness)"
+                    ),
+                    detail=violation.message,
+                )
+            )
+    return report

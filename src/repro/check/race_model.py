@@ -1,0 +1,506 @@
+"""Bounded model checker for the shared-memory halo publish protocol.
+
+:mod:`repro.par.comm` implements halo exchange as a hand-rolled
+lock-free protocol over shared memory: ``isend`` copies the strip into
+the link's parity slot (exchange ``k`` uses slot ``k % 2``), *then*
+publishes ``k + 1`` into that slot's 8-byte sequence header; ``recv``
+spins until the header reaches the expected value and errors on any
+exact mismatch ("sequence skew").  Nothing but e2e bit-identity tests
+guards that ordering — so this module re-states the protocol as an
+abstract state machine and explores **every** interleaving of 2–3
+free-running abstract workers over a bounded number of exchanges,
+asserting four safety properties in each reachable state:
+
+``race-torn-read``
+    A receiver must never observe a published header whose matching
+    payload has not been written (header-before-payload publication
+    would break x86-TSO safety).
+``race-slot-reuse``
+    A sender must never overwrite a parity slot whose previous strip
+    has not been absorbed by its receiver (the depth-2 pipelining and
+    per-neighbour program order are supposed to guarantee this).
+``race-lost-wakeup``
+    The system must never reach a state where every unfinished worker
+    is blocked in ``recv`` on a header that no enabled step can
+    advance (a deadlock — the real runtime would burn its full spin
+    budget and die with ``CommTimeoutError``).
+``race-lease-expiry``
+    A worker blocked in ``recv`` must keep renewing its heartbeat
+    lease (the real spin loop bumps heartbeats every 64 sleeps); a
+    worker that can spin past the lease bound without a renewal would
+    be shot by the parent's lease check while perfectly healthy.
+``race-seq-skew``
+    The ``isend`` preconditions ("unmatched earlier send", stale
+    header) and the ``recv`` exact-match check must never fire in any
+    interleaving of the correct protocol.
+
+The checker is *exhaustive up to the bound*: iterative DFS over the
+interleaving graph with memoized states, deterministic worker order,
+stopping at the first violation.  The violating schedule — the exact
+sequence of per-worker micro-steps — is returned as a **witness
+trace** which :func:`replay_witness` can re-execute deterministically
+to reproduce the same violation.
+
+Seeded protocol mutations (:data:`MUTATIONS`) each break the protocol
+the way a plausible refactor would; the checker must flag each as
+exactly one ERROR:
+
+=================  =====================================================
+``header-first``   publish the header before writing the payload
+                   (→ ``race-torn-read``)
+``skip-seq``       publish ``k`` instead of ``k + 1`` — a skipped
+                   sequence increment (→ ``race-lost-wakeup``)
+``wrong-parity``   use parity slot ``(k + 1) % 2`` instead of
+                   ``k % 2`` (→ ``race-seq-skew`` at the receiver)
+``drop-lease``     never renew the heartbeat lease inside the recv
+                   spin (→ ``race-lease-expiry``)
+=================  =====================================================
+
+Mutations are applied to worker 0 only, mirroring a single buggy
+endpoint in an otherwise-correct fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.check.findings import Finding, Severity
+
+__all__ = [
+    "MUTATIONS",
+    "ModelConfig",
+    "Violation",
+    "ModelResult",
+    "check_model",
+    "replay_witness",
+    "model_findings",
+    "render_witness",
+]
+
+#: Seeded protocol mutations the checker must each flag as exactly one
+#: ERROR with a replayable witness.  Keys are stable CLI names.
+MUTATIONS: tuple[str, ...] = (
+    "header-first",
+    "skip-seq",
+    "wrong-parity",
+    "drop-lease",
+)
+
+_NUM_PARITIES = 2  # mirrors repro.par.layout.NUM_PARITIES
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One bounded exploration: a chain of *workers* abstract endpoints
+    running *exchanges* halo exchanges (the depth bound), optionally
+    with one seeded protocol *mutation* applied to worker 0.
+
+    ``renew_period`` models the real spin loop's heartbeat cadence
+    (bump every 64 sleeps → one abstract renewal every few spins);
+    ``lease_bound`` is the abstract lease: a worker whose spins since
+    the last renewal exceed it is considered shot by the parent.
+    """
+
+    workers: int = 2
+    exchanges: int = 3
+    mutation: str | None = None
+    renew_period: int = 3
+    lease_bound: int = 6
+    max_states: int = 400_000
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.workers <= 3:
+            raise ValueError("model supports 2 or 3 abstract workers")
+        if self.exchanges < 1:
+            raise ValueError("need at least one exchange")
+        if self.mutation is not None and self.mutation not in MUTATIONS:
+            raise ValueError(
+                f"unknown mutation {self.mutation!r} (valid: {list(MUTATIONS)})"
+            )
+
+    @property
+    def links(self) -> tuple[tuple[int, int, int], ...]:
+        """Directed links of the chain topology, sorted by key."""
+        out = []
+        for i in range(self.workers - 1):
+            out.append((i, i + 1, 0))
+            out.append((i + 1, i, 0))
+        return tuple(sorted(out))
+
+    def describe(self) -> str:
+        tail = f", mutation={self.mutation}" if self.mutation else ""
+        return f"{self.workers} workers x {self.exchanges} exchanges{tail}"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One safety violation with its replayable witness schedule."""
+
+    code: str
+    message: str
+    worker: int
+    exchange: int
+    link: tuple[int, int, int] | None
+    parity: int | None
+    #: The witness: every micro-step from the initial state up to and
+    #: including the violating one, as ``(worker, label)`` pairs.
+    schedule: tuple[tuple[int, str], ...]
+
+    def signature(self) -> tuple:
+        """Replay-comparable identity (everything but the schedule)."""
+        return (self.code, self.worker, self.exchange, self.link, self.parity)
+
+
+@dataclass
+class ModelResult:
+    config: ModelConfig
+    violation: Violation | None
+    states: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+# ------------------------------------------------------------------ #
+# The abstract machine
+# ------------------------------------------------------------------ #
+class _Machine:
+    """Step semantics shared by the explorer and the witness replayer.
+
+    State is a nested tuple (hashable for memoization)::
+
+        (workers, headers, stamps, absorbed)
+
+    ``workers[w] = (k, idx, age)`` — current exchange, index into the
+    per-exchange step program, spins since the last lease renewal.
+    ``headers``/``stamps``/``absorbed`` are flat tuples indexed by
+    ``link_index * 2 + parity``: the sequence header value, the
+    exchange stamp of the last payload write, and whether that payload
+    has been absorbed by its receiver (slots start absorbed).
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+        self.links = config.links
+        self.link_index = {key: i for i, key in enumerate(self.links)}
+        self._programs: dict[int, tuple[tuple[str, int], ...]] = {}
+        for w in range(config.workers):
+            out = [self.link_index[k] for k in self.links if k[0] == w]
+            inn = [self.link_index[k] for k in self.links if k[1] == w]
+            steps: list[tuple[str, int]] = []
+            for li in out:
+                if config.mutation == "header-first" and w == 0:
+                    steps += [("send-check", li), ("send-publish", li),
+                              ("send-payload", li)]
+                else:
+                    steps += [("send-check", li), ("send-payload", li),
+                              ("send-publish", li)]
+            steps += [("recv", li) for li in inn]
+            self._programs[w] = tuple(steps)
+
+    # -------------------------------------------------------------- #
+    def initial_state(self) -> tuple:
+        nslots = len(self.links) * _NUM_PARITIES
+        workers = tuple((0, 0, 0) for _ in range(self.config.workers))
+        return (
+            workers,
+            (0,) * nslots,
+            (0,) * nslots,
+            (True,) * nslots,
+        )
+
+    def done(self, state: tuple, w: int) -> bool:
+        return state[0][w][0] >= self.config.exchanges
+
+    def current_step(self, state: tuple, w: int) -> tuple[str, int] | None:
+        if self.done(state, w):
+            return None
+        _, idx, _ = state[0][w]
+        return self._programs[w][idx]
+
+    def _send_parity(self, w: int, k: int) -> int:
+        if self.config.mutation == "wrong-parity" and w == 0:
+            return (k + 1) % _NUM_PARITIES
+        return k % _NUM_PARITIES
+
+    def _publish_value(self, w: int, k: int) -> int:
+        if self.config.mutation == "skip-seq" and w == 0:
+            return k  # skipped increment: republishes the prior value
+        return k + 1
+
+    def _renews(self, w: int) -> bool:
+        return not (self.config.mutation == "drop-lease" and w == 0)
+
+    @staticmethod
+    def _expected_prior(k: int) -> int:
+        # mirrors ProcComm._expected_prior
+        return k - 1 if k >= 2 else 0
+
+    def stuck(self, state: tuple, w: int) -> bool:
+        """Is *w* blocked in recv on a header below its expectation?"""
+        step = self.current_step(state, w)
+        if step is None or step[0] != "recv":
+            return False
+        k = state[0][w][0]
+        li = step[1]
+        parity = k % _NUM_PARITIES
+        return state[1][li * _NUM_PARITIES + parity] < k + 1
+
+    def label(self, state: tuple, w: int) -> str:
+        op, li = self._programs[w][state[0][w][1]]
+        k = state[0][w][0]
+        src, dst, _ = self.links[li]
+        if op == "recv" and self.stuck(state, w):
+            op = "spin"
+        return f"w{w}:k{k}:{op}[{src}->{dst}]"
+
+    # -------------------------------------------------------------- #
+    def step(self, state: tuple, w: int) -> tuple[tuple, Violation | None]:
+        """Execute worker *w*'s next micro-step.  Returns the successor
+        state and the violation it triggered, if any (violating steps
+        still return a state, but exploration stops there)."""
+        workers, headers, stamps, absorbed = state
+        k, idx, age = workers[w]
+        op, li = self._programs[w][idx]
+        link = self.links[li]
+        want = k + 1
+
+        def viol(code: str, message: str, parity: int | None) -> Violation:
+            return Violation(
+                code=code, message=message, worker=w, exchange=k,
+                link=link, parity=parity, schedule=(),
+            )
+
+        def advance(workers, headers, stamps, absorbed, *, renew: bool):
+            nidx, nk = idx + 1, k
+            if nidx == len(self._programs[w]):
+                nidx, nk = 0, k + 1
+            nage = 0 if renew else age
+            ws = list(workers)
+            ws[w] = (nk, nidx, nage)
+            return (tuple(ws), headers, stamps, absorbed)
+
+        if op == "send-check":
+            parity = self._send_parity(w, k)
+            seq = headers[li * _NUM_PARITIES + parity]
+            if seq == want:
+                return state, viol(
+                    "race-seq-skew",
+                    f"unmatched earlier send on {link}: parity-{parity} "
+                    f"header already at {want}",
+                    parity,
+                )
+            if seq != self._expected_prior(k):
+                return state, viol(
+                    "race-seq-skew",
+                    f"sender sequence skew on {link}: parity-{parity} header "
+                    f"at {seq}, expected {self._expected_prior(k)} before "
+                    f"exchange {want}",
+                    parity,
+                )
+            return advance(workers, headers, stamps, absorbed, renew=False), None
+
+        if op == "send-payload":
+            parity = self._send_parity(w, k)
+            slot = li * _NUM_PARITIES + parity
+            if not absorbed[slot]:
+                return state, viol(
+                    "race-slot-reuse",
+                    f"payload of {link} parity-{parity} overwritten before "
+                    f"strip {stamps[slot]} was absorbed",
+                    parity,
+                )
+            st = list(stamps)
+            st[slot] = want
+            ab = list(absorbed)
+            ab[slot] = False
+            return (
+                advance(workers, headers, tuple(st), tuple(ab), renew=False),
+                None,
+            )
+
+        if op == "send-publish":
+            parity = self._send_parity(w, k)
+            hd = list(headers)
+            hd[li * _NUM_PARITIES + parity] = self._publish_value(w, k)
+            # publication is a phase boundary: the lease is renewed
+            return advance(workers, tuple(hd), stamps, absorbed, renew=True), None
+
+        # op == "recv"
+        parity = k % _NUM_PARITIES
+        slot = li * _NUM_PARITIES + parity
+        header = headers[slot]
+        if header < want:  # spin: no header yet
+            nage = age + 1
+            if self._renews(w) and nage >= self.config.renew_period:
+                nage = 0
+            if nage > self.config.lease_bound:
+                return state, viol(
+                    "race-lease-expiry",
+                    f"worker {w} spun past the lease bound "
+                    f"({self.config.lease_bound}) waiting on {link} "
+                    "without renewing its heartbeat",
+                    parity,
+                )
+            ws = list(workers)
+            ws[w] = (k, idx, nage)
+            return (tuple(ws), headers, stamps, absorbed), None
+        if header != want:
+            return state, viol(
+                "race-seq-skew",
+                f"receiver sequence skew on {link}: parity-{parity} header "
+                f"at {header}, receiver expected {want}",
+                parity,
+            )
+        if stamps[slot] != want:
+            return state, viol(
+                "race-torn-read",
+                f"torn read on {link}: parity-{parity} header published "
+                f"{want} but payload stamp is {stamps[slot]}",
+                parity,
+            )
+        ab = list(absorbed)
+        ab[slot] = True
+        return advance(workers, headers, stamps, tuple(ab), renew=True), None
+
+
+# ------------------------------------------------------------------ #
+# Exhaustive exploration
+# ------------------------------------------------------------------ #
+def check_model(config: ModelConfig) -> ModelResult:
+    """Explore every interleaving of *config* up to its bounds.
+
+    Iterative DFS with memoized states, workers expanded in ascending
+    id order, stopping at the first violation — so the reported
+    violation (and its witness schedule) is deterministic for a given
+    config.  Raises if the exploration exceeds ``config.max_states``
+    (the shipped configs are sized well below it).
+    """
+    machine = _Machine(config)
+    init = machine.initial_state()
+    seen = {init}
+    stack: list[tuple[tuple, tuple[tuple[int, str], ...]]] = [(init, ())]
+    states = 0
+    while stack:
+        state, schedule = stack.pop()
+        states += 1
+        if states > config.max_states:
+            raise RuntimeError(
+                f"model exploration exceeded {config.max_states} states "
+                f"for {config.describe()}"
+            )
+        unfinished = [
+            w for w in range(config.workers) if not machine.done(state, w)
+        ]
+        if not unfinished:
+            continue  # terminal: every worker completed every exchange
+        if all(machine.stuck(state, w) for w in unfinished):
+            blocked = unfinished[0]
+            k = state[0][blocked][0]
+            step = machine.current_step(state, blocked)
+            link = machine.links[step[1]]
+            return ModelResult(
+                config=config,
+                states=states,
+                violation=Violation(
+                    code="race-lost-wakeup",
+                    message=(
+                        f"deadlock: all unfinished workers {unfinished} are "
+                        f"blocked in recv (worker {blocked} waits on {link} "
+                        f"at exchange {k}); no enabled step can publish"
+                    ),
+                    worker=blocked,
+                    exchange=k,
+                    link=link,
+                    parity=k % _NUM_PARITIES,
+                    schedule=schedule,
+                ),
+            )
+        successors: list[tuple[tuple, tuple[tuple[int, str], ...]]] = []
+        for w in unfinished:  # ascending: first violation is deterministic
+            label = machine.label(state, w)
+            successor, violation = machine.step(state, w)
+            extended = schedule + ((w, label),)
+            if violation is not None:
+                return ModelResult(
+                    config=config,
+                    states=states,
+                    violation=replace(violation, schedule=extended),
+                )
+            if successor not in seen:
+                seen.add(successor)
+                successors.append((successor, extended))
+        # reversed push order => DFS expands the lowest worker id first
+        stack.extend(reversed(successors))
+    return ModelResult(config=config, violation=None, states=states)
+
+
+def replay_witness(
+    config: ModelConfig, schedule: tuple[tuple[int, str], ...]
+) -> Violation | None:
+    """Re-execute a witness *schedule* deterministically.
+
+    Returns the violation the schedule reproduces (with the schedule
+    re-attached), or ``None`` when the schedule does not end in a
+    violating step — which for a genuine witness only happens for
+    deadlock witnesses, where the final state itself (all unfinished
+    workers blocked) is the violation and is re-checked here.
+    """
+    machine = _Machine(config)
+    state = machine.initial_state()
+    replayed: tuple[tuple[int, str], ...] = ()
+    for w, expected_label in schedule:
+        actual = machine.label(state, w)
+        if actual != expected_label:
+            raise RuntimeError(
+                f"witness diverged: schedule says {expected_label!r}, "
+                f"machine is at {actual!r}"
+            )
+        replayed += ((w, actual),)
+        state, violation = machine.step(state, w)
+        if violation is not None:
+            return replace(violation, schedule=replayed)
+    unfinished = [
+        w for w in range(config.workers) if not machine.done(state, w)
+    ]
+    if unfinished and all(machine.stuck(state, w) for w in unfinished):
+        blocked = unfinished[0]
+        k = state[0][blocked][0]
+        step = machine.current_step(state, blocked)
+        link = machine.links[step[1]]
+        return Violation(
+            code="race-lost-wakeup",
+            message=f"deadlock reproduced: workers {unfinished} blocked",
+            worker=blocked,
+            exchange=k,
+            link=link,
+            parity=k % _NUM_PARITIES,
+            schedule=replayed,
+        )
+    return None
+
+
+def render_witness(schedule: tuple[tuple[int, str], ...]) -> str:
+    """The witness schedule as one compact arrow-joined trace line."""
+    return " ; ".join(label for _, label in schedule)
+
+
+def model_findings(result: ModelResult) -> list[Finding]:
+    """A :class:`ModelResult` as findings: empty when the exploration
+    proved the bound safe, exactly one ERROR (with the witness trace in
+    ``detail``) when it found a violation."""
+    if result.violation is None:
+        return []
+    v = result.violation
+    return [
+        Finding(
+            code=v.code,
+            severity=Severity.ERROR,
+            message=f"[{result.config.describe()}] {v.message}",
+            detail=(
+                f"witness ({len(v.schedule)} steps): "
+                f"{render_witness(v.schedule)}"
+            ),
+        )
+    ]

@@ -30,7 +30,42 @@ from repro.check.routes import (
 from repro.wse.fabric import Fabric
 from repro.wse.memory import WSE2_PE_MEMORY_BYTES
 
-__all__ = ["check_fabric", "check_program", "check_examples", "EXAMPLE_PROGRAMS"]
+__all__ = [
+    "check_fabric",
+    "check_program",
+    "check_examples",
+    "EXAMPLE_PROGRAMS",
+    "FABRIC_ANALYZERS",
+    "PROGRAM_ANALYZERS",
+    "ANALYZERS",
+]
+
+#: Named fabric-level analyzers, selectable via ``repro check --only``.
+FABRIC_ANALYZERS: tuple[str, ...] = (
+    "deadlock", "colors", "routes", "switches", "memory",
+)
+
+#: Program-aware analyzers layered on top by :func:`check_program`.
+PROGRAM_ANALYZERS: tuple[str, ...] = ("plan", "dsd")
+
+#: Every selectable analyzer name (the ``--only``/``--skip`` universe):
+#: the fabric and program analyzers above, the determinism lint, and
+#: the concurrency verifiers of :mod:`repro.check.race`.
+ANALYZERS: tuple[str, ...] = (
+    *FABRIC_ANALYZERS,
+    *PROGRAM_ANALYZERS,
+    "lint",
+    "race-model",
+    "race-lint",
+    "race-hb",
+    "race-drill",
+)
+
+
+def _selected(only: frozenset | set | None, names: tuple[str, ...]) -> set:
+    if only is None:
+        return set(names)
+    return set(only) & set(names)
 
 
 def check_fabric(
@@ -40,42 +75,65 @@ def check_fabric(
     expected_receivers: dict[int, frozenset] | None = None,
     memory_budget: int = WSE2_PE_MEMORY_BYTES,
     subject: str = "fabric",
+    only: frozenset | set | None = None,
 ) -> CheckReport:
-    """Run every fabric-level static analyzer; no events are executed."""
+    """Run the fabric-level static analyzers; no events are executed.
+
+    ``only`` restricts to a subset of :data:`FABRIC_ANALYZERS` (``None``
+    runs them all — unknown names are the CLI's problem to reject).
+    """
     report = CheckReport(subject=subject)
+    run = _selected(only, FABRIC_ANALYZERS)
     if colors is None:
         colors = {cid: "" for cid in sorted(fabric.configured_colors())}
     expected = expected_receivers or {}
-    for color in sorted(colors):
+    per_color = run & {"deadlock", "colors", "routes", "switches"}
+    for color in sorted(colors) if per_color else ():
         name = colors[color] or None
         graph = build_channel_graph(fabric, color)
-        report.extend(
-            find_deadlocks(fabric, color, color_name=name, graph=graph)
-        )
-        report.extend(check_color_conflicts(fabric, color, color_name=name))
-        report.extend(
-            check_routes(
-                fabric,
-                color,
-                color_name=name,
-                expected_receivers=expected.get(color),
-                graph=graph,
+        if "deadlock" in run:
+            report.extend(
+                find_deadlocks(fabric, color, color_name=name, graph=graph)
             )
-        )
-        report.extend(
-            check_switch_schedules(fabric, color, color_name=name, graph=graph)
-        )
-    report.extend(check_memory(fabric, budget=memory_budget))
+        if "colors" in run:
+            report.extend(
+                check_color_conflicts(fabric, color, color_name=name)
+            )
+        if "routes" in run:
+            report.extend(
+                check_routes(
+                    fabric,
+                    color,
+                    color_name=name,
+                    expected_receivers=expected.get(color),
+                    graph=graph,
+                )
+            )
+        if "switches" in run:
+            report.extend(
+                check_switch_schedules(
+                    fabric, color, color_name=name, graph=graph
+                )
+            )
+    if "memory" in run:
+        report.extend(check_memory(fabric, budget=memory_budget))
     return report
 
 
-def check_program(program, *, subject: str | None = None) -> CheckReport:
+def check_program(
+    program,
+    *,
+    subject: str | None = None,
+    only: frozenset | set | None = None,
+) -> CheckReport:
     """Verify a built :class:`~repro.dataflow.program.FluxProgram`.
 
     Fabric-level analyses plus the program-aware ones: every expected
     receiver must be reachable, DSD descriptors must agree on train
     sizes, and the Z-column plan must fit the WSE-2 memory model even
     when the simulated fabric was built with a roomier scratchpad.
+    ``only`` selects among :data:`FABRIC_ANALYZERS` +
+    :data:`PROGRAM_ANALYZERS`.
     """
     from repro.dataflow.export import ProgramExport, export_program
 
@@ -86,16 +144,20 @@ def check_program(program, *, subject: str | None = None) -> CheckReport:
         colors=export.colors,
         expected_receivers=export.expected_receivers,
         subject=subject or f"program on {export.fabric.width}x{export.fabric.height}",
+        only=only,
     )
-    report.extend(
-        check_column_plan(
-            mesh_nz,
-            capacity_bytes=WSE2_PE_MEMORY_BYTES,
-            reserved_bytes=export.pe_memory_reserved,
-            reuse_buffers=export.reuse_buffers,
+    run = _selected(only, PROGRAM_ANALYZERS)
+    if "plan" in run:
+        report.extend(
+            check_column_plan(
+                mesh_nz,
+                capacity_bytes=WSE2_PE_MEMORY_BYTES,
+                reserved_bytes=export.pe_memory_reserved,
+                reuse_buffers=export.reuse_buffers,
+            )
         )
-    )
-    report.extend(check_dsd_bounds(export.layouts))
+    if "dsd" in run:
+        report.extend(check_dsd_bounds(export.layouts))
     return report
 
 
@@ -140,6 +202,8 @@ EXAMPLE_PROGRAMS: dict[str, Callable[[], object]] = {
 
 def check_examples(
     names: list[str] | None = None,
+    *,
+    only: frozenset | set | None = None,
 ) -> dict[str, CheckReport]:
     """Build and verify every registered example program."""
     selected = names or sorted(EXAMPLE_PROGRAMS)
@@ -152,5 +216,7 @@ def check_examples(
                 f"unknown example program {name!r} "
                 f"(registered: {sorted(EXAMPLE_PROGRAMS)})"
             ) from None
-        out[name] = check_program(factory(), subject=f"example {name}")
+        out[name] = check_program(
+            factory(), subject=f"example {name}", only=only
+        )
     return out

@@ -297,6 +297,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the determinism lint (requires --lint)",
     )
     p_chk.add_argument(
+        "--race", action="store_true",
+        help="run the concurrency verifier instead: bounded model check "
+        "of the shared-memory halo protocol, concurrency lint over "
+        "src/repro, and a live happens-before probe",
+    )
+    p_chk.add_argument(
+        "--race-drill", action="store_true",
+        help="run the seeded-mutation drill: every protocol mutation "
+        "must be flagged as exactly one ERROR with a replayable witness",
+    )
+    p_chk.add_argument(
+        "--only", default=None, metavar="ANALYZER[,ANALYZER...]",
+        help="run only the named analyzers (see repro.check.ANALYZERS; "
+        "unknown names exit 2 listing the valid set)",
+    )
+    p_chk.add_argument(
+        "--skip", default=None, metavar="ANALYZER[,ANALYZER...]",
+        help="run everything selected except the named analyzers",
+    )
+    p_chk.add_argument(
         "--json", default=None, metavar="FILE",
         help="write machine-readable findings as JSON",
     )
@@ -1179,22 +1199,71 @@ def _cmd_check(args, out) -> int:
     from pathlib import Path
 
     from repro.check import (
+        ANALYZERS,
+        FABRIC_ANALYZERS,
+        PROGRAM_ANALYZERS,
         CheckReport,
         Severity,
         check_examples,
         check_program,
         lint_paths,
     )
+    from repro.check.race import drill_findings, run_race_checks
 
     if args.lint_only and not args.lint:
         print("error: --lint-only requires at least one --lint PATH", file=sys.stderr)
         return 2
 
+    def _parse_analyzers(raw: str | None, flag: str) -> set | None:
+        if raw is None:
+            return None
+        names = {name.strip() for name in raw.split(",") if name.strip()}
+        unknown = sorted(names - set(ANALYZERS))
+        if unknown:
+            print(
+                f"error: unknown analyzer(s) for {flag} "
+                + ", ".join(repr(u) for u in unknown)
+                + "; valid: " + ", ".join(ANALYZERS),
+                file=sys.stderr,
+            )
+            return set()  # sentinel: caller exits 2
+        return names
+
+    only = _parse_analyzers(args.only, "--only")
+    if only == set():
+        return 2
+    skip = _parse_analyzers(args.skip, "--skip")
+    if skip == set() and args.skip is not None:
+        return 2
+
+    # what would run without --only: the program/fabric analyzers (or
+    # the race verifiers under --race, the drill under --race-drill),
+    # plus the determinism lint when --lint paths are given
+    race_names = {"race-model", "race-lint", "race-hb"}
+    if args.race_drill:
+        selected = {"race-drill"} | (race_names if args.race else set())
+    elif args.race:
+        selected = set(race_names)
+    elif args.lint_only:
+        selected = {"lint"}
+    else:
+        selected = set(FABRIC_ANALYZERS) | set(PROGRAM_ANALYZERS)
+        if args.lint:
+            selected.add("lint")
+    if only is not None:
+        selected = only
+    if skip:
+        selected -= skip
+
     t0 = time.perf_counter()
     reports: list[CheckReport] = []
-    if not args.lint_only:
+    program_part = selected & (set(FABRIC_ANALYZERS) | set(PROGRAM_ANALYZERS))
+    if program_part:
+        part = None if program_part == set(FABRIC_ANALYZERS) | set(
+            PROGRAM_ANALYZERS
+        ) else program_part
         if args.examples:
-            reports.extend(check_examples().values())
+            reports.extend(check_examples(only=part).values())
         else:
             from repro.core import CartesianMesh3D, FluidProperties
             from repro.dataflow.program import FluxProgram
@@ -1204,13 +1273,29 @@ def _cmd_check(args, out) -> int:
             )
             reports.append(
                 check_program(
-                    program, subject=f"program {args.nx}x{args.ny}x{args.nz}"
+                    program,
+                    subject=f"program {args.nx}x{args.ny}x{args.nz}",
+                    only=part,
                 )
             )
-    for path in args.lint or ():
-        lint = CheckReport(subject=f"determinism lint {path}")
-        lint.extend(lint_paths(path))
-        reports.append(lint)
+    if "lint" in selected:
+        for path in args.lint or ("src/repro",):
+            lint = CheckReport(subject=f"determinism lint {path}")
+            lint.extend(lint_paths(path))
+            reports.append(lint)
+    race_selected = selected & race_names
+    if race_selected:
+        lint_root = (args.lint or ("src/repro",))[0]
+        reports.extend(
+            run_race_checks(
+                lint_root,
+                model="race-model" in race_selected,
+                lint="race-lint" in race_selected,
+                hb="race-hb" in race_selected,
+            )
+        )
+    if "race-drill" in selected:
+        reports.append(drill_findings())
     elapsed = time.perf_counter() - t0
 
     for report in reports:

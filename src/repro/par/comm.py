@@ -72,6 +72,13 @@ class ProcComm(HaloComm):
         sleeping spin loop, so a worker blocked in ``recv`` still
         advances its shared-arena heartbeat counters and is not
         mistaken for hung by the parent's lease check.
+    race_trace:
+        Optional :class:`~repro.check.race_trace.RaceTraceRecorder`.
+        When set, every publish/observe is recorded as happens-before
+        events — payload ``write`` then header ``release`` on send,
+        header ``acquire`` then payload ``read`` on receive — for the
+        :func:`~repro.check.race_trace.check_hb` analyzer.  ``None``
+        (the default) keeps the hot path untouched.
     """
 
     def __init__(
@@ -86,6 +93,7 @@ class ProcComm(HaloComm):
         sleep_seconds: float = 5e-5,
         max_sleeps: int = 400_000,
         heartbeat=None,
+        race_trace=None,
     ) -> None:
         self.layout = layout
         self.arena = arena
@@ -98,6 +106,7 @@ class ProcComm(HaloComm):
         self.sleep_seconds = float(sleep_seconds)
         self.max_sleeps = int(max_sleeps)
         self.heartbeat = heartbeat
+        self.race_trace = race_trace
         #: Completed exchanges; publication value for the current one
         #: is ``_exchange + 1``, in parity slot ``_exchange % 2``.
         self._exchange = int(start_exchange)
@@ -136,9 +145,19 @@ class ProcComm(HaloComm):
                 f"sequence skew on {key}: parity-{parity} header at {seq}, "
                 f"expected {self._expected_prior()} before exchange {want}"
             )
+        if self.race_trace is not None:
+            self.race_trace.record(
+                "write", ("link", *key, parity, "payload"),
+                value=want, step=self._exchange, rank=source,
+            )
         payload = self.arena.payload(key, parity)
         np.copyto(payload, array)
         self.arena.set_seq(key, parity, want)
+        if self.race_trace is not None:
+            self.race_trace.record(
+                "release", ("link", *key, parity, "header"),
+                value=want, step=self._exchange, rank=source,
+            )
         st = self.stats[source]
         st.messages_sent += 1
         st.bytes_sent += payload.nbytes
@@ -205,6 +224,15 @@ class ProcComm(HaloComm):
             raise RuntimeError(
                 f"sequence skew on {key}: parity-{parity} header at "
                 f"{self.arena.seq(key, parity)}, receiver expected {want}"
+            )
+        if self.race_trace is not None:
+            self.race_trace.record(
+                "acquire", ("link", *key, parity, "header"),
+                value=want, step=self._exchange, rank=dest,
+            )
+            self.race_trace.record(
+                "read", ("link", *key, parity, "payload"),
+                value=want, step=self._exchange, rank=dest,
             )
         payload = self.arena.payload(key, parity)
         view = payload.view()

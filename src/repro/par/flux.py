@@ -169,6 +169,14 @@ class ParClusterFluxComputation:
         How injected rank failures manifest in workers: ``"exit"``
         (real crash) or ``"hang"`` (SIGSTOP — detectable only through
         the heartbeat lease).
+    race_trace:
+        Record every shared-arena access of this run — parent pressure
+        stages, worker scatters/residual writes, every halo
+        publish/observe — as happens-before events for the
+        :func:`repro.check.race_trace.check_hb` analyzer.  The merged
+        trace (parent + shipped worker events) accumulates on
+        :attr:`races`.  Meant for fault-free verification runs; off by
+        default and zero-cost then.
     """
 
     def __init__(
@@ -190,6 +198,7 @@ class ParClusterFluxComputation:
         record=None,
         lease_seconds: float | None = None,
         failure_mode: str = "exit",
+        race_trace: bool = False,
     ) -> None:
         self.mesh = mesh
         self.fluid = fluid
@@ -257,6 +266,14 @@ class ParClusterFluxComputation:
         #: it disables pipelining (see :meth:`run`); numerics are
         #: unaffected — the fold order never depends on the depth.
         self.record = record
+        #: Parent-side happens-before recorder (``race_trace=True``);
+        #: worker events ship back in reply payloads and are ingested
+        #: here, so after a run this holds the full merged trace.
+        self.races = None
+        if race_trace:
+            from repro.check.race_trace import RaceTraceRecorder
+
+            self.races = RaceTraceRecorder("parent")
 
     # ------------------------------------------------------------------ #
     def _specs(self, *, attempt_offset: int = 0) -> list[WorkerSpec]:
@@ -279,6 +296,7 @@ class ParClusterFluxComputation:
                     start_exchange=self._exchanges_done,
                     attempt_offset=attempt_offset,
                     record_spans=self.record_spans,
+                    record_races=self.races is not None,
                     overlap=self.overlap,
                     failure_mode=self.failure_mode,
                 )
@@ -337,10 +355,18 @@ class ParClusterFluxComputation:
         for _ in pending:
             self._pool.send_run()
 
-    def _absorb(self, payloads: list[dict]) -> None:
+    def _absorb(self, payloads: list[dict], index: int = -1) -> None:
         """Fold one application's worker payloads into the accumulators."""
         recorder = get_recorder()
         for payload in payloads:
+            if self.races is not None:
+                # collecting the reply is the acquire matching the
+                # worker's end-of-application release
+                self.races.record(
+                    "acquire", ("reply", payload["worker"]),
+                    value=index, step=index,
+                )
+                self.races.ingest(payload.get("races", []))
             ranks = payload["ranks"]
             for rank in ranks:
                 cum = payload["stats"][rank]
@@ -383,7 +409,7 @@ class ParClusterFluxComputation:
                     self._respawn_pool(pending)
                     continue
                 break
-        self._absorb(payloads)
+        self._absorb(payloads, index=index)
         self._exchanges_done += 1
         pending.pop(0)
 
@@ -417,10 +443,19 @@ class ParClusterFluxComputation:
             if len(pending) >= depth:
                 self._collect_oldest(pending)
             index = self._applications
+            if self.races is not None:
+                self.races.record(
+                    "write", ("pressure", index % NUM_PARITIES),
+                    value=index, step=index,
+                )
             np.copyto(
                 self._arena.pressure(index),
                 np.asarray(pressure, dtype=self.dtype),
             )
+            if self.races is not None:
+                # issuing the run command publishes the staged field:
+                # the workers' pickup is the matching acquire
+                self.races.record("release", ("app",), value=index, step=index)
             self._pool.send_run()
             pending.append(index)
             self._applications += 1
@@ -433,6 +468,13 @@ class ParClusterFluxComputation:
         if applications == 0:
             raise ValueError("no pressure fields supplied")
         wall_seconds = (time.perf_counter_ns() - t_run0) / 1e9
+        if self.races is not None:
+            last = self._applications - 1
+            for rank in range(self.grid.size):
+                self.races.record(
+                    "read", ("residual", rank),
+                    value=last, step=last, rank=rank,
+                )
         total_msgs = sum(a["messages_sent"] for a in self._acc) - msgs_before
         total_bytes = sum(a["bytes_sent"] for a in self._acc) - bytes_before
         return ParClusterRunResult(

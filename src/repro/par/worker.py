@@ -102,6 +102,10 @@ class WorkerSpec:
     #: re-dying on the same exchange.
     attempt_offset: int = 0
     record_spans: bool = True
+    #: Record shared-arena accesses as happens-before events (the
+    #: ``repro.check.race_trace`` hook); shipped to the parent in each
+    #: reply payload under ``"races"``.  Off by default: zero cost.
+    record_races: bool = False
     #: Split each rank's owned box into interior + boundary ring so the
     #: interior computes while receive spins are in flight.  Hiding
     #: latency only pays when another core can make progress during the
@@ -225,6 +229,12 @@ class _AppRuntime:
             for _ in range(spec.start_exchange):
                 self.injector.begin_exchange()
 
+        self.races = None
+        if spec.record_races:
+            from repro.check.race_trace import RaceTraceRecorder
+
+            self.races = RaceTraceRecorder(f"worker{spec.index}")
+            self.arena.race_trace = self.races
         self.comm = ProcComm(
             spec.layout,
             self.arena,
@@ -232,6 +242,7 @@ class _AppRuntime:
             faults=self.injector,
             start_exchange=spec.start_exchange,
             heartbeat=self._beat,
+            race_trace=self.races,
         )
         # canonical halo_links order restricted to this worker's endpoints
         self.out_links = [
@@ -275,6 +286,14 @@ class _AppRuntime:
         waited_before = self.comm.waited_seconds
         parity = self.comm.exchange_index  # one exchange per application
         global_pressure = self.arena.pressure(parity)
+        if self.races is not None:
+            # the parent released the application stamp after staging
+            # this parity's pressure field; picking up the run command
+            # is the matching acquire, then the scatter reads the field
+            self.arena.trace("acquire", ("app",), value=parity, step=parity)
+            self.arena.trace(
+                "read", ("pressure", parity % 2), value=parity, step=parity
+            )
         t_app0 = time.perf_counter_ns()
 
         # 1. scatter owned pressure cells from the parity pressure field
@@ -355,6 +374,10 @@ class _AppRuntime:
                     state["pressure"], state["rho"], state["residual"], box
                 )
             ys, xs = block.owned_slices_in_padded()
+            self.arena.trace(
+                "write", ("residual", state["rank"]), value=parity,
+                step=parity, rank=state["rank"],
+            )
             self.arena.residual[
                 :, block.y0 : block.y1, block.x0 : block.x1
             ] = state["residual"][:, ys, xs]
@@ -367,6 +390,11 @@ class _AppRuntime:
 
         self.applications += 1
         self._beat()
+        if self.races is not None:
+            # replying is the release the parent's absorb acquires
+            self.arena.trace(
+                "release", ("reply", spec.index), value=parity, step=parity
+            )
         payload = {
             "pid": os.getpid(),
             "worker": spec.index,
@@ -391,6 +419,7 @@ class _AppRuntime:
                 spans_to_payload(self.recorder)
                 if self.recorder is not None else []
             ),
+            "races": self.races.drain() if self.races is not None else [],
         }
         conn.send(("ok", payload))
 

@@ -1,6 +1,13 @@
-"""Finding/report model: severities, rendering, exit codes."""
+"""Finding/report model: severities, rule IDs, rendering, exit codes."""
 
-from repro.check import CheckReport, Finding, Severity
+from repro.check import (
+    RULE_IDS,
+    CheckReport,
+    Finding,
+    Severity,
+    rule_id,
+    suppresses,
+)
 
 
 def _finding(severity=Severity.ERROR, **kwargs):
@@ -39,6 +46,58 @@ class TestFinding:
         assert d["coord"] == [3, 4]
         assert d["severity"] == "ERROR"
         assert d["color_name"] == "diag_se"
+
+
+class TestRuleIds:
+    def test_every_registered_code_maps_to_a_family_prefix(self):
+        for code, rule in RULE_IDS.items():
+            assert any(
+                rule.startswith(p) for p in ("DLK", "RES", "DET", "RACE")
+            ), (code, rule)
+
+    def test_rule_ids_are_unique(self):
+        assert len(set(RULE_IDS.values())) == len(RULE_IDS)
+
+    def test_known_codes(self):
+        assert rule_id("deadlock-cycle") == "DLK001"
+        assert rule_id("det-unseeded-rng") == "DET002"
+        assert rule_id("race-torn-read") == "RACE001"
+        assert rule_id("race-hb-conflict") == "RACE006"
+
+    def test_unregistered_code_gets_generic_id(self):
+        assert rule_id("brand-new-code") == "GEN000"
+
+    def test_rule_id_appears_in_render_and_dict(self):
+        f = _finding()
+        assert "[DLK001]" in f.render()
+        assert f.as_dict()["rule"] == "DLK001"
+
+
+class TestSuppresses:
+    def test_check_allow_matches_rule_id_and_kebab_code(self):
+        line = "x = 1  # check: allow[RACE009]"
+        assert suppresses(line, "race-unbounded-spin")
+        assert suppresses(
+            "x = 1  # check: allow[race-unbounded-spin]", "race-unbounded-spin"
+        )
+
+    def test_check_allow_is_rule_specific(self):
+        line = "x = 1  # check: allow[RACE009]"
+        assert not suppresses(line, "race-fork-unsafe")
+
+    def test_multiple_pragmas_on_one_line(self):
+        line = "x = 1  # check: allow[DET002] # check: allow[RACE008]"
+        assert suppresses(line, "det-unseeded-rng")
+        assert suppresses(line, "race-unguarded-write")
+        assert not suppresses(line, "race-torn-read")
+
+    def test_det_allow_covers_only_the_det_family(self):
+        line = "x = random.random()  # det: allow"
+        assert suppresses(line, "det-unseeded-rng")
+        assert not suppresses(line, "race-unguarded-write")
+
+    def test_plain_line_suppresses_nothing(self):
+        assert not suppresses("x = 1", "det-unseeded-rng")
 
 
 class TestCheckReport:

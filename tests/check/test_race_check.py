@@ -1,0 +1,114 @@
+"""`repro check --race` orchestration: green path, drill, CLI selection."""
+
+import io
+import json
+
+from repro.check import (
+    MUTATIONS,
+    ModelConfig,
+    drill_findings,
+    mutation_drill,
+    run_race_checks,
+)
+from repro.check.findings import Severity
+from repro.cli import main
+
+
+class TestRunRaceChecks:
+    def test_healthy_tree_yields_zero_findings_everywhere(self):
+        reports = run_race_checks()
+        assert len(reports) == 4  # two model bounds + lint + hb probe
+        for report in reports:
+            assert report.ok, report.render()
+            assert report.findings == [], report.render()
+
+    def test_subjects_name_their_verifier(self):
+        subjects = [r.subject for r in run_race_checks()]
+        assert sum(s.startswith("race model:") for s in subjects) == 2
+        assert any(s.startswith("race lint:") for s in subjects)
+        assert any(s.startswith("race hb:") for s in subjects)
+
+    def test_verifiers_are_individually_selectable(self):
+        assert [
+            r.subject.split(":")[0] for r in run_race_checks(model=False, hb=False)
+        ] == ["race lint"]
+
+
+class TestMutationDrill:
+    def test_drill_covers_every_mutation(self):
+        results = mutation_drill()
+        assert set(results) == set(MUTATIONS)
+        for mutation, result in results.items():
+            assert result.violation is not None, mutation
+
+    def test_drill_findings_are_all_info_on_a_healthy_checker(self):
+        report = drill_findings()
+        assert report.ok, report.render()
+        assert len(report.findings) == len(MUTATIONS)
+        assert all(f.severity == Severity.INFO for f in report.findings)
+        assert all("replayable witness" in f.message for f in report.findings)
+
+    def test_drill_accepts_custom_bounds(self):
+        report = drill_findings(ModelConfig(workers=2, exchanges=2))
+        assert report.ok, report.render()
+
+
+class TestCliRace:
+    def test_check_race_passes(self, tmp_path):
+        out = io.StringIO()
+        json_path = tmp_path / "race.json"
+        code = main(["check", "--race", "--json", str(json_path)], out=out)
+        assert code == 0
+        assert "CHECK PASSED" in out.getvalue()
+        doc = json.loads(json_path.read_text())
+        assert doc["ok"] is True
+        assert len(doc["subjects"]) == 4
+
+    def test_check_race_drill_reports_each_mutation(self):
+        out = io.StringIO()
+        code = main(["check", "--race-drill"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        for mutation in MUTATIONS:
+            assert mutation in text
+
+    def test_only_restricts_the_analyzer_set(self):
+        out = io.StringIO()
+        code = main(["check", "--race", "--only", "race-lint"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "race lint" in text
+        assert "race model" not in text
+
+    def test_skip_drops_an_analyzer(self):
+        out = io.StringIO()
+        code = main(
+            ["check", "--race", "--skip", "race-hb,race-model"], out=out
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "race lint" in text
+        assert "race hb" not in text
+
+    def test_unknown_analyzer_is_usage_error_listing_valid_names(self, capsys):
+        code = main(["check", "--only", "bogus,deadlock"], out=io.StringIO())
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "race-model" in err and "deadlock" in err
+
+    def test_unknown_skip_is_usage_error(self, capsys):
+        code = main(["check", "--skip", "nonsense"], out=io.StringIO())
+        assert code == 2
+        assert "nonsense" in capsys.readouterr().err
+
+    def test_only_applies_to_fabric_analyzers_too(self):
+        out = io.StringIO()
+        code = main(
+            ["check", "--nx", "5", "--ny", "4", "--nz", "3",
+             "--only", "memory"],
+            out=out,
+        )
+        assert code == 0
+        # route/boundary INFO findings come from the skipped analyzers
+        assert "offchip-exit" not in out.getvalue()

@@ -1,0 +1,97 @@
+"""Bounded model checker: clean protocol verifies, mutations are caught."""
+
+import pytest
+
+from repro.check import (
+    MUTATIONS,
+    ModelConfig,
+    check_model,
+    model_findings,
+    replay_witness,
+)
+from repro.check.race import EXPECTED_VIOLATIONS
+from repro.check.race_model import render_witness
+from repro.check.findings import Severity
+
+
+class TestCleanProtocol:
+    @pytest.mark.parametrize(
+        "workers,exchanges", [(2, 3), (2, 6), (3, 2), (3, 4)]
+    )
+    def test_no_violation_at_bound(self, workers, exchanges):
+        result = check_model(ModelConfig(workers=workers, exchanges=exchanges))
+        assert result.ok, result.violation
+        assert result.states > 0
+        assert model_findings(result) == []
+
+    def test_exploration_is_deterministic(self):
+        config = ModelConfig(workers=2, exchanges=3)
+        a, b = check_model(config), check_model(config)
+        assert a.states == b.states
+
+    def test_state_count_grows_with_workers(self):
+        two = check_model(ModelConfig(workers=2, exchanges=2))
+        three = check_model(ModelConfig(workers=3, exchanges=2))
+        assert three.states > two.states
+
+    def test_state_budget_enforced(self):
+        with pytest.raises(RuntimeError, match="exceeded"):
+            check_model(ModelConfig(workers=3, exchanges=4, max_states=10))
+
+
+class TestConfigValidation:
+    def test_rejects_worker_counts_outside_model(self):
+        with pytest.raises(ValueError, match="2 or 3"):
+            ModelConfig(workers=4)
+
+    def test_rejects_unknown_mutation(self):
+        with pytest.raises(ValueError, match="unknown mutation"):
+            ModelConfig(mutation="drop-everything")
+
+    def test_chain_links_are_bidirectional_and_sorted(self):
+        links = ModelConfig(workers=3).links
+        assert links == ((0, 1, 0), (1, 0, 0), (1, 2, 0), (2, 1, 0))
+
+
+class TestMutations:
+    @pytest.mark.parametrize("mutation", MUTATIONS)
+    def test_each_mutation_is_exactly_one_error(self, mutation):
+        result = check_model(ModelConfig(workers=2, exchanges=3, mutation=mutation))
+        findings = model_findings(result)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.severity == Severity.ERROR
+        assert finding.code == EXPECTED_VIOLATIONS[mutation]
+        assert "witness" in finding.detail
+
+    @pytest.mark.parametrize("mutation", MUTATIONS)
+    def test_witness_replays_to_the_same_violation(self, mutation):
+        config = ModelConfig(workers=2, exchanges=3, mutation=mutation)
+        violation = check_model(config).violation
+        assert violation is not None and violation.schedule
+        replayed = replay_witness(config, violation.schedule)
+        assert replayed is not None
+        assert replayed.signature() == violation.signature()
+
+    def test_witness_localizes_link_and_parity(self):
+        config = ModelConfig(workers=2, exchanges=3, mutation="header-first")
+        violation = check_model(config).violation
+        assert violation.code == "race-torn-read"
+        assert violation.link in config.links
+        assert violation.parity in (0, 1)
+        assert violation.worker in (0, 1)
+        assert 0 <= violation.exchange < config.exchanges
+
+    def test_replay_rejects_a_forged_schedule(self):
+        config = ModelConfig(workers=2, exchanges=3, mutation="header-first")
+        violation = check_model(config).violation
+        forged = ((violation.schedule[0][0], "w9:k9:bogus[9->9]"),)
+        with pytest.raises(RuntimeError, match="diverged"):
+            replay_witness(config, forged)
+
+    def test_render_witness_is_one_trace_line(self):
+        config = ModelConfig(workers=2, exchanges=3, mutation="wrong-parity")
+        violation = check_model(config).violation
+        text = render_witness(violation.schedule)
+        assert " ; " in text
+        assert text.count(";") == len(violation.schedule) - 1

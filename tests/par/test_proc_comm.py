@@ -137,6 +137,48 @@ class TestProcComm:
             receiver.recv(link.dest, link.source, link.tag), second
         )
 
+    def test_delayed_header_lands_via_sleeping_spin_path(self, world):
+        """A header published long after recv starts spinning is picked
+        up on the sleeping-spin path (not the busy-spin fast path) —
+        driven through the heartbeat callback, which fires every 64
+        sleeps, i.e. only once the receiver is deep into its wait."""
+        layout, arena = world
+        link = layout.links[0]
+        key = (link.source, link.dest, link.tag)
+        data = np.full((2, *link.shape_yx), 3.5)
+
+        def publish_late():
+            np.copyto(arena.payload(key, 0), data)
+            arena.set_seq(key, 0, 1)
+
+        receiver = make_comm(
+            layout, arena, busy_spins=2, max_sleeps=200,
+            heartbeat=publish_late,
+        )
+        out = receiver.recv(link.dest, link.source, link.tag)
+        np.testing.assert_array_equal(out, data)
+        # the wait really went through the sleep loop up to the first
+        # heartbeat, not the busy-spin prefix
+        assert receiver.stats[link.dest].retry_waits >= 64
+
+    def test_delayed_header_from_the_future_is_sequence_skew(self, world):
+        """A header that appears mid-spin with a *future* sequence (the
+        sender raced two exchanges ahead into this parity slot) must
+        fail the exact-match check as sequence skew, not be consumed."""
+        layout, arena = world
+        link = layout.links[0]
+        key = (link.source, link.dest, link.tag)
+
+        def publish_skewed():
+            arena.set_seq(key, 0, 2)  # receiver expects exactly 1
+
+        receiver = make_comm(
+            layout, arena, busy_spins=2, max_sleeps=200,
+            heartbeat=publish_skewed,
+        )
+        with pytest.raises(RuntimeError, match="sequence skew"):
+            receiver.recv(link.dest, link.source, link.tag)
+
     def test_rank_bounds(self, world):
         layout, arena = world
         comm = make_comm(layout, arena)
