@@ -39,6 +39,13 @@ resilience_overhead:
 lockstep:
     The vectorized lockstep backend on the same workload, so
     cross-backend throughput trends live in one file.
+fused_runtime:
+    The fused IR backend (``repro.ir.fused``: whole-array per-color
+    rounds lowered from the fabric-program IR, bit-identical to the
+    event backend) on the same workload.  ``--check`` gates fused
+    throughput at >= lockstep's (the fused scheduler exists to beat the
+    phase-by-phase simulation) and IR derivation at <10% of cold
+    startup (thin-waist bookkeeping must stay almost free).
 gpu_model:
     The GPU execution-model backend (RAJA-style tiled kernels) on the
     same workload — the last backend that was untracked here.
@@ -132,6 +139,9 @@ CHECK_TOLERANCE = 0.30
 
 #: Allowed wall-clock overhead of trace=True before --check fails.
 TRACE_OVERHEAD_TOLERANCE = 0.10
+
+#: Allowed fraction of fused cold startup spent deriving the IR.
+IR_BUILD_TOLERANCE = 0.10
 
 #: Wall-clock budget for the static verifier pass before --check fails.
 VERIFIER_BUDGET_SECONDS = 10.0
@@ -403,6 +413,46 @@ def bench_lockstep(
     }
 
 
+def bench_fused(
+    nx: int, ny: int, nz: int, applications: int, *, repeats: int = 3
+) -> dict:
+    """Fused-IR-backend throughput on the event benchmark's workload.
+
+    Cold startup (IR derivation + fold-schedule probe + first batch) is
+    timed separately from the steady-state throughput so ``--check``
+    can gate the IR-build tax on run startup.
+    """
+    from repro.ir import FusedFluxComputation
+    from repro.ir.schedule import _CACHE
+
+    mesh = CartesianMesh3D(nx, ny, nz)
+    fluid = FluidProperties()
+    trans = Transmissibility(mesh)
+    seq = PressureSequence(mesh, num_applications=applications, seed=7)
+    pressures = [seq.field(i) for i in range(applications)]
+    _CACHE.clear()  # a warm process-wide cache would hide the probe cost
+    t0 = time.perf_counter()
+    drv = FusedFluxComputation(mesh, fluid, trans, dtype=np.float32)
+    drv.run(pressures)
+    startup = time.perf_counter() - t0
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        drv.run(pressures)
+        best = min(best, time.perf_counter() - t0)
+    cells = mesh.num_cells * applications
+    return {
+        "mesh": [nx, ny, nz],
+        "applications": applications,
+        "wall_seconds": round(best, 6),
+        "mcells_per_sec": round(cells / best / 1e6, 6),
+        "startup_seconds": round(startup, 6),
+        "ir_build_seconds": round(drv.ir_build_seconds, 6),
+        "schedule_seconds": round(drv.schedule_seconds, 6),
+        "ir_build_fraction": round(drv.ir_build_seconds / startup, 4),
+    }
+
+
 def bench_gpu(
     nx: int, ny: int, nz: int, applications: int, *, repeats: int = 3
 ) -> dict:
@@ -594,6 +644,7 @@ def measure_entry(*, smoke_only: bool, budget_seconds: float, repeats: int) -> d
     entry["par_runtime"] = bench_par_runtime(**PAR_WORKLOAD, repeats=repeats)
     if smoke_only:
         entry["lockstep"] = bench_lockstep(**SMOKE_WORKLOAD, repeats=repeats)
+        entry["fused_runtime"] = bench_fused(**SMOKE_WORKLOAD, repeats=repeats)
         entry["gpu_model"] = bench_gpu(**SMOKE_WORKLOAD, repeats=repeats)
     else:
         entry["main"] = bench_flux(**MAIN_WORKLOAD, repeats=repeats)
@@ -601,6 +652,7 @@ def measure_entry(*, smoke_only: bool, budget_seconds: float, repeats: int) -> d
             entry["main"]["events_per_sec"] / calib, 6
         )
         entry["lockstep"] = bench_lockstep(**MAIN_WORKLOAD, repeats=repeats)
+        entry["fused_runtime"] = bench_fused(**MAIN_WORKLOAD, repeats=repeats)
         entry["gpu_model"] = bench_gpu(**MAIN_WORKLOAD, repeats=repeats)
         entry["peak_fabric"] = bench_peak_fabric(budget_seconds)
     return entry
@@ -731,6 +783,29 @@ def run_check(path: Path, repeats: int) -> int:
         f"{race['errors']} error(s); limit {RACE_CHECK_BUDGET_SECONDS:.0f}s) "
         f"-> {'ok' if race_ok else 'REGRESSION'}"
     )
+    # The fused backend's whole reason to exist is beating the phased
+    # lockstep simulation while staying bit-identical to event; gate
+    # throughput and the IR-derivation tax together.  Wall-clock ratios
+    # on a loaded host are noisy in fused's disfavour, so retry a few
+    # times before declaring a regression.
+    for attempt in range(3):
+        lockstep = bench_lockstep(**MAIN_WORKLOAD, repeats=repeats)
+        fused = bench_fused(**MAIN_WORKLOAD, repeats=repeats)
+        fused_fast = fused["mcells_per_sec"] >= lockstep["mcells_per_sec"]
+        ir_cheap = fused["ir_build_fraction"] < IR_BUILD_TOLERANCE
+        fused_ok = fused_fast and ir_cheap
+        print(
+            f"check: fused {fused['mcells_per_sec']:.3f} Mcell/s vs "
+            f"lockstep {lockstep['mcells_per_sec']:.3f} "
+            f"-> {'ok' if fused_fast else 'REGRESSION'}; IR build "
+            f"{fused['ir_build_seconds'] * 1e3:.1f}ms = "
+            f"{fused['ir_build_fraction']:.1%} of cold startup "
+            f"(limit {IR_BUILD_TOLERANCE:.0%}) "
+            f"-> {'ok' if ir_cheap else 'REGRESSION'}"
+            + (f" [attempt {attempt + 1}]" if attempt else "")
+        )
+        if fused_ok:
+            break
     par = bench_par_runtime(**PAR_WORKLOAD, repeats=max(1, repeats - 1))
     par_ok = par["bit_identical"] and par["distinct_pids"] >= 2
     print(
@@ -772,6 +847,7 @@ def run_check(path: Path, repeats: int) -> int:
         and golden_ok
         and ver_ok
         and race_ok
+        and fused_ok
         and par_ok
     ) else 1
 

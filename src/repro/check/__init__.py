@@ -32,9 +32,11 @@ without executing it:
   analyzer over recorded shared-arena access traces, and AST rules for
   fork-safety, unguarded shared-array writes, and unbounded spins;
 * :mod:`repro.check.runner` — orchestration: one-call verification of a
-  :class:`~repro.dataflow.program.FluxProgram`, a bare fabric, or the
-  registry of shipped example programs, with ``--only``/``--skip``
-  analyzer selection over :data:`~repro.check.runner.ANALYZERS`.
+  :class:`~repro.dataflow.program.FluxProgram` (through its captured
+  :class:`~repro.ir.schema.FabricProgramIR`), a serialized IR document
+  (``repro check --program ir.json``), a bare fabric, or the registry
+  of shipped example programs, with ``--only``/``--skip`` analyzer
+  selection over :data:`~repro.check.runner.ANALYZERS`.
 
 Every finding carries a severity, a stable rule ID
 (``DLK*``/``RES*``/``DET*``/``RACE*``), and — where the analyzer can
@@ -95,6 +97,7 @@ from repro.check.runner import (
     PROGRAM_ANALYZERS,
     check_examples,
     check_fabric,
+    check_ir,
     check_program,
 )
 
@@ -119,6 +122,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "check_fabric",
+    "check_ir",
     "check_program",
     "check_examples",
     "EXAMPLE_PROGRAMS",

@@ -2,18 +2,25 @@
 
 :func:`check_fabric` runs every fabric-level analyzer (deadlock, color
 conflict, dead route, switch schedule, memory audit) over a configured
-:class:`~repro.wse.fabric.Fabric`.  :func:`check_program` adds the
-program-aware checks (expected receivers, DSD bounds, column plan) via
-the :mod:`repro.dataflow.export` view.  :func:`check_examples` builds
-the registry of shipped example configurations and verifies each — the
-CI merge gate (`repro check --examples`) and the
-``BENCH_event_runtime.json`` verifier wall-time entry both run exactly
-this.
+:class:`~repro.wse.fabric.Fabric`.  :func:`check_ir` runs the same
+analyses over a serialized :class:`~repro.ir.schema.FabricProgramIR` —
+the thin-waist representation every backend is lowered from — by
+materializing the IR's fabric, routes, and memory records and reusing
+the fabric analyzers verbatim.  :func:`check_program` captures a built
+program's IR and verifies *that*, so the verifier and the runtimes read
+the same single source of truth and cannot drift.
+:func:`check_examples` builds the registry of shipped example
+configurations and verifies each — the CI merge gate
+(`repro check --examples`) and the ``BENCH_event_runtime.json``
+verifier wall-time entry both run exactly this.
 """
 
 from __future__ import annotations
 
+from math import prod
 from typing import Callable
+
+import numpy as np
 
 from repro.check.findings import CheckReport
 from repro.check.graph import build_channel_graph, find_deadlocks
@@ -32,6 +39,7 @@ from repro.wse.memory import WSE2_PE_MEMORY_BYTES
 
 __all__ = [
     "check_fabric",
+    "check_ir",
     "check_program",
     "check_examples",
     "EXAMPLE_PROGRAMS",
@@ -120,6 +128,139 @@ def check_fabric(
     return report
 
 
+def _materialize_fabric(ir) -> Fabric:
+    """Rebuild a live :class:`Fabric` from an IR's static definition.
+
+    Route tables are installed through placeholder positions and edited
+    in place: a captured IR may describe a *corrupted* fabric (e.g. a
+    self-forwarding port) that :class:`~repro.wse.router.ColorConfig`
+    would reject at configure time — the verifier must be able to
+    materialize exactly what the IR says, bad routes included, so its
+    findings match findings on the live broken object.
+    """
+    fabric = Fabric(
+        ir.width,
+        ir.height,
+        pe_memory_bytes=ir.pe_memory_bytes,
+        pe_memory_reserved=ir.pe_memory_reserved,
+        vectorized=ir.vectorized,
+        bypass_columns=ir.bypass_columns,
+    )
+    for color in ir.route_color_ids():
+        for coord in ir.route_coords(color):
+            positions, initial = ir.route_for(color, coord)
+            router = fabric.router_map[coord]
+            router.configure(
+                color, [{} for _ in positions], initial=initial
+            )
+            cfg = router.configs[color]
+            cfg.positions[:] = positions
+            router.refresh(color)
+    for coord in ir.memory_coords():
+        memory = fabric.pe_map[coord].memory
+        for rec in ir.memory_records_for(coord):
+            if rec.get("alias_of"):
+                memory.alias(rec["name"], rec["alias_of"])
+            else:
+                memory.alloc_array(
+                    rec["name"], tuple(rec["shape"]), np.dtype(rec["dtype"])
+                )
+    return fabric
+
+
+class _DsdLayoutView:
+    """Just enough of a :class:`PEColumnLayout` for ``check_dsd_bounds``:
+    descriptor extents reconstructed from the IR's memory records."""
+
+    __slots__ = ("nz", "_send", "_recv_flat")
+
+    def __init__(self, nz: int, send: np.ndarray, recv_flat: dict):
+        self.nz = nz
+        self._send = send
+        self._recv_flat = recv_flat
+
+    def send_train_flat(self) -> np.ndarray:
+        return self._send
+
+    @property
+    def recv_flat(self) -> dict:
+        return self._recv_flat
+
+
+def _dsd_layouts_from_ir(ir) -> dict:
+    from repro.core.stencil import XY_CONNECTIONS
+
+    nz = ir.mesh_shape[2]
+    reuse = ir.params["reuse_buffers"]
+    layouts: dict = {}
+    for coord in ir.memory_coords():
+        records = {rec["name"]: rec for rec in ir.memory_records_for(coord)}
+
+        def words(name: str) -> int:
+            rec = records.get(name)
+            return 0 if rec is None else prod(rec["shape"])
+
+        send = np.empty(words("p_rho" if reuse else "send_staging"), np.uint8)
+        recv = {
+            conn: np.empty(
+                words("recv_shared" if reuse else f"recv_{conn.name}"),
+                np.uint8,
+            )
+            for conn in XY_CONNECTIONS
+        }
+        layouts[coord] = _DsdLayoutView(nz, send, recv)
+    return layouts
+
+
+def check_ir(
+    ir,
+    *,
+    subject: str | None = None,
+    only: frozenset | set | None = None,
+    memory_budget: int = WSE2_PE_MEMORY_BYTES,
+) -> CheckReport:
+    """Verify a :class:`~repro.ir.schema.FabricProgramIR` directly.
+
+    The IR's fabric, switch schedules, and memory records are
+    materialized and the fabric analyzers run on the result; program
+    IRs additionally get the column-plan and DSD-bounds checks from the
+    IR's mesh/params blocks.  A bare-fabric IR (kind ``"fabric"``) runs
+    the fabric analyses only.
+    """
+    from repro.ir.schema import KIND_PROGRAM
+
+    fabric = _materialize_fabric(ir)
+    colors = ir.colors or None
+    expected = {
+        color: frozenset(map(tuple, ir.expected_receivers(color)))
+        for color in ir.route_color_ids()
+        if ir.expected_receivers(color)
+    }
+    report = check_fabric(
+        fabric,
+        colors=colors,
+        expected_receivers=expected or None,
+        memory_budget=memory_budget,
+        subject=subject or f"program on {fabric.width}x{fabric.height}",
+        only=only,
+    )
+    if ir.kind != KIND_PROGRAM:
+        return report
+    run = _selected(only, PROGRAM_ANALYZERS)
+    if "plan" in run:
+        report.extend(
+            check_column_plan(
+                ir.mesh_shape[2],
+                capacity_bytes=WSE2_PE_MEMORY_BYTES,
+                reserved_bytes=ir.pe_memory_reserved,
+                reuse_buffers=ir.params["reuse_buffers"],
+            )
+        )
+    if "dsd" in run:
+        report.extend(check_dsd_bounds(_dsd_layouts_from_ir(ir)))
+    return report
+
+
 def check_program(
     program,
     *,
@@ -128,16 +269,28 @@ def check_program(
 ) -> CheckReport:
     """Verify a built :class:`~repro.dataflow.program.FluxProgram`.
 
-    Fabric-level analyses plus the program-aware ones: every expected
-    receiver must be reachable, DSD descriptors must agree on train
-    sizes, and the Z-column plan must fit the WSE-2 memory model even
-    when the simulated fabric was built with a roomier scratchpad.
-    ``only`` selects among :data:`FABRIC_ANALYZERS` +
-    :data:`PROGRAM_ANALYZERS`.
+    The program's IR is captured (:func:`repro.ir.builder.build_ir`) and
+    verified through :func:`check_ir` — the verifier sees exactly the
+    representation the backends are lowered from.  Fabric-level analyses
+    plus the program-aware ones: every expected receiver must be
+    reachable, DSD descriptors must agree on train sizes, and the
+    Z-column plan must fit the WSE-2 memory model even when the
+    simulated fabric was built with a roomier scratchpad.  ``only``
+    selects among :data:`FABRIC_ANALYZERS` + :data:`PROGRAM_ANALYZERS`.
+    A legacy :class:`~repro.dataflow.export.ProgramExport` is still
+    accepted and checked from its own view.
     """
     from repro.dataflow.export import ProgramExport, export_program
 
-    export = program if isinstance(program, ProgramExport) else export_program(program)
+    if not isinstance(program, ProgramExport):
+        from repro.ir.builder import build_ir
+
+        ir = build_ir(program)
+        w, h = ir.width, ir.height
+        return check_ir(
+            ir, subject=subject or f"program on {w}x{h}", only=only
+        )
+    export = program
     mesh_nz = export.nz
     report = check_fabric(
         export.fabric,

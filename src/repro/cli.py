@@ -92,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument(
         "--backend",
         default="event",
-        choices=["event", "lockstep", "gpu", "cluster", "par"],
+        choices=["event", "fused", "lockstep", "gpu", "cluster", "par"],
         help="which implementation to run (fabric heatmaps need 'event'; "
         "'par' merges every worker's spans into one timeline)",
     )
@@ -289,6 +289,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify every registered example program instead of one mesh",
     )
     p_chk.add_argument(
+        "--program", default=None, metavar="FILE",
+        help="verify a serialized fabric-program IR (JSON written by "
+        "--emit-ir or FabricProgramIR.to_json) instead of building one; "
+        "an unreadable or invalid file is a usage error (exit 2)",
+    )
+    p_chk.add_argument(
+        "--emit-ir", default=None, metavar="FILE",
+        help="also serialize the verified program's IR to FILE "
+        "(byte-stable JSON with an embedded content hash)",
+    )
+    p_chk.add_argument(
         "--lint", action="append", default=None, metavar="PATH",
         help="also run the determinism lint over PATH (repeatable)",
     )
@@ -333,7 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cf.add_argument(
         "--backend", default=None,
-        choices=["event", "lockstep", "gpu", "cluster", "par"],
+        choices=["event", "fused", "lockstep", "gpu", "cluster", "par"],
         help="backend to record on / replay with",
     )
     p_cf.add_argument(
@@ -662,6 +673,14 @@ def _cmd_trace(args, out) -> int:
         registry.register("trace", lambda: trace_sink_metrics(wse.trace_sink))
         return wse.trace_sink, result.stats, names
 
+    def run_fused():
+        from repro.ir import FusedFluxComputation
+
+        drv = FusedFluxComputation(mesh, fluid)
+        drv.run(pressures)
+        registry.register("fused", drv.report().as_metrics)
+        return None, None, None
+
     def run_lockstep():
         from repro.dataflow import LockstepWseSimulation
 
@@ -716,6 +735,7 @@ def _cmd_trace(args, out) -> int:
 
     runners = {
         "event": run_event,
+        "fused": run_fused,
         "lockstep": run_lockstep,
         "gpu": run_gpu,
         "cluster": run_cluster,
@@ -1205,6 +1225,7 @@ def _cmd_check(args, out) -> int:
         CheckReport,
         Severity,
         check_examples,
+        check_ir,
         check_program,
         lint_paths,
     )
@@ -1213,6 +1234,16 @@ def _cmd_check(args, out) -> int:
     if args.lint_only and not args.lint:
         print("error: --lint-only requires at least one --lint PATH", file=sys.stderr)
         return 2
+
+    serialized_ir = None
+    if args.program is not None:
+        from repro.ir import FabricProgramIR
+
+        try:
+            serialized_ir = FabricProgramIR.from_json(args.program)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     def _parse_analyzers(raw: str | None, flag: str) -> set | None:
         if raw is None:
@@ -1262,7 +1293,15 @@ def _cmd_check(args, out) -> int:
         part = None if program_part == set(FABRIC_ANALYZERS) | set(
             PROGRAM_ANALYZERS
         ) else program_part
-        if args.examples:
+        if serialized_ir is not None:
+            reports.append(
+                check_ir(
+                    serialized_ir,
+                    subject=f"ir {args.program}",
+                    only=part,
+                )
+            )
+        elif args.examples:
             reports.extend(check_examples(only=part).values())
         else:
             from repro.core import CartesianMesh3D, FluidProperties
@@ -1278,6 +1317,11 @@ def _cmd_check(args, out) -> int:
                     only=part,
                 )
             )
+            if args.emit_ir:
+                from repro.ir import build_ir
+
+                build_ir(program).to_json(args.emit_ir)
+                print(f"wrote {args.emit_ir}", file=out)
     if "lint" in selected:
         for path in args.lint or ("src/repro",):
             lint = CheckReport(subject=f"determinism lint {path}")

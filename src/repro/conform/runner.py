@@ -48,7 +48,7 @@ __all__ = [
 ]
 
 #: Every backend the conformance suite can record from / replay on.
-BACKENDS = ("event", "lockstep", "gpu", "cluster", "par")
+BACKENDS = ("event", "fused", "lockstep", "gpu", "cluster", "par")
 
 _DEFAULT_PRESSURE_SEED = 2024
 
@@ -57,11 +57,14 @@ def _build_mesh(mesh_meta: dict) -> CartesianMesh3D:
     """Rebuild the recorded mesh exactly from its recipe."""
     kind = mesh_meta["kind"]
     nx, ny, nz = mesh_meta["nx"], mesh_meta["ny"], mesh_meta["nz"]
+    dz_layers = mesh_meta.get("dz_layers")
     if kind == "plain":
-        return CartesianMesh3D(nx, ny, nz)
+        return CartesianMesh3D(nx, ny, nz, dz_layers=dz_layers)
     from repro.workloads.geomodels import make_geomodel
 
-    return make_geomodel(nx, ny, nz, kind=kind, seed=mesh_meta["seed"])
+    return make_geomodel(
+        nx, ny, nz, kind=kind, seed=mesh_meta["seed"], dz_layers=dz_layers
+    )
 
 
 def _pressures(mesh: CartesianMesh3D, seed: int, applications: int):
@@ -100,6 +103,15 @@ def _make_backend(
             mesh, fluid, dtype=dtype, record=record,
             faults=_injector(plan.only_fabric()) if plan else None,
         )
+        return drv, drv.run, lambda: None
+    if backend == "fused":
+        from repro.ir.fused import FusedFluxComputation
+
+        if plan is not None:
+            raise ValueError(
+                "fused backend does not support fault injection"
+            )
+        drv = FusedFluxComputation(mesh, fluid, dtype=dtype, record=record)
         return drv, drv.run, lambda: None
     if backend == "lockstep":
         from repro.dataflow.lockstep import LockstepWseSimulation
@@ -164,6 +176,7 @@ def record_run(
     plan: FaultPlan | None = None,
     pressure_seed: int = _DEFAULT_PRESSURE_SEED,
     snapshot_every: int = 1,
+    dz_layers=None,
     trace: dict | None = None,
     spans: list | None = None,
     metrics: dict | None = None,
@@ -171,15 +184,22 @@ def record_run(
 ) -> ReplayArtifact:
     """Execute one run on *backend* and capture it as a replay artifact.
 
+    ``dz_layers`` (a length-``nz`` thickness list) rides in the mesh
+    recipe so replays rebuild the variable-thickness mesh exactly.
     ``extra_meta`` keys pass straight through into the artifact's
     metadata (the chaos harness uses this for post-mortem context).
     """
+    mesh_meta = {
+        "nx": nx, "ny": ny, "nz": nz, "kind": geomodel, "seed": seed,
+    }
+    if dz_layers is not None:
+        mesh_meta["dz_layers"] = [float(t) for t in dz_layers]
     meta = {
         "backend": backend,
         "backend_config": {
             "px": px, "py": py, "workers": workers, "variant": variant,
         },
-        "mesh": {"nx": nx, "ny": ny, "nz": nz, "kind": geomodel, "seed": seed},
+        "mesh": mesh_meta,
         "dtype": dtype,
         "pressure_seed": pressure_seed,
         "fault_plan": plan.to_dict() if plan is not None else None,
@@ -196,6 +216,8 @@ def record_run(
     fingerprint = None
     if backend == "event":
         fingerprint = _program_fingerprint(drv.program)
+    elif backend == "fused":
+        fingerprint = drv.ir.content_hash
     if trace is None and getattr(drv, "trace_sink", None) is not None:
         trace = drv.trace_sink.as_dict()
     return recorder.finalize(
@@ -205,24 +227,16 @@ def record_run(
 
 
 def _program_fingerprint(program) -> str:
-    """Stable hash of the compiled fabric program's declarative export."""
-    from repro.dataflow.export import export_program
-    from repro.obs.replay import fingerprint_document
+    """Content hash of the compiled program's fabric-program IR.
 
-    exp = export_program(program)
-    return fingerprint_document(
-        {
-            "colors": {str(k): v for k, v in sorted(exp.colors.items())},
-            "expected_receivers": {
-                str(cid): sorted(map(list, coords))
-                for cid, coords in sorted(exp.expected_receivers.items())
-            },
-            "nz": exp.nz,
-            "reuse_buffers": exp.reuse_buffers,
-            "pe_memory_bytes": exp.pe_memory_bytes,
-            "pe_memory_reserved": exp.pe_memory_reserved,
-        }
-    )
+    The IR subsumes the old ad-hoc export digest: colors, full route
+    tables, memory layouts, injector/receiver sets and the fold-order
+    contracts all feed the hash, so any routing or layout drift between
+    record and replay time shows up as a fingerprint mismatch.
+    """
+    from repro.ir.builder import build_ir
+
+    return build_ir(program).content_hash
 
 
 # --------------------------------------------------------------------- #

@@ -147,6 +147,7 @@ class WseFluxComputation:
         faults=None,
         watchdog_cycles: float | None = None,
         record=None,
+        ir=None,
     ) -> None:
         kwargs = dict(
             mesh=mesh,
@@ -160,6 +161,7 @@ class WseFluxComputation:
             overlap_compute=overlap_compute,
             pe_memory_reserved=pe_memory_reserved,
             remap=remap,
+            ir=ir,
         )
         if pe_memory_bytes is not None:
             kwargs["pe_memory_bytes"] = pe_memory_bytes

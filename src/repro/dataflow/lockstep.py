@@ -93,6 +93,7 @@ class LockstepWseSimulation:
         vectorized: bool = True,
         compute_fluxes: bool = True,
         record=None,
+        exchange_plan=None,
     ) -> None:
         self.mesh = mesh
         self.fluid = fluid
@@ -115,6 +116,19 @@ class LockstepWseSimulation:
         self._applications = 0
         self._fabric_word_hops = 0
         self._words_per_element = max(1, self.dtype.itemsize // 4)
+        #: Fold-order contract: ``(connections, hops, phase)`` per
+        #: communication phase.  Defaults to the paper's cardinal-then-
+        #: diagonal order; an IR lowering passes the IR's exchange-plan
+        #: contract instead (:func:`repro.ir.lower.lower_to_lockstep`).
+        if exchange_plan is None:
+            exchange_plan = (
+                (CARDINAL_XY, 1, "lockstep.cardinal"),
+                (DIAGONAL_XY, 2, "lockstep.diagonal"),
+            )
+        self.exchange_plan = tuple(
+            (tuple(conns), int(hops), f"lockstep.{phase.split('.')[-1]}")
+            for conns, hops, phase in exchange_plan
+        )
         #: Optional :class:`~repro.obs.replay.ReplayRecorder` digesting
         #: every (pressure, residual) application pair.
         self.record = record
@@ -163,10 +177,7 @@ class LockstepWseSimulation:
                         )
 
             # Phases 2-3: fabric exchanges (cardinal 1 hop, diagonal 2)
-            for conns, hops, phase in (
-                (CARDINAL_XY, 1, "lockstep.cardinal"),
-                (DIAGONAL_XY, 2, "lockstep.diagonal"),
-            ):
+            for conns, hops, phase in self.exchange_plan:
                 with span(phase):
                     for conn in conns:
                         local, neigh = interior_slices(shape, conn)

@@ -119,6 +119,10 @@ class FluxProgram:
     pe_memory_bytes: int = WSE2_PE_MEMORY_BYTES
     pe_memory_reserved: int = 2048
     remap: SpareColumnRemap | None = None
+    #: Optional :class:`~repro.ir.schema.FabricProgramIR` to lower from:
+    #: routing tables and injector sets are consumed from the IR instead
+    #: of re-derived, after validating the IR describes this program.
+    ir: object | None = None
     fabric: Fabric = field(init=False)
     colors: ColorAllocator = field(init=False)
 
@@ -158,6 +162,8 @@ class FluxProgram:
         self.colors = ColorAllocator()
         self._card_color: dict[CardinalChannel, int] = {}
         self._diag_color: dict[DiagonalChannel, int] = {}
+        if self.ir is not None:
+            self._validate_ir(self.ir)
         # scalar kernel parameters pre-cast to the PE dtype: the ufuncs
         # cast them per call otherwise (same bits, avoidable overhead)
         _scalar = np.dtype(self.dtype).type
@@ -189,6 +195,85 @@ class FluxProgram:
                 yield lx, ly, pes[coord]
 
     # ------------------------------------------------------------------ #
+    # IR lowering (repro.ir)
+    # ------------------------------------------------------------------ #
+    def _validate_ir(self, ir) -> None:
+        """The IR must describe exactly this program, or lowering would
+        silently build something else."""
+        mesh = self.mesh
+        if getattr(ir, "kind", None) != "flux-program":
+            raise ValueError(
+                f"FluxProgram can only lower a flux-program IR, "
+                f"got kind {getattr(ir, 'kind', None)!r}"
+            )
+        if ir.mesh_shape != (mesh.nx, mesh.ny, mesh.nz):
+            raise ValueError(
+                f"IR was built for mesh {ir.mesh_shape}, got "
+                f"({mesh.nx}, {mesh.ny}, {mesh.nz})"
+            )
+        if (self.remap is None) != (ir.remap is None):
+            raise ValueError("IR and program disagree on spare-column remap")
+        params = ir.params
+        checks = (
+            ("dtype", np.dtype(self.dtype).name, params["dtype"]),
+            ("reuse_buffers", self.reuse_buffers, params["reuse_buffers"]),
+            (
+                "overlap_compute",
+                self.overlap_compute,
+                params["overlap_compute"],
+            ),
+            ("compute_fluxes", self.compute_fluxes, params["compute_fluxes"]),
+            ("vectorized", self.vectorized, ir.vectorized),
+            ("pe_memory_bytes", self.pe_memory_bytes, ir.pe_memory_bytes),
+            (
+                "pe_memory_reserved",
+                self.pe_memory_reserved,
+                ir.pe_memory_reserved,
+            ),
+            ("fabric width", self.fabric.width, ir.width),
+            ("fabric height", self.fabric.height, ir.height),
+        )
+        for name, mine, theirs in checks:
+            if mine != theirs:
+                raise ValueError(
+                    f"IR mismatch on {name}: program has {mine!r}, "
+                    f"IR says {theirs!r}"
+                )
+
+    def _setup_routing_from_ir(self) -> None:
+        """Install switch schedules from the IR's route tables.
+
+        The color allocation order is cross-checked against the IR's
+        color table — a program and its IR must agree on ids, or the
+        receiver sets would silently describe different channels.
+        """
+        ir = self.ir
+        for channel in (*CARDINAL_CHANNELS, *DIAGONAL_CHANNELS):
+            color = self.colors.allocate(channel.name)
+            if color != ir.color_id(channel.name):
+                raise ValueError(
+                    f"IR color table maps {channel.name!r} to "
+                    f"{ir.color_id(channel.name)}, allocator assigned "
+                    f"{color}"
+                )
+            if isinstance(channel, CardinalChannel):
+                self._card_color[channel] = color
+            else:
+                self._diag_color[channel] = color
+
+            def positions_for(coord, _c=color):
+                entry = ir.route_for(_c, coord)
+                return None if entry is None else entry[0]
+
+            def initial_for(coord, _c=color):
+                entry = ir.route_for(_c, coord)
+                return 0 if entry is None else entry[1]
+
+            self.fabric.configure_color(
+                color, positions_for, initial_for=initial_for
+            )
+
+    # ------------------------------------------------------------------ #
     # Memory (Sec. 5.1)
     # ------------------------------------------------------------------ #
     def _setup_memory(self) -> None:
@@ -196,6 +281,12 @@ class FluxProgram:
         trans_fields = padded_trans_fields(mesh, self.trans, self.dtype)
         elev = mesh.elevation
         w, h = mesh.nx, mesh.ny
+        ir_injectors = None
+        if self.ir is not None:
+            ir_injectors = {
+                ch: self.ir.injector_coords(ch.name)
+                for ch in CARDINAL_CHANNELS
+            }
         for x, y, pe in self.program_pes():
             layout = PEColumnLayout.build(
                 pe.memory,
@@ -220,11 +311,18 @@ class FluxProgram:
                 )
                 for conn in XY_CONNECTIONS
             }
-            pe.state["step1_channels"] = [
-                ch
-                for ch in CARDINAL_CHANNELS
-                if is_step1_sender((x, y), ch, w, h)
-            ]
+            if ir_injectors is None:
+                pe.state["step1_channels"] = [
+                    ch
+                    for ch in CARDINAL_CHANNELS
+                    if is_step1_sender((x, y), ch, w, h)
+                ]
+            else:
+                pe.state["step1_channels"] = [
+                    ch
+                    for ch in CARDINAL_CHANNELS
+                    if pe.coord in ir_injectors[ch]
+                ]
 
     def _expected_messages(self, x: int, y: int) -> int:
         """Data messages the PE at *logical* ``(x, y)`` receives per
@@ -241,6 +339,9 @@ class FluxProgram:
     # Routing (Sec. 5.2, Figs. 5-6)
     # ------------------------------------------------------------------ #
     def _setup_routing(self) -> None:
+        if self.ir is not None:
+            self._setup_routing_from_ir()
+            return
         # switch positions are a function of the *logical* coordinate —
         # bypassed columns are latency-transparent wires, so a remapped
         # router behaves exactly like the logical router it hosts

@@ -1,0 +1,121 @@
+"""The event backend's fold schedule, probed once and cached.
+
+The fused backend replays the event backend's *exact* per-PE summation
+order, so it must know in which order each PE's eight X-Y halo messages
+arrive.  That order is static — the event simulator is a deterministic
+single-stream discrete-event machine — but it is *timing-derived*: it
+depends on the fabric footprint (nx, ny) and on the program options that
+change per-message service time (``reuse_buffers``, ``overlap_compute``,
+``vectorized``).  There is no closed form; the probe below measures it.
+
+Measured invariances (pinned by tests): the arrival order is independent
+of ``nz``, of the dtype, and of ``compute_fluxes`` — so one probe at
+``nz=1`` with the flux kernel disabled stands for every program with the
+same ``(nx, ny, reuse_buffers, overlap_compute, vectorized)``.  Probes
+are cached process-wide under exactly that key.
+
+The probed schedule is a *derived annotation* of the IR
+(:meth:`FabricProgramIR.annotate` under ``"fold_schedule"``): it is
+excluded from the content hash and from the IR-build cost — it amortizes
+like a backend's compile step, not like the IR itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["arrival_schedule", "schedule_cache_key"]
+
+#: (nx, ny, reuse_buffers, overlap_compute, vectorized) -> per-PE order.
+_CACHE: dict[tuple, dict[tuple[int, int], tuple[str, ...]]] = {}
+
+
+def schedule_cache_key(
+    nx: int,
+    ny: int,
+    *,
+    reuse_buffers: bool,
+    overlap_compute: bool,
+    vectorized: bool,
+) -> tuple:
+    return (
+        int(nx),
+        int(ny),
+        bool(reuse_buffers),
+        bool(overlap_compute),
+        bool(vectorized),
+    )
+
+
+def arrival_schedule(
+    nx: int,
+    ny: int,
+    *,
+    reuse_buffers: bool = True,
+    overlap_compute: bool = True,
+    vectorized: bool = True,
+) -> dict[tuple[int, int], tuple[str, ...]]:
+    """Per-PE X-Y halo arrival order, as connection names.
+
+    Maps each logical ``(x, y)`` to the tuple of connection names in the
+    order the event runtime delivers them — the serial fold order of
+    that PE's residual accumulation.
+    """
+    key = schedule_cache_key(
+        nx,
+        ny,
+        reuse_buffers=reuse_buffers,
+        overlap_compute=overlap_compute,
+        vectorized=vectorized,
+    )
+    schedule = _CACHE.get(key)
+    if schedule is None:
+        schedule = _CACHE[key] = _probe(
+            nx, ny, reuse_buffers, overlap_compute, vectorized
+        )
+    return schedule
+
+
+def _probe(
+    nx: int, ny: int, reuse_buffers: bool, overlap_compute: bool, vectorized: bool
+) -> dict[tuple[int, int], tuple[str, ...]]:
+    """One event application at nz=1 with the flux kernel disabled.
+
+    ``compute_fluxes=False`` keeps the probe cheap without changing the
+    delivery order (measured invariance, see module docstring).
+    """
+    from repro.core.fluid import FluidProperties
+    from repro.core.mesh import CartesianMesh3D
+    from repro.dataflow.program import FluxProgram
+    from repro.wse.perf import WSE2
+    from repro.wse.runtime import EventRuntime
+
+    mesh = CartesianMesh3D(nx, ny, 1)
+    program = FluxProgram(
+        mesh,
+        FluidProperties(),
+        dtype=np.float32,
+        reuse_buffers=reuse_buffers,
+        overlap_compute=overlap_compute,
+        vectorized=vectorized,
+        compute_fluxes=False,
+    )
+    orders: dict[tuple[int, int], list] = {}
+    original = program._receive_neighbour
+
+    def capture(pe, msg, conn):
+        orders.setdefault(pe.state["logical"], []).append(conn)
+        original(pe, msg, conn)
+
+    # instance-attribute override shadows the bound method: the receive
+    # tasks look up ``self._receive_neighbour`` at call time
+    program._receive_neighbour = capture
+    rt = EventRuntime(program.fabric, WSE2)
+    program.load_pressure(np.zeros((1, ny, nx)))
+    program.begin_application(rt)
+    rt.run()
+    program.verify_deliveries()
+    return {
+        coord: tuple(conn.name for conn in arrivals)
+        for coord, arrivals in orders.items()
+    }

@@ -1,0 +1,375 @@
+"""`FabricProgramIR` — the thin-waist representation of a fabric program.
+
+One declarative document describes everything the backends and the static
+verifier need to agree on: the fabric envelope, the color table, every
+router's switch schedule, the expected receiver set per color, the
+injector (step-1 sender) sets, every PE's memory layout, and the fold
+contracts that pin cross-backend numerics.  The event, lockstep, and
+fused runtimes are *lowered* from this IR (:mod:`repro.ir.lower`), and
+``repro check`` verifies the IR directly (:func:`repro.check.check_ir`),
+so the verifier and the runtimes cannot drift — the EventFlow-EIR move
+applied to the paper's flux program.
+
+The in-memory object wraps the canonical JSON document (a plain dict in
+the exact shape :func:`repro.util.jsonio.stable_dumps` serializes) and
+adds typed accessors that parse ports/connections on demand.  Keeping the
+document primary makes two properties trivial:
+
+* ``to_json``/``from_json`` round-trip byte-for-byte;
+* :attr:`FabricProgramIR.content_hash` — SHA-256 over the stable dump of
+  the static definition — is identical across processes and platforms.
+  Derived data (e.g. the probed fold schedule) lives under
+  ``annotations`` and is *excluded* from the hash: annotations are
+  recomputable caches, not part of the program's identity.
+
+Document layout (schema version 1)::
+
+    {
+      "schema": 1,
+      "kind": "flux-program" | "fabric",
+      "fabric": {"width", "height", "pe_memory_bytes",
+                 "pe_memory_reserved", "vectorized", "bypass_columns"},
+      "mesh":   {"nx", "ny", "nz"} | null,
+      "params": {"dtype", "reuse_buffers", "overlap_compute",
+                 "compute_fluxes"} | null,
+      "colors": [{"id": 0, "name": "card_east"}, ...],
+      "routes": {"<color id>": {
+          "classes": [{"initial": 0,
+                       "positions": [{"RAMP": ["EAST"]}, ...]}, ...],
+          "assignment": {"x,y": class_index, ...}}},
+      "expected_receivers": {"<color id>": [[x, y], ...]},
+      "injectors": {"<channel name>": [[x, y], ...]},
+      "memory": {"classes": [[{"name", "shape", "dtype", "alias_of"?},
+                              ...], ...],
+                 "assignment": {"x,y": class_index, ...}},
+      "contracts": {"exchange_plan": [{"phase": "cardinal",
+                                       "connections": [...],
+                                       "hops": 1}, ...],
+                    "fold": "per-pe-arrival-order",
+                    "determinism": "single-stream-event-order"},
+      "remap": {"logical_width", "height", "physical_width",
+                "column_map": {"<lx>": px, ...}} | null,
+      "annotations": {...}            # NOT hashed
+    }
+
+Route classes and memory classes are deduplicated tables — on a regular
+fabric only a handful of distinct switch schedules exist (seed edge,
+even-distance, odd-distance per cardinal channel; one static position
+per diagonal), so per-PE storage is an index, not a copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.stencil import Connection
+from repro.util.jsonio import stable_dumps
+from repro.wse.geometry import Port
+
+__all__ = ["FabricProgramIR", "IR_SCHEMA_VERSION", "KIND_PROGRAM", "KIND_FABRIC"]
+
+IR_SCHEMA_VERSION = 1
+
+#: IR of a full flux program (mesh + params + memory + fold contracts).
+KIND_PROGRAM = "flux-program"
+#: IR of a bare fabric (routes + memory only) — enough for `repro check`.
+KIND_FABRIC = "fabric"
+
+_REQUIRED_KEYS = (
+    "schema",
+    "kind",
+    "fabric",
+    "colors",
+    "routes",
+    "expected_receivers",
+    "injectors",
+    "memory",
+    "annotations",
+)
+
+
+def _coord_key(coord) -> str:
+    x, y = coord
+    return f"{int(x)},{int(y)}"
+
+
+def _parse_coord(key: str) -> tuple[int, int]:
+    x, y = key.split(",")
+    return (int(x), int(y))
+
+
+def encode_position(position: dict[Port, tuple[Port, ...]]) -> dict:
+    """One switch position as a JSON object (port names, stable order)."""
+    return {
+        in_port.name: [out.name for out in outs]
+        for in_port, outs in sorted(position.items(), key=lambda kv: kv[0].name)
+    }
+
+
+def decode_position(doc: dict) -> dict[Port, tuple[Port, ...]]:
+    return {
+        Port[in_name]: tuple(Port[out] for out in outs)
+        for in_name, outs in doc.items()
+    }
+
+
+class FabricProgramIR:
+    """Typed view over the canonical fabric-program document."""
+
+    def __init__(self, document: dict):
+        missing = [k for k in _REQUIRED_KEYS if k not in document]
+        if missing:
+            raise ValueError(f"IR document missing keys: {missing}")
+        if document["schema"] != IR_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported IR schema version {document['schema']!r} "
+                f"(this build reads version {IR_SCHEMA_VERSION})"
+            )
+        if document["kind"] not in (KIND_PROGRAM, KIND_FABRIC):
+            raise ValueError(f"unknown IR kind {document['kind']!r}")
+        self.doc = document
+        self._routes_cache: dict[int, dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 of the static definition (annotations excluded).
+
+        This is the cross-process cache key: two IRs with equal hashes
+        denote the same program, regardless of what derived annotations
+        either copy happens to carry.
+        """
+        static = {k: v for k, v in self.doc.items() if k != "annotations"}
+        payload = stable_dumps(static, indent=None)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FabricProgramIR):
+            return NotImplemented
+        return self.content_hash == other.content_hash
+
+    def __hash__(self) -> int:
+        return hash(self.content_hash)
+
+    def __repr__(self) -> str:
+        f = self.doc["fabric"]
+        return (
+            f"FabricProgramIR(kind={self.doc['kind']!r}, "
+            f"fabric={f['width']}x{f['height']}, "
+            f"hash={self.content_hash[:12]})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_json(self, path) -> None:
+        """Write the byte-stable serialized IR (document + content hash)."""
+        doc = dict(self.doc)
+        doc["content_hash"] = self.content_hash
+        Path(path).write_text(stable_dumps(doc), encoding="utf-8")
+
+    def dumps(self) -> str:
+        doc = dict(self.doc)
+        doc["content_hash"] = self.content_hash
+        return stable_dumps(doc)
+
+    @classmethod
+    def from_json(cls, path) -> "FabricProgramIR":
+        """Load a serialized IR, verifying its embedded content hash."""
+        try:
+            raw = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValueError(f"cannot read IR file {path}: {exc}") from exc
+        return cls.loads(raw, source=str(path))
+
+    @classmethod
+    def loads(cls, raw: str, *, source: str = "<string>") -> "FabricProgramIR":
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{source} is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ValueError(f"{source} is not an IR document (not an object)")
+        stored = doc.pop("content_hash", None)
+        try:
+            ir = cls(doc)
+        except ValueError as exc:
+            raise ValueError(f"{source}: {exc}") from exc
+        if stored is not None and stored != ir.content_hash:
+            raise ValueError(
+                f"{source}: content hash mismatch — file says {stored[:12]}…, "
+                f"document hashes to {ir.content_hash[:12]}… (corrupt or "
+                "hand-edited IR)"
+            )
+        return ir
+
+    # ------------------------------------------------------------------ #
+    # Fabric envelope
+    # ------------------------------------------------------------------ #
+    @property
+    def kind(self) -> str:
+        return self.doc["kind"]
+
+    @property
+    def width(self) -> int:
+        return self.doc["fabric"]["width"]
+
+    @property
+    def height(self) -> int:
+        return self.doc["fabric"]["height"]
+
+    @property
+    def pe_memory_bytes(self) -> int:
+        return self.doc["fabric"]["pe_memory_bytes"]
+
+    @property
+    def pe_memory_reserved(self) -> int:
+        return self.doc["fabric"]["pe_memory_reserved"]
+
+    @property
+    def vectorized(self) -> bool:
+        return self.doc["fabric"]["vectorized"]
+
+    @property
+    def bypass_columns(self) -> tuple[int, ...]:
+        return tuple(self.doc["fabric"]["bypass_columns"])
+
+    # ------------------------------------------------------------------ #
+    # Program parameters
+    # ------------------------------------------------------------------ #
+    @property
+    def mesh_shape(self) -> tuple[int, int, int] | None:
+        """(nx, ny, nz) of the logical mesh, None for bare-fabric IRs."""
+        mesh = self.doc.get("mesh")
+        if mesh is None:
+            return None
+        return (mesh["nx"], mesh["ny"], mesh["nz"])
+
+    @property
+    def params(self) -> dict | None:
+        return self.doc.get("params")
+
+    @property
+    def remap(self) -> dict | None:
+        return self.doc.get("remap")
+
+    # ------------------------------------------------------------------ #
+    # Colors and routes
+    # ------------------------------------------------------------------ #
+    @property
+    def colors(self) -> dict[int, str]:
+        """Color id -> channel name (empty for unnamed bare fabrics)."""
+        return {entry["id"]: entry["name"] for entry in self.doc["colors"]}
+
+    def color_id(self, name: str) -> int:
+        for entry in self.doc["colors"]:
+            if entry["name"] == name:
+                return entry["id"]
+        raise KeyError(f"IR has no color named {name!r}")
+
+    def route_color_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(int(cid) for cid in self.doc["routes"]))
+
+    def _route_table(self, color: int) -> dict:
+        cached = self._routes_cache.get(color)
+        if cached is not None:
+            return cached
+        raw = self.doc["routes"].get(str(color))
+        if raw is None:
+            table = {"classes": [], "assignment": {}}
+        else:
+            table = {
+                "classes": [
+                    (
+                        [decode_position(p) for p in cls["positions"]],
+                        cls["initial"],
+                    )
+                    for cls in raw["classes"]
+                ],
+                "assignment": {
+                    _parse_coord(k): idx
+                    for k, idx in raw["assignment"].items()
+                },
+            }
+        self._routes_cache[color] = table
+        return table
+
+    def route_for(self, color: int, coord) -> tuple[list, int] | None:
+        """(switch positions, initial position) of *color* at *coord*.
+
+        Positions are fresh ``dict[Port, tuple[Port, ...]]`` copies; None
+        when the router at *coord* does not configure the color (bypassed
+        column or out of the route's footprint).
+        """
+        table = self._route_table(color)
+        idx = table["assignment"].get(tuple(coord))
+        if idx is None:
+            return None
+        positions, initial = table["classes"][idx]
+        return ([dict(pos) for pos in positions], initial)
+
+    def route_coords(self, color: int) -> list[tuple[int, int]]:
+        return sorted(self._route_table(color)["assignment"])
+
+    def expected_receivers(self, color: int) -> list[tuple[int, int]]:
+        coords = self.doc["expected_receivers"].get(str(color), [])
+        return [tuple(c) for c in coords]
+
+    def injector_coords(self, channel_name: str) -> set[tuple[int, int]]:
+        coords = self.doc["injectors"].get(channel_name, [])
+        return {tuple(c) for c in coords}
+
+    # ------------------------------------------------------------------ #
+    # Memory
+    # ------------------------------------------------------------------ #
+    def memory_records_for(self, coord) -> list[dict] | None:
+        """Allocation records at *coord* (allocation order), or None."""
+        mem = self.doc["memory"]
+        idx = mem["assignment"].get(_coord_key(coord))
+        if idx is None:
+            return None
+        return mem["classes"][idx]
+
+    def memory_coords(self) -> list[tuple[int, int]]:
+        return sorted(_parse_coord(k) for k in self.doc["memory"]["assignment"])
+
+    # ------------------------------------------------------------------ #
+    # Contracts
+    # ------------------------------------------------------------------ #
+    @property
+    def exchange_plan(self) -> tuple[tuple[tuple[Connection, ...], int, str], ...]:
+        """The fold-order contract: ((connections, hops, phase), ...).
+
+        Phases run in order; within a phase the listed connections are
+        exchanged in list order.  The lockstep and fused lowerings
+        consume this instead of re-deriving the paper's
+        cardinal-then-diagonal order.
+        """
+        plan = self.doc.get("contracts", {}).get("exchange_plan", [])
+        return tuple(
+            (
+                tuple(Connection[name] for name in entry["connections"]),
+                entry["hops"],
+                entry["phase"],
+            )
+            for entry in plan
+        )
+
+    @property
+    def fold_contract(self) -> str | None:
+        return self.doc.get("contracts", {}).get("fold")
+
+    # ------------------------------------------------------------------ #
+    # Annotations (derived, not hashed)
+    # ------------------------------------------------------------------ #
+    @property
+    def annotations(self) -> dict:
+        return self.doc["annotations"]
+
+    def annotate(self, key: str, value) -> None:
+        """Attach derived data (kept out of the content hash)."""
+        self.doc["annotations"][key] = value

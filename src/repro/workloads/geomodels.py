@@ -121,6 +121,7 @@ def make_geomodel(
     dx: float = 10.0,
     dy: float = 10.0,
     dz: float = 2.0,
+    dz_layers=None,
     **kwargs,
 ) -> CartesianMesh3D:
     """Build a mesh carrying a synthetic permeability field.
@@ -130,6 +131,9 @@ def make_geomodel(
     kind:
         One of ``"uniform"``, ``"layered"``, ``"lognormal"``,
         ``"channelized"``.
+    dz_layers:
+        Optional per-layer thicknesses (length ``nz``); overrides the
+        uniform ``dz`` exactly as on :class:`CartesianMesh3D`.
     kwargs:
         Forwarded to the field generator.
     """
@@ -151,5 +155,6 @@ def make_geomodel(
     else:
         kappa = gen(shape, seed=seed, **kwargs)
     return CartesianMesh3D(
-        nx=nx, ny=ny, nz=nz, dx=dx, dy=dy, dz=dz, permeability=kappa
+        nx=nx, ny=ny, nz=nz, dx=dx, dy=dy, dz=dz,
+        dz_layers=dz_layers, permeability=kappa,
     )

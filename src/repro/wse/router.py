@@ -43,12 +43,19 @@ class ColorConfig:
 
     positions: list[RoutePosition]
     position: int = 0
+    #: Switch position installed at configure time.  ``position`` mutates
+    #: as control wavelets advance the switch; the IR capture
+    #: (:func:`repro.ir.builder.build_ir`) reads ``initial`` so a program
+    #: serialized after a run still round-trips its static definition.
+    initial: int = -1
 
     def __post_init__(self) -> None:
         if not self.positions:
             raise ValueError("a color needs at least one switch position")
         if not 0 <= self.position < len(self.positions):
             raise ValueError("initial position out of range")
+        if self.initial < 0:
+            self.initial = self.position
         for pos in self.positions:
             for in_port, outs in pos.items():
                 if in_port in outs:

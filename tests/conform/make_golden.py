@@ -92,7 +92,7 @@ def main() -> int:
 
     # 1. The flagship: a cluster recording that every backend must
     #    reproduce.  cluster/par replay bit-exactly (same host fold
-    #    order); event/lockstep/gpu replay within the ulp budget.
+    #    order); event/fused/lockstep/gpu replay within the ulp budget.
     art = record_run(
         "cluster", nx=4, ny=4, nz=3, geomodel="lognormal", seed=0,
         applications=3, px=2, py=2,
@@ -102,13 +102,14 @@ def main() -> int:
         {
             "name": "small-lognormal",
             "file": "small-lognormal.rpz",
-            "backends": ["event", "lockstep", "gpu", "cluster", "par"],
+            "backends": ["event", "fused", "lockstep", "gpu", "cluster", "par"],
         }
     )
 
     # 2. A forced-order mesh (single interior column along Y): the
     #    event fabric's arrival order is forced, so lockstep must
-    #    match it bit-for-bit, not just within tolerance.
+    #    match it bit-for-bit, not just within tolerance.  fused shares
+    #    the event fold class, so it is bit-exact on every shape.
     art = record_run(
         "event", nx=2, ny=1, nz=5, geomodel="layered", seed=1,
         applications=2,
@@ -118,7 +119,7 @@ def main() -> int:
         {
             "name": "forced-order",
             "file": "forced-order.rpz",
-            "backends": ["event", "lockstep"],
+            "backends": ["event", "fused", "lockstep"],
             "tolerance_overrides": {"lockstep": "bit-exact"},
         }
     )
@@ -150,7 +151,24 @@ def main() -> int:
         {
             "name": "supervised-recovery",
             "file": "supervised-recovery.rpz",
-            "backends": ["event", "lockstep", "gpu"],
+            "backends": ["event", "fused", "lockstep", "gpu"],
+        }
+    )
+
+    # 5. A variable-thickness mesh (dz_layers) on a channelized
+    #    geomodel, recorded on the event fabric: the mesh recipe
+    #    carries the per-layer thicknesses, so replays must rebuild
+    #    the exact transmissibilities.  fused must match to the bit.
+    art = record_run(
+        "event", nx=4, ny=3, nz=4, geomodel="channelized", seed=11,
+        applications=2, dz_layers=[1.0, 2.5, 0.5, 3.0],
+    )
+    art.save(GOLDEN / "dz-layers.rpz")
+    entries.append(
+        {
+            "name": "dz-layers",
+            "file": "dz-layers.rpz",
+            "backends": ["event", "fused", "lockstep", "gpu"],
         }
     )
 

@@ -1,0 +1,88 @@
+"""Compiler vs capture: ``derive_ir(mesh, ...) == build_ir(program)``.
+
+The byte-for-byte invariant pins the closed-form derivation to what the
+runtime actually installs — if either side drifts (a route formula, an
+allocation order, a color id), the serialized documents stop matching.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CartesianMesh3D, FluidProperties
+from repro.dataflow.cardinal import CARDINAL_CHANNELS
+from repro.dataflow.diagonal import DIAGONAL_CHANNELS
+from repro.dataflow.export import export_program
+from repro.dataflow.mapping import SpareColumnRemap
+from repro.dataflow.program import FluxProgram
+from repro.ir import build_ir, derive_ir
+
+VARIANTS = {
+    "default": {},
+    "float64": {"dtype": np.float64},
+    "no-reuse": {"reuse_buffers": False},
+    "no-overlap": {"reuse_buffers": False, "overlap_compute": False},
+    "comm-only": {"compute_fluxes": False},
+}
+
+
+def _program(dims, **kwargs) -> FluxProgram:
+    return FluxProgram(CartesianMesh3D(*dims), FluidProperties(), **kwargs)
+
+
+class TestCompilerMatchesCapture:
+    @pytest.mark.parametrize("name", sorted(VARIANTS))
+    def test_derive_equals_build_byte_for_byte(self, name):
+        kwargs = VARIANTS[name]
+        program = _program((4, 3, 4), **kwargs)
+        derived = derive_ir(program.mesh, **kwargs)
+        captured = build_ir(program)
+        assert derived.dumps() == captured.dumps()
+
+    def test_remap_variant_matches(self):
+        remap = SpareColumnRemap.around_dead_pes((6, 5), [(2, 1)])
+        mesh = CartesianMesh3D(6, 5, 4)
+        program = FluxProgram(mesh, FluidProperties(), remap=remap)
+        derived = derive_ir(mesh, remap=remap)
+        assert derived.dumps() == build_ir(program).dumps()
+
+    def test_repeated_derivation_is_deterministic(self):
+        mesh = CartesianMesh3D(5, 4, 3)
+        assert derive_ir(mesh).dumps() == derive_ir(mesh).dumps()
+
+
+class TestColorTable:
+    def test_colors_are_cardinal_then_diagonal_in_channel_order(self):
+        ir = derive_ir(CartesianMesh3D(3, 3, 3))
+        expected = [
+            ch.name for ch in (*CARDINAL_CHANNELS, *DIAGONAL_CHANNELS)
+        ]
+        assert [ir.colors[i] for i in range(len(expected))] == expected
+        assert ir.route_color_ids() == tuple(range(len(expected)))
+
+
+class TestExportSubsumption:
+    """The IR carries everything ``ProgramExport`` carried."""
+
+    def test_ir_reproduces_the_export_view(self):
+        program = _program((4, 3, 4))
+        export = export_program(program)
+        ir = build_ir(program)
+        assert ir.colors == export.colors
+        for cid, coords in export.expected_receivers.items():
+            assert set(map(tuple, ir.expected_receivers(cid))) == set(coords)
+        program_coords = {pe.coord for _lx, _ly, pe in program.program_pes()}
+        assert set(ir.memory_coords()) == program_coords
+        for coord in sorted(program_coords):
+            memory = program.fabric.pe_map[coord].memory
+            names = [rec["name"] for rec in ir.memory_records_for(coord)]
+            assert names == list(memory.names())
+
+    def test_injector_sets_match_the_live_step1_channels(self):
+        program = _program((5, 4, 3))
+        ir = build_ir(program)
+        live = {ch.name: set() for ch in CARDINAL_CHANNELS}
+        for _lx, _ly, pe in program.program_pes():
+            for channel in pe.state["step1_channels"]:
+                live[channel.name].add(pe.coord)
+        for name, coords in live.items():
+            assert ir.injector_coords(name) == coords

@@ -1,0 +1,121 @@
+"""`FabricProgramIR` serialization: byte-stable round trips, stable hashes."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import CartesianMesh3D
+from repro.ir import FabricProgramIR, derive_ir
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _small_ir() -> FabricProgramIR:
+    return derive_ir(CartesianMesh3D(4, 3, 4))
+
+
+class TestRoundTrip:
+    def test_to_json_from_json_round_trips_byte_for_byte(self, tmp_path):
+        ir = _small_ir()
+        path = tmp_path / "ir.json"
+        ir.to_json(path)
+        first = path.read_bytes()
+        loaded = FabricProgramIR.from_json(path)
+        assert loaded.doc == ir.doc
+        assert loaded.content_hash == ir.content_hash
+        loaded.to_json(path)
+        assert path.read_bytes() == first
+
+    def test_dumps_matches_serialized_file(self, tmp_path):
+        ir = _small_ir()
+        path = tmp_path / "ir.json"
+        ir.to_json(path)
+        assert path.read_text(encoding="utf-8") == ir.dumps()
+
+    def test_typed_accessors_survive_the_round_trip(self, tmp_path):
+        ir = _small_ir()
+        path = tmp_path / "ir.json"
+        ir.to_json(path)
+        loaded = FabricProgramIR.from_json(path)
+        assert loaded.mesh_shape == (4, 3, 4)
+        assert loaded.colors == ir.colors
+        assert loaded.exchange_plan == ir.exchange_plan
+        for color in ir.route_color_ids():
+            for coord in ir.route_coords(color):
+                assert loaded.route_for(color, coord) == ir.route_for(
+                    color, coord
+                )
+
+
+class TestContentHash:
+    def test_hash_is_stable_across_processes(self):
+        """The fingerprint replay artifacts pin on must not depend on
+        interpreter state (hash randomization, dict order, ...)."""
+        ir = _small_ir()
+        code = (
+            "from repro.core import CartesianMesh3D;"
+            "from repro.ir import derive_ir;"
+            "print(derive_ir(CartesianMesh3D(4, 3, 4)).content_hash)"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == ir.content_hash
+
+    def test_annotations_are_excluded_from_the_hash(self):
+        ir = _small_ir()
+        before = ir.content_hash
+        ir.annotate("fold_schedule", {"0,0": ["WEST"]})
+        assert ir.content_hash == before
+
+    def test_distinct_programs_hash_differently(self):
+        a = derive_ir(CartesianMesh3D(4, 3, 4))
+        b = derive_ir(CartesianMesh3D(4, 3, 5))
+        assert a.content_hash != b.content_hash
+        assert a != b and a == _small_ir()
+
+
+class TestInvalidFiles:
+    def test_missing_file_is_value_error_naming_path(self, tmp_path):
+        path = tmp_path / "absent.json"
+        with pytest.raises(ValueError, match="absent.json"):
+            FabricProgramIR.from_json(path)
+
+    def test_invalid_json_names_source(self, tmp_path):
+        path = tmp_path / "mangled.json"
+        path.write_text("{this is not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="mangled.json"):
+            FabricProgramIR.from_json(path)
+
+    def test_non_object_document_is_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ValueError, match="not an IR document"):
+            FabricProgramIR.from_json(path)
+
+    def test_missing_keys_are_named(self, tmp_path):
+        path = tmp_path / "sparse.json"
+        path.write_text(json.dumps({"schema": 1}), encoding="utf-8")
+        with pytest.raises(ValueError, match="missing keys"):
+            FabricProgramIR.from_json(path)
+
+    def test_tampered_document_fails_the_hash_check(self, tmp_path):
+        path = tmp_path / "ir.json"
+        _small_ir().to_json(path)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        doc["mesh"]["nx"] = 99
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        with pytest.raises(ValueError, match="content hash mismatch"):
+            FabricProgramIR.from_json(path)
